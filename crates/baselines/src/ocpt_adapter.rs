@@ -1,0 +1,483 @@
+//! Adapter exposing [`ocpt_core::OcptProcess`] through the driver-facing
+//! [`CheckpointProtocol`] trait, including the tentative-checkpoint flush
+//! policy (eager / lazy / jittered) that the paper leaves to the process
+//! ("processes are able to choose their convenient time for writing the
+//! tentative checkpoints … to stable storage").
+
+use std::collections::HashMap;
+
+use ocpt_core::{
+    Action, AppPayload, CtrlMsg, Envelope, FlushPolicy, MessageLog, OcptConfig, OcptProcess,
+    Piggyback, Status, WritePolicy,
+};
+use ocpt_metrics::Counters;
+use ocpt_sim::{MsgId, ProcessId, SimDuration, SimRng};
+
+use crate::api::{CheckpointProtocol, ProtoAction};
+
+/// Timer tag space: `csn * 4 + kind`, kind ∈ {0: convergence timer,
+/// 1: early flush of the tentative checkpoint, 2: deferred finalize write}.
+fn conv_tag(csn: u64) -> u64 {
+    csn * 4
+}
+fn flush_tag(csn: u64) -> u64 {
+    csn * 4 + 1
+}
+fn write_tag(csn: u64) -> u64 {
+    csn * 4 + 2
+}
+
+/// [`OcptProcess`] behind the [`CheckpointProtocol`] trait.
+#[derive(Debug)]
+pub struct OcptAdapter {
+    inner: OcptProcess,
+    /// Piggyback of the message currently between `on_arrival` and
+    /// `after_delivery`.
+    pending: Option<Piggyback>,
+    /// csn whose tentative state has been (or is being) flushed.
+    state_flushed_for: Option<u64>,
+    /// csn with a pending jittered-flush timer.
+    flush_timer_for: Option<u64>,
+    /// Tag of the currently armed convergence timer. Needed because core's
+    /// `CancelTimer` is positional: by the time we translate it, `csn` may
+    /// already have advanced (finalize-then-take sequences).
+    armed_conv: Option<u64>,
+    /// Finalized-but-not-yet-written logs, waiting on the write policy.
+    pending_finalize: HashMap<u64, MessageLog>,
+    /// csn observed at the previous scheduled-checkpoint tick; a tick
+    /// initiates only if no round has touched this process since — the
+    /// paper's "no process takes more than one checkpoint in any time
+    /// interval of t seconds" (§1).
+    csn_at_last_tick: u64,
+    rng: SimRng,
+}
+
+impl OcptAdapter {
+    /// Wrap a new OCPT process.
+    pub fn new(id: ProcessId, n: usize, cfg: OcptConfig, seed: u64) -> Self {
+        OcptAdapter {
+            inner: OcptProcess::new(id, n, cfg),
+            pending: None,
+            state_flushed_for: None,
+            flush_timer_for: None,
+            armed_conv: None,
+            pending_finalize: HashMap::new(),
+            csn_at_last_tick: 0,
+            rng: SimRng::derive(seed, 0x0C97_4F1C ^ id.0 as u64),
+        }
+    }
+
+    /// The wrapped protocol instance.
+    pub fn inner(&self) -> &OcptProcess {
+        &self.inner
+    }
+
+    /// Issue the storage writes of a finalized checkpoint: the tentative
+    /// state (unless an early flush already covered it) and the frozen log.
+    fn emit_finalize_writes(&mut self, csn: u64, log: MessageLog, out: &mut Vec<ProtoAction<Envelope>>) {
+        if self.state_flushed_for != Some(csn) {
+            self.state_flushed_for = Some(csn);
+            out.push(ProtoAction::FlushState { seq: csn });
+        }
+        let bytes = 4 + log.flush_bytes();
+        out.push(ProtoAction::FlushExtra { seq: csn, bytes, log: Some(log) });
+    }
+
+    fn translate(&mut self, core_out: Vec<Action>, out: &mut Vec<ProtoAction<Envelope>>) {
+        for a in core_out {
+            match a {
+                Action::TakeTentative { csn } => {
+                    out.push(ProtoAction::Snapshot { seq: csn });
+                    match self.inner.config().flush_policy {
+                        FlushPolicy::Eager => {
+                            self.state_flushed_for = Some(csn);
+                            out.push(ProtoAction::FlushState { seq: csn });
+                        }
+                        FlushPolicy::Lazy => {}
+                        FlushPolicy::Jittered { max_delay } => {
+                            let delay =
+                                self.rng.uniform_duration(SimDuration::ZERO, max_delay);
+                            self.flush_timer_for = Some(csn);
+                            out.push(ProtoAction::SetTimer { tag: flush_tag(csn), delay });
+                        }
+                    }
+                }
+                Action::Finalize { csn, log, excluded } => {
+                    // The decision point: the cut and the content are fixed
+                    // here; the storage writes land per the write policy.
+                    if self.flush_timer_for.take().is_some() {
+                        out.push(ProtoAction::CancelTimer { tag: flush_tag(csn) });
+                    }
+                    out.push(ProtoAction::MarkCut {
+                        seq: csn,
+                        back: u32::from(excluded.is_some()),
+                    });
+                    out.push(ProtoAction::Complete { seq: csn });
+                    let delay = match self.inner.config().finalize_write {
+                        WritePolicy::Immediate => None,
+                        WritePolicy::Jittered { window } => {
+                            Some(self.rng.uniform_duration(SimDuration::ZERO, window))
+                        }
+                        WritePolicy::Phased { window } => {
+                            let n = self.inner.n() as u64;
+                            Some(window * self.inner.id().0 as u64 / n)
+                        }
+                    };
+                    match delay {
+                        None | Some(SimDuration::ZERO) => self.emit_finalize_writes(csn, log, out),
+                        Some(d) => {
+                            self.pending_finalize.insert(csn, log);
+                            out.push(ProtoAction::SetTimer { tag: write_tag(csn), delay: d });
+                        }
+                    }
+                }
+                Action::SendCtrl { dst, cm } => {
+                    out.push(ProtoAction::Send { dst, env: Envelope::Ctrl(cm) });
+                }
+                Action::SetTimer { csn } => {
+                    self.armed_conv = Some(conv_tag(csn));
+                    out.push(ProtoAction::SetTimer {
+                        tag: conv_tag(csn),
+                        delay: self.inner.config().convergence_timeout,
+                    });
+                }
+                Action::CancelTimer => {
+                    if let Some(tag) = self.armed_conv.take() {
+                        out.push(ProtoAction::CancelTimer { tag });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CheckpointProtocol for OcptAdapter {
+    type Env = Envelope;
+
+    fn name(&self) -> &'static str {
+        "ocpt"
+    }
+
+    fn wrap_app(
+        &mut self,
+        dst: ProcessId,
+        msg_id: MsgId,
+        payload: AppPayload,
+        _out: &mut Vec<ProtoAction<Envelope>>,
+    ) -> Envelope {
+        let pb = self.inner.on_app_send(dst, msg_id, payload);
+        Envelope::App { pb, payload }
+    }
+
+    fn on_arrival(
+        &mut self,
+        src: ProcessId,
+        _msg_id: MsgId,
+        env: Envelope,
+        out: &mut Vec<ProtoAction<Envelope>>,
+    ) -> Result<Option<AppPayload>, String> {
+        match env {
+            Envelope::Ctrl(cm) => {
+                let mut core_out = Vec::new();
+                self.inner
+                    .on_ctrl_receive(src, cm, &mut core_out)
+                    .map_err(|e| e.to_string())?;
+                self.translate(core_out, out);
+                Ok(None)
+            }
+            Envelope::App { pb, payload } => {
+                // The paper processes the message first (§3.4.3); the case
+                // analysis runs in `after_delivery`.
+                debug_assert!(self.pending.is_none(), "overlapping deliveries");
+                self.pending = Some(pb);
+                Ok(Some(payload))
+            }
+        }
+    }
+
+    fn after_delivery(
+        &mut self,
+        src: ProcessId,
+        msg_id: MsgId,
+        payload: AppPayload,
+        out: &mut Vec<ProtoAction<Envelope>>,
+    ) -> Result<(), String> {
+        let pb = self.pending.take().expect("after_delivery without on_arrival");
+        let mut core_out = Vec::new();
+        self.inner
+            .on_app_receive(src, msg_id, payload, &pb, &mut core_out)
+            .map_err(|e| e.to_string())?;
+        self.translate(core_out, out);
+        Ok(())
+    }
+
+    fn initiate(&mut self, out: &mut Vec<ProtoAction<Envelope>>) {
+        if self.inner.csn() > self.csn_at_last_tick {
+            // Already checkpointed this interval (joined another round).
+            self.csn_at_last_tick = self.inner.csn();
+            return;
+        }
+        let mut core_out = Vec::new();
+        self.inner.initiate_checkpoint(&mut core_out);
+        self.csn_at_last_tick = self.inner.csn();
+        self.translate(core_out, out);
+    }
+
+    fn on_timer(&mut self, tag: u64, out: &mut Vec<ProtoAction<Envelope>>) {
+        let csn = tag / 4;
+        match tag % 4 {
+            0 => {
+                let mut core_out = Vec::new();
+                self.inner.on_timer(csn, &mut core_out);
+                self.translate(core_out, out);
+            }
+            1 => {
+                // Early flush of the tentative checkpoint.
+                if self.flush_timer_for == Some(csn)
+                    && self.inner.status() == Status::Tentative
+                    && self.inner.csn() == csn
+                    && self.state_flushed_for != Some(csn)
+                {
+                    self.flush_timer_for = None;
+                    self.state_flushed_for = Some(csn);
+                    out.push(ProtoAction::FlushState { seq: csn });
+                }
+            }
+            2 => {
+                // Deferred finalize write.
+                if let Some(log) = self.pending_finalize.remove(&csn) {
+                    self.emit_finalize_writes(csn, log, out);
+                }
+            }
+            _ => unreachable!("unknown adapter timer tag"),
+        }
+    }
+
+    fn restore_from_line(&mut self, line: u64) -> Result<(), String> {
+        self.inner =
+            OcptProcess::restored(self.inner.id(), self.inner.n(), *self.inner.config(), line);
+        self.pending = None;
+        self.state_flushed_for = None;
+        self.flush_timer_for = None;
+        self.armed_conv = None;
+        self.pending_finalize.clear();
+        self.csn_at_last_tick = line;
+        Ok(())
+    }
+
+    fn replay_envelope(&self, payload: AppPayload) -> Option<Envelope> {
+        // The restored sender sits just after CFE(i, line): Normal status,
+        // csn = line — exactly what it would have piggybacked had the
+        // message been in flight across the recovery line.
+        Some(Envelope::App {
+            pb: Piggyback {
+                csn: self.inner.csn(),
+                stat: Status::Normal,
+                tent_set: ocpt_core::TentSet::empty(self.inner.n()),
+            },
+            payload,
+        })
+    }
+
+    fn env_wire_bytes(&self, env: &Envelope) -> u64 {
+        env.wire_bytes(self.inner.n())
+    }
+
+    fn stats(&self) -> &Counters {
+        self.inner.stats()
+    }
+}
+
+/// Convenience: the envelope type paired with [`OcptAdapter`].
+pub type OcptEnv = Envelope;
+
+/// Re-exported for drivers that need to inspect control messages.
+pub type OcptCtrl = CtrlMsg;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter(i: u16, n: usize, policy: FlushPolicy) -> OcptAdapter {
+        // Immediate finalize writes keep these unit tests synchronous; the
+        // deferred policies get their own tests below.
+        let cfg = OcptConfig {
+            flush_policy: policy,
+            finalize_write: WritePolicy::Immediate,
+            ..OcptConfig::default()
+        };
+        OcptAdapter::new(ProcessId(i), n, cfg, 42)
+    }
+
+    fn pl() -> AppPayload {
+        AppPayload { id: 1, len: 32 }
+    }
+
+    #[test]
+    fn eager_policy_flushes_at_take() {
+        let mut a = adapter(0, 4, FlushPolicy::Eager);
+        let mut out = Vec::new();
+        a.initiate(&mut out);
+        assert!(out.contains(&ProtoAction::Snapshot { seq: 1 }));
+        assert!(out.contains(&ProtoAction::FlushState { seq: 1 }));
+    }
+
+    #[test]
+    fn lazy_policy_flushes_at_finalize() {
+        let mut a0 = adapter(0, 2, FlushPolicy::Lazy);
+        let mut a1 = adapter(1, 2, FlushPolicy::Lazy);
+        let mut out = Vec::new();
+        a0.initiate(&mut out);
+        assert!(!out.iter().any(|x| matches!(x, ProtoAction::FlushState { .. })));
+        let env = a0.wrap_app(ProcessId(1), MsgId(0), pl(), &mut out);
+        out.clear();
+        // P1 receives: with N=2 it finalizes immediately — state + log flushed.
+        let d = a1.on_arrival(ProcessId(0), MsgId(0), env, &mut out).unwrap();
+        assert_eq!(d, Some(pl()));
+        a1.after_delivery(ProcessId(0), MsgId(0), pl(), &mut out).unwrap();
+        assert!(out.contains(&ProtoAction::FlushState { seq: 1 }));
+        assert!(out.iter().any(|x| matches!(x, ProtoAction::FlushExtra { seq: 1, .. })));
+        assert!(out.contains(&ProtoAction::Complete { seq: 1 }));
+    }
+
+    #[test]
+    fn jittered_policy_sets_flush_timer_then_flushes() {
+        let mut a = adapter(2, 4, FlushPolicy::Jittered { max_delay: SimDuration::from_millis(10) });
+        let mut out = Vec::new();
+        a.initiate(&mut out);
+        let tag = out
+            .iter()
+            .find_map(|x| match x {
+                ProtoAction::SetTimer { tag, .. } if tag & 1 == 1 => Some(*tag),
+                _ => None,
+            })
+            .expect("flush timer armed");
+        out.clear();
+        a.on_timer(tag, &mut out);
+        assert_eq!(out, vec![ProtoAction::FlushState { seq: 1 }]);
+        // Firing again is a no-op.
+        out.clear();
+        a.on_timer(tag, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mark_cut_back_one_when_trigger_excluded() {
+        // P1 tentative; P0 (finalized, normal, same csn) sends M → case 3b:
+        // finalize excluding M → MarkCut back = 1.
+        let mut a1 = adapter(1, 3, FlushPolicy::Lazy);
+        let mut out = Vec::new();
+        a1.initiate(&mut out);
+        out.clear();
+        let pb = Piggyback {
+            csn: 1,
+            stat: Status::Normal,
+            tent_set: ocpt_core::TentSet::empty(3),
+        };
+        let env = Envelope::App { pb, payload: pl() };
+        a1.on_arrival(ProcessId(0), MsgId(7), env, &mut out).unwrap();
+        a1.after_delivery(ProcessId(0), MsgId(7), pl(), &mut out).unwrap();
+        assert!(out.contains(&ProtoAction::MarkCut { seq: 1, back: 1 }));
+    }
+
+    #[test]
+    fn mark_cut_back_zero_when_trigger_included() {
+        // N=2 allPSet path includes the trigger.
+        let mut a0 = adapter(0, 2, FlushPolicy::Lazy);
+        let mut a1 = adapter(1, 2, FlushPolicy::Lazy);
+        let mut out = Vec::new();
+        a0.initiate(&mut out);
+        let env = a0.wrap_app(ProcessId(1), MsgId(0), pl(), &mut out);
+        out.clear();
+        a1.on_arrival(ProcessId(0), MsgId(0), env, &mut out).unwrap();
+        a1.after_delivery(ProcessId(0), MsgId(0), pl(), &mut out).unwrap();
+        assert!(out.contains(&ProtoAction::MarkCut { seq: 1, back: 0 }));
+    }
+
+    #[test]
+    fn phased_write_policy_defers_finalize_writes() {
+        let cfg = OcptConfig {
+            flush_policy: FlushPolicy::Lazy,
+            finalize_write: WritePolicy::Phased { window: SimDuration::from_millis(400) },
+            ..OcptConfig::default()
+        };
+        let mut a0 = OcptAdapter::new(ProcessId(0), 2, cfg, 1);
+        let mut a1 = OcptAdapter::new(ProcessId(1), 2, cfg, 1);
+        let mut out = Vec::new();
+        a0.initiate(&mut out);
+        let env = a0.wrap_app(ProcessId(1), MsgId(0), pl(), &mut out);
+        out.clear();
+        a1.on_arrival(ProcessId(0), MsgId(0), env, &mut out).unwrap();
+        a1.after_delivery(ProcessId(0), MsgId(0), pl(), &mut out).unwrap();
+        // Finalize decision is visible immediately...
+        assert!(out.contains(&ProtoAction::Complete { seq: 1 }));
+        // ...but the writes are deferred behind a timer (P1 offset = 200ms).
+        assert!(!out.iter().any(|x| matches!(x, ProtoAction::FlushState { .. })));
+        let tag = out
+            .iter()
+            .find_map(|x| match x {
+                ProtoAction::SetTimer { tag, delay } if tag % 4 == 2 => {
+                    assert_eq!(*delay, SimDuration::from_millis(200));
+                    Some(*tag)
+                }
+                _ => None,
+            })
+            .expect("deferred write timer");
+        out.clear();
+        a1.on_timer(tag, &mut out);
+        assert!(out.contains(&ProtoAction::FlushState { seq: 1 }));
+        assert!(out.iter().any(|x| matches!(x, ProtoAction::FlushExtra { seq: 1, .. })));
+        // Timer re-fire is a no-op.
+        out.clear();
+        a1.on_timer(tag, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn phased_write_p0_writes_immediately() {
+        let cfg = OcptConfig {
+            flush_policy: FlushPolicy::Lazy,
+            finalize_write: WritePolicy::Phased { window: SimDuration::from_millis(400) },
+            ..OcptConfig::default()
+        };
+        // P0's phase offset is 0 → writes at the decision.
+        let mut a0 = OcptAdapter::new(ProcessId(0), 2, cfg, 1);
+        let mut a1 = OcptAdapter::new(ProcessId(1), 2, cfg, 1);
+        let mut out = Vec::new();
+        a1.initiate(&mut out);
+        let env = a1.wrap_app(ProcessId(0), MsgId(0), pl(), &mut out);
+        out.clear();
+        a0.on_arrival(ProcessId(1), MsgId(0), env, &mut out).unwrap();
+        a0.after_delivery(ProcessId(1), MsgId(0), pl(), &mut out).unwrap();
+        assert!(out.contains(&ProtoAction::FlushState { seq: 1 }));
+    }
+
+    #[test]
+    fn ctrl_messages_translate_to_sends() {
+        let mut a = adapter(2, 4, FlushPolicy::Lazy);
+        let mut out = Vec::new();
+        a.initiate(&mut out);
+        out.clear();
+        // Convergence timer fires → CK_BGN to P0.
+        a.on_timer(conv_tag(1), &mut out);
+        assert!(out.iter().any(|x| matches!(
+            x,
+            ProtoAction::Send { dst: ProcessId(0), env: Envelope::Ctrl(_) }
+        )));
+    }
+
+    #[test]
+    fn wire_bytes_delegate() {
+        let a = adapter(0, 4, FlushPolicy::Lazy);
+        let env = Envelope::Ctrl(CtrlMsg { kind: ocpt_core::CtrlKind::CkBgn, csn: 1 });
+        assert_eq!(a.env_wire_bytes(&env), env.wire_bytes(4));
+    }
+
+    #[test]
+    fn trait_object_compatible_metadata() {
+        let a = adapter(0, 4, FlushPolicy::Lazy);
+        assert_eq!(a.name(), "ocpt");
+        assert!(!a.needs_fifo());
+        assert!(a.can_send_app());
+    }
+}

@@ -1,0 +1,29 @@
+//! E1 as a Criterion bench: full simulated runs per algorithm, measuring
+//! wall time of the simulation itself and reporting the contention
+//! metrics as auxiliary output. The real table comes from
+//! `cargo run -p ocpt-bench --release --bin exp_contention`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocpt_harness::{run, Algo, RunConfig, WorkloadSpec};
+use ocpt_sim::SimDuration;
+
+fn contention_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_contention_run");
+    g.sample_size(10);
+    for algo in Algo::comparison_set() {
+        g.bench_with_input(BenchmarkId::new("n8", algo.name()), &algo, |b, algo| {
+            b.iter(|| {
+                let mut cfg = RunConfig::new(8, 42);
+                cfg.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(5));
+                cfg.checkpoint_interval = SimDuration::from_millis(500);
+                cfg.workload_duration = SimDuration::from_secs(2);
+                cfg.observe = false; // measure the simulation, not the oracle
+                std::hint::black_box(run(algo, cfg).storage.peak_writers)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, contention_runs);
+criterion_main!(benches);

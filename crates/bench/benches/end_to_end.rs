@@ -1,0 +1,30 @@
+//! End-to-end simulation throughput: events per second of the DES kernel
+//! with the full OCPT stack, across system sizes — the scalability check
+//! (E6 companion) that the reproduction itself is usable at N = 64+.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocpt_harness::{run, Algo, RunConfig, WorkloadSpec};
+use ocpt_sim::SimDuration;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for n in [8usize, 32, 64] {
+        // Roughly constant total message count across sizes.
+        let gap = SimDuration::from_micros(2_000 * n as u64 / 8);
+        let mut probe_cfg = RunConfig::new(n, 1);
+        probe_cfg.workload = WorkloadSpec::uniform_mesh(gap);
+        probe_cfg.checkpoint_interval = SimDuration::from_millis(500);
+        probe_cfg.workload_duration = SimDuration::from_secs(1);
+        probe_cfg.observe = false;
+        let msgs = run(&Algo::ocpt(), probe_cfg.clone()).app_messages;
+        g.throughput(Throughput::Elements(msgs));
+        g.bench_with_input(BenchmarkId::new("ocpt", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(run(&Algo::ocpt(), probe_cfg.clone()).app_messages));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the protocol hot paths: per-message piggyback
+//! handling, the receive case analysis, wire codec, and the tentSet
+//! operations that run on every message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocpt_core::{
+    decode_envelope, encode_envelope, AppPayload, Envelope, MessageLog, OcptConfig, OcptProcess,
+    Piggyback, Status, TentSet,
+};
+use ocpt_core::{Direction, LogEntry};
+use ocpt_sim::{MsgId, ProcessId};
+
+fn bench_tentset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tentset");
+    for n in [8usize, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, &n| {
+            let mut a = TentSet::singleton(n, ProcessId(0));
+            let mut s = TentSet::empty(n);
+            for i in (0..n).step_by(3) {
+                s.insert(ProcessId(i as u16));
+            }
+            b.iter(|| {
+                a.merge(std::hint::black_box(&s));
+                std::hint::black_box(a.is_full())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("first_absent_above", n), &n, |b, &n| {
+            let mut s = TentSet::empty(n);
+            for i in 0..n - 1 {
+                s.insert(ProcessId(i as u16));
+            }
+            b.iter(|| std::hint::black_box(s.first_absent_above(ProcessId(0))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_send_receive_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_path");
+    for n in [8usize, 64, 256] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("on_app_send", n), &n, |b, &n| {
+            let mut p = OcptProcess::new(ProcessId(0), n, OcptConfig::basic_only());
+            let mut out = Vec::new();
+            p.initiate_checkpoint(&mut out);
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                std::hint::black_box(p.on_app_send(
+                    ProcessId(1),
+                    MsgId(id),
+                    AppPayload { id, len: 256 },
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("on_app_receive_case2b", n), &n, |b, &n| {
+            // Steady-state 2b receive: both tentative, knowledge merging,
+            // never completing (worst recurring case).
+            let mut p = OcptProcess::new(ProcessId(0), n, OcptConfig::basic_only());
+            let mut out = Vec::new();
+            p.initiate_checkpoint(&mut out);
+            let pb = Piggyback {
+                csn: 1,
+                stat: Status::Tentative,
+                tent_set: TentSet::singleton(n, ProcessId(1)),
+            };
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                out.clear();
+                p.on_app_receive(
+                    ProcessId(1),
+                    MsgId(id),
+                    AppPayload { id, len: 256 },
+                    std::hint::black_box(&pb),
+                    &mut out,
+                )
+                .unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    for n in [8usize, 256] {
+        let env = Envelope::App {
+            pb: Piggyback {
+                csn: 42,
+                stat: Status::Tentative,
+                tent_set: TentSet::singleton(n, ProcessId(3)),
+            },
+            payload: AppPayload { id: 7, len: 1024 },
+        };
+        let bytes = env.wire_bytes(n);
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("encode_app", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(encode_envelope(&env, n)));
+        });
+        let enc = encode_envelope(&env, n);
+        g.bench_with_input(BenchmarkId::new("decode_app", n), &enc, |b, enc| {
+            b.iter(|| std::hint::black_box(decode_envelope(enc.clone()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_log");
+    for entries in [16usize, 256] {
+        g.bench_with_input(BenchmarkId::new("encode", entries), &entries, |b, &entries| {
+            let mut log = MessageLog::new();
+            for i in 0..entries as u64 {
+                log.push(LogEntry {
+                    dir: if i % 2 == 0 { Direction::Sent } else { Direction::Received },
+                    peer: ProcessId((i % 7) as u16),
+                    msg_id: MsgId(i),
+                    payload: AppPayload { id: i, len: 128 },
+                });
+            }
+            b.iter(|| std::hint::black_box(log.encode()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tentset, bench_send_receive_path, bench_wire_codec, bench_log);
+criterion_main!(benches);

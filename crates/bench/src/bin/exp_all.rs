@@ -1,0 +1,26 @@
+//! Run the complete reconstructed evaluation (E1–E8, A1–A3) in one go.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments as exp;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let p = args.params();
+    let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32] };
+    let gaps = [
+        SimDuration::from_millis(2),
+        SimDuration::from_millis(20),
+        SimDuration::from_millis(200),
+    ];
+    let timeouts = [SimDuration::from_millis(125), SimDuration::from_millis(500)];
+    let intervals = [SimDuration::from_millis(250), SimDuration::from_millis(1000)];
+    args.emit(&exp::e1_contention(ns, p));
+    args.emit(&exp::e2_overhead(&intervals, p));
+    args.emit(&exp::e3_control_messages(&gaps, p));
+    args.emit(&exp::e4_convergence(&gaps[..2], &timeouts, p));
+    args.emit(&exp::e5_logging(&gaps[..2], p));
+    args.emit(&exp::e6_piggyback(ns, p));
+    args.emit(&exp::e7_recovery(p, (p.workload_ms * 3) / 4));
+    args.emit(&exp::e8_response_time(&gaps[..2], p));
+    args.emit(&exp::a2_flush_policy(p));
+}

@@ -1,0 +1,9 @@
+//! E1: stable-storage contention vs N, all algorithms.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e1_contention;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };
+    args.emit(&e1_contention(ns, args.params()));
+}

@@ -1,0 +1,22 @@
+//! E3/A1: OCPT control messages per round vs application message rate,
+//! optimized vs naive control layer.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e3_control_messages;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let gaps: Vec<SimDuration> = if args.quick {
+        vec![SimDuration::from_millis(2), SimDuration::from_millis(50)]
+    } else {
+        vec![
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        ]
+    };
+    args.emit(&e3_control_messages(&gaps, args.params()));
+}

@@ -1,0 +1,26 @@
+//! E4/A3: convergence latency vs message rate and convergence timer.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e4_convergence;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let (gaps, timeouts): (Vec<SimDuration>, Vec<SimDuration>) = if args.quick {
+        (
+            vec![SimDuration::from_millis(5)],
+            vec![SimDuration::from_millis(100), SimDuration::from_millis(400)],
+        )
+    } else {
+        (
+            vec![SimDuration::from_millis(2), SimDuration::from_millis(20), SimDuration::from_millis(200)],
+            vec![
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(125),
+                SimDuration::from_millis(250),
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(1000),
+            ],
+        )
+    };
+    args.emit(&e4_convergence(&gaps, &timeouts, args.params()));
+}

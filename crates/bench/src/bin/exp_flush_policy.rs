@@ -1,0 +1,8 @@
+//! A2: tentative-checkpoint flush policy ablation (eager/lazy/jittered).
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::a2_flush_policy;
+
+fn main() {
+    let args = ExpArgs::parse();
+    args.emit(&a2_flush_policy(args.params()));
+}

@@ -1,0 +1,19 @@
+//! E5: selective message logging vs full logging.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e5_logging;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let gaps: Vec<SimDuration> = if args.quick {
+        vec![SimDuration::from_millis(5)]
+    } else {
+        vec![
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+        ]
+    };
+    args.emit(&e5_logging(&gaps, args.params()));
+}

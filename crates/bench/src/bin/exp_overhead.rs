@@ -1,0 +1,19 @@
+//! E2: checkpointing overhead components per algorithm.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e2_overhead;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ivs: Vec<SimDuration> = if args.quick {
+        vec![SimDuration::from_millis(250)]
+    } else {
+        vec![
+            SimDuration::from_millis(250),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(1000),
+            SimDuration::from_millis(2000),
+        ]
+    };
+    args.emit(&e2_overhead(&ivs, args.params()));
+}

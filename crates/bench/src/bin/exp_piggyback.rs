@@ -1,0 +1,9 @@
+//! E6: piggyback overhead vs system size.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e6_piggyback;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ns: &[usize] = if args.quick { &[4, 16] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    args.emit(&e6_piggyback(ns, args.params()));
+}

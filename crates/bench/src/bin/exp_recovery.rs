@@ -1,0 +1,10 @@
+//! E7: rollback after a crash — coordinated (OCPT) vs domino (uncoordinated).
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e7_recovery;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let p = args.params();
+    let crash_ms = (p.workload_ms * 3) / 4;
+    args.emit(&e7_recovery(p, crash_ms));
+}

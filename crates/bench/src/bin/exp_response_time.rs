@@ -1,0 +1,15 @@
+//! E8: forced checkpoints before message processing (response-time penalty),
+//! OCPT vs communication-induced checkpointing.
+use ocpt_bench::ExpArgs;
+use ocpt_harness::experiments::e8_response_time;
+use ocpt_sim::SimDuration;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let gaps: Vec<SimDuration> = if args.quick {
+        vec![SimDuration::from_millis(5)]
+    } else {
+        vec![SimDuration::from_millis(1), SimDuration::from_millis(5), SimDuration::from_millis(20)]
+    };
+    args.emit(&e8_response_time(&gaps, args.params()));
+}

@@ -1,0 +1,88 @@
+//! # ocpt-bench — experiment binaries and Criterion benches
+//!
+//! One `exp_*` binary per experiment in `DESIGN.md` §4 (run with
+//! `cargo run -p ocpt-bench --release --bin exp_contention`), plus
+//! Criterion microbenches (`cargo bench`). This library holds the tiny
+//! shared argument parser the binaries use.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ocpt_harness::experiments::ExpParams;
+use ocpt_sim::SimDuration;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Reduced problem sizes for smoke runs.
+    pub quick: bool,
+    /// Also print the table as CSV.
+    pub csv: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`; exits with usage on error.
+    pub fn parse() -> ExpArgs {
+        let mut args = ExpArgs { quick: false, csv: false, seed: 42 };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--csv" => args.csv = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Base experiment parameters at this scale.
+    pub fn params(&self) -> ExpParams {
+        if self.quick {
+            ExpParams {
+                n: 4,
+                seed: self.seed,
+                workload_ms: 1_000,
+                msg_gap: SimDuration::from_millis(5),
+                ckpt_interval: SimDuration::from_millis(250),
+                state_bytes: 512 * 1024,
+            }
+        } else {
+            // Storage utilisation n·state/(interval·bandwidth) ≈ 0.3: the
+            // server is busy but not saturated, so contention measures
+            // write *clustering*, not overload.
+            ExpParams {
+                n: 8,
+                seed: self.seed,
+                workload_ms: 10_000,
+                msg_gap: SimDuration::from_millis(5),
+                ckpt_interval: SimDuration::from_secs(1),
+                state_bytes: 2 * 1024 * 1024,
+            }
+        }
+    }
+
+    /// Print a finished table (and CSV when requested).
+    pub fn emit(&self, t: &ocpt_metrics::Table) {
+        println!("{}", t.render());
+        if self.csv {
+            println!("{}", t.to_csv());
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: exp_* [--quick] [--csv] [--seed <u64>]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

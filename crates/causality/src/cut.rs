@@ -1,0 +1,89 @@
+//! Cuts of a distributed computation.
+//!
+//! A *cut* assigns to each process a position in its local event sequence;
+//! the cut "contains" the first `pos` events of each process. A global
+//! checkpoint induces a cut (the paper's `S_k` cuts each process at its
+//! finalization point `CFE_{i,k}`), and consistency of the checkpoint is
+//! exactly consistency of that cut: no application message received inside
+//! the cut may have been sent outside it (no orphan, paper §2.2).
+
+use ocpt_sim::ProcessId;
+
+/// A cut: `pos[i]` = number of local application events of `P_i` inside it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    pos: Vec<u64>,
+}
+
+impl Cut {
+    /// The empty cut for `n` processes.
+    pub fn empty(n: usize) -> Self {
+        Cut { pos: vec![0; n] }
+    }
+
+    /// Build from explicit positions.
+    pub fn from_positions(pos: Vec<u64>) -> Self {
+        Cut { pos }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if the cut covers no process (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Position for `pid`.
+    pub fn get(&self, pid: ProcessId) -> u64 {
+        self.pos[pid.index()]
+    }
+
+    /// Set position for `pid`.
+    pub fn set(&mut self, pid: ProcessId, pos: u64) {
+        self.pos[pid.index()] = pos;
+    }
+
+    /// An event at `(pid, idx)` lies inside the cut iff `idx < pos[pid]`.
+    pub fn contains(&self, pid: ProcessId, idx: u64) -> bool {
+        idx < self.pos[pid.index()]
+    }
+
+    /// Component-wise comparison: true iff `self` ≤ `other` everywhere.
+    pub fn le(&self, other: &Cut) -> bool {
+        self.pos.iter().zip(&other.pos).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_strict() {
+        let mut c = Cut::empty(2);
+        c.set(ProcessId(0), 3);
+        assert!(c.contains(ProcessId(0), 2));
+        assert!(!c.contains(ProcessId(0), 3));
+        assert!(!c.contains(ProcessId(1), 0));
+    }
+
+    #[test]
+    fn component_order() {
+        let a = Cut::from_positions(vec![1, 2]);
+        let b = Cut::from_positions(vec![2, 2]);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn len_and_get() {
+        let c = Cut::from_positions(vec![5, 7, 9]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(ProcessId(2)), 9);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the consistency oracle: cuts built from valid
+//! delivery prefixes are always consistent; cuts that cut a message
+//! backwards are always flagged; and the vector-clock view agrees with
+//! the cut view on checkpoint sets.
+
+use ocpt_causality::{Cut, GlobalObserver};
+use ocpt_sim::{MsgId, ProcessId, SimTime};
+use proptest::prelude::*;
+
+/// A random but *valid* execution: each op either sends a fresh message
+/// from a random process or delivers a random in-flight one.
+#[derive(Clone, Debug)]
+enum Op {
+    Send { from: u16, to_off: u16 },
+    Deliver(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(f, t)| Op::Send { from: f, to_off: t }),
+            any::<prop::sample::Index>().prop_map(|i| Op::Deliver(i.index(usize::MAX))),
+        ],
+        1..200,
+    )
+}
+
+/// Replay `ops` over an observer; returns the observer and, for each step,
+/// the cut of everything that has happened so far ("executed prefix").
+fn replay(n: usize, ops: &[Op]) -> (GlobalObserver, Vec<Cut>) {
+    let mut obs = GlobalObserver::new(n);
+    let mut flight: Vec<(ProcessId, MsgId)> = Vec::new();
+    let mut next = 0u64;
+    let mut prefixes = Vec::new();
+    for op in ops {
+        match op {
+            Op::Send { from, to_off } => {
+                let src = (*from as usize) % n;
+                let _dst = (src + 1 + (*to_off as usize) % (n - 1)) % n;
+                let id = MsgId(next);
+                next += 1;
+                obs.on_send(ProcessId(src as u16), id);
+                flight.push((ProcessId(_dst as u16), id));
+            }
+            Op::Deliver(i) => {
+                if flight.is_empty() {
+                    continue;
+                }
+                let (dst, id) = flight.swap_remove(i % flight.len());
+                obs.on_recv(dst, id);
+            }
+        }
+        prefixes.push(Cut::from_positions(obs.positions()));
+    }
+    (obs, prefixes)
+}
+
+proptest! {
+    /// Every executed prefix of a valid execution is a consistent cut:
+    /// a message can only have been received after it was sent, so no
+    /// prefix can contain a receive without its send.
+    #[test]
+    fn executed_prefixes_are_consistent(n in 2usize..8, ops in ops()) {
+        let (obs, prefixes) = replay(n, &ops);
+        for (i, cut) in prefixes.iter().enumerate() {
+            let rep = obs.judge_cut(i as u64, cut);
+            prop_assert!(rep.is_consistent(), "prefix {i} inconsistent: {:?}", rep.orphans);
+        }
+    }
+
+    /// Cutting the sender strictly before a delivered message's send while
+    /// keeping the receiver at the end is always flagged as an orphan.
+    #[test]
+    fn backward_message_cuts_are_flagged(n in 2usize..6, ops in ops()) {
+        let (obs, _) = replay(n, &ops);
+        let full = Cut::from_positions(obs.positions());
+        for (_, send, recv) in obs.messages() {
+            let Some(recv) = recv else { continue };
+            let mut cut = full.clone();
+            cut.set(send.pid, send.idx); // exclude the send event
+            if cut.contains(recv.pid, recv.idx) {
+                let rep = obs.judge_cut(0, &cut);
+                prop_assert!(!rep.is_consistent(), "orphan not flagged");
+            }
+        }
+    }
+
+    /// The vector-clock oracle and the cut oracle agree on checkpoint sets
+    /// placed at executed-prefix positions.
+    #[test]
+    fn oracles_agree_on_prefix_checkpoints(n in 2usize..6, ops in ops()) {
+        let (mut obs, prefixes) = replay(n, &ops);
+        // Finalize a "checkpoint" for everyone at the final prefix.
+        let Some(cut) = prefixes.last() else { return Ok(()) };
+        for pid in ProcessId::all(n) {
+            obs.on_finalize(pid, 1, cut.get(pid), SimTime::ZERO);
+        }
+        let by_cut = obs.judge(1).unwrap().is_consistent();
+        let by_clock = obs.vclock_consistent(1).unwrap();
+        prop_assert!(by_cut, "executed prefix must be consistent");
+        prop_assert_eq!(by_cut, by_clock);
+    }
+
+    /// `complete_csns` reports exactly the rounds every process finalized.
+    #[test]
+    fn complete_csns_requires_everyone(n in 2usize..6, full_rounds in 0u64..4, partial in 0u64..3) {
+        let mut obs = GlobalObserver::new(n);
+        for k in 1..=full_rounds {
+            for pid in ProcessId::all(n) {
+                obs.on_finalize(pid, k, 0, SimTime::ZERO);
+            }
+        }
+        // A few rounds missing one process.
+        for k in 0..partial {
+            for pid in ProcessId::all(n).skip(1) {
+                obs.on_finalize(pid, full_rounds + 1 + k, 0, SimTime::ZERO);
+            }
+        }
+        let complete = obs.complete_csns();
+        prop_assert_eq!(complete.len() as u64, full_rounds);
+        for (i, k) in complete.iter().enumerate() {
+            prop_assert_eq!(*k, i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A small, dependency-free command-line parser for the `ocpt` binary.
+//!
+//! Flags are `--key value` (or bare `--flag` for booleans); unknown flags
+//! abort with usage. Kept deliberately simple — the CLI is a front door,
+//! not a framework.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    opts: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse failure (unknown flag, missing value, bad number).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse an iterator of arguments (exclusive of the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(
+        items: I,
+        bool_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = items.into_iter().peekable();
+        if let Some(cmd) = it.peek() {
+            if !cmd.starts_with("--") {
+                out.command = it.next().unwrap();
+            }
+        }
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {a:?}")));
+            };
+            if bool_flags.contains(&key) {
+                out.flags.push(key.to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                out.opts.insert(key.to_string(), v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A boolean flag's presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(String::as_str)
+    }
+
+    /// A parsed option with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.opts.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(v.iter().map(|s| s.to_string()), &["trace", "quick"])
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse(&["run", "--n", "8", "--algo", "ocpt", "--trace"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("algo"), Some("ocpt"));
+        assert_eq!(a.num("n", 4usize).unwrap(), 8);
+        assert!(a.flag("trace"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["run"]).unwrap();
+        assert_eq!(a.num("n", 4usize).unwrap(), 4);
+        assert_eq!(a.get("algo"), None);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["run", "--n"]).is_err());
+        assert!(parse(&["run", "stray"]).is_err());
+        let a = parse(&["run", "--n", "abc"]).unwrap();
+        assert!(a.num("n", 4usize).is_err());
+    }
+
+    #[test]
+    fn no_subcommand() {
+        let a = parse(&["--n", "3"]).unwrap();
+        assert_eq!(a.command, "");
+        assert_eq!(a.num("n", 0usize).unwrap(), 3);
+    }
+}

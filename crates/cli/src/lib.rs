@@ -1,0 +1,353 @@
+//! # ocpt-cli — the `ocpt` command-line front door
+//!
+//! ```sh
+//! ocpt run --algo ocpt --n 8 --gap-ms 5 --interval-ms 500 --svg run.svg
+//! ocpt compare --n 16
+//! ocpt recover --n 8 --crash-ms 1500 --live
+//! ocpt algos
+//! ```
+//!
+//! The library half holds the subcommand implementations so they are unit
+//! testable; `src/main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+
+use ocpt_core::OcptConfig;
+use ocpt_harness::{
+    coordinated_rollback, domino_rollback, run, verify_restored_states, Algo, RunConfig,
+    RunResult, WorkloadSpec,
+};
+use ocpt_metrics::{f2, Table};
+use ocpt_sim::{FaultPlan, ProcessId, SimDuration, SimTime, Topology};
+
+use args::{ArgError, Args};
+
+/// Boolean flags understood by the CLI.
+pub const BOOL_FLAGS: &[&str] = &["trace", "quick", "live", "csv", "diagram"];
+
+/// Entry point used by `main` (and by tests): dispatch a parsed command,
+/// returning the rendered output.
+pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "recover" => cmd_recover(args),
+        "algos" => Ok(cmd_algos()),
+        "" | "help" => Ok(usage()),
+        other => Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "ocpt — optimistic checkpointing with selective message logging (IPDPS 2007)\n\
+     \n\
+     USAGE:\n\
+       ocpt run     [--algo NAME] [--n N] [--seed S] [--gap-ms G] [--interval-ms I]\n\
+                    [--duration-ms D] [--state-kb K] [--topology mesh|ring|star|grid]\n\
+                    [--trace] [--diagram] [--svg FILE]\n\
+       ocpt compare [--n N] [--seed S] [--gap-ms G] [--interval-ms I] [--csv]\n\
+       ocpt recover [--n N] [--seed S] [--crash-ms T] [--live]\n\
+       ocpt algos\n"
+        .to_string()
+}
+
+fn parse_algo(name: &str) -> Result<Algo, ArgError> {
+    Ok(match name {
+        "ocpt" => Algo::ocpt(),
+        "ocpt-naive" => Algo::ocpt_naive(),
+        "ocpt-basic" => Algo::ocpt_basic(),
+        "chandy-lamport" | "cl" => Algo::ChandyLamport,
+        "koo-toueg" | "kt" => Algo::KooToueg,
+        "staggered" => Algo::Staggered,
+        "cic" => Algo::Cic,
+        "uncoordinated" => Algo::Uncoordinated,
+        other => return Err(ArgError(format!("unknown algorithm {other:?} (try `ocpt algos`)"))),
+    })
+}
+
+fn parse_topology(name: &str, n: usize) -> Result<Topology, ArgError> {
+    Ok(match name {
+        "mesh" => Topology::FullMesh,
+        "ring" => Topology::Ring,
+        "star" => Topology::Star,
+        "grid" => Topology::Grid { cols: (n as f64).sqrt().ceil() as usize },
+        other => return Err(ArgError(format!("unknown topology {other:?}"))),
+    })
+}
+
+fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
+    let n: usize = args.num("n", 8)?;
+    if n < 2 {
+        return Err(ArgError("--n must be at least 2".into()));
+    }
+    let seed: u64 = args.num("seed", 42)?;
+    let gap_ms: f64 = args.num("gap-ms", 5.0)?;
+    let interval_ms: u64 = args.num("interval-ms", 500)?;
+    let duration_ms: u64 = args.num("duration-ms", 3_000)?;
+    let state_kb: u64 = args.num("state-kb", 1024)?;
+    let mut cfg = RunConfig::new(n, seed);
+    cfg.workload = WorkloadSpec {
+        topology: parse_topology(args.get("topology").unwrap_or("mesh"), n)?,
+        ..WorkloadSpec::uniform_mesh(SimDuration::from_secs_f64(gap_ms / 1e3))
+    };
+    cfg.checkpoint_interval = SimDuration::from_millis(interval_ms);
+    cfg.workload_duration = SimDuration::from_millis(duration_ms);
+    cfg.state_bytes = state_kb * 1024;
+    cfg.sim = cfg
+        .sim
+        .with_horizon(SimDuration::from_millis(duration_ms) + SimDuration::from_secs(30));
+    cfg.trace = args.flag("trace") || args.flag("diagram") || args.get("svg").is_some();
+    Ok(cfg)
+}
+
+fn report(r: &RunResult) -> String {
+    let mut s = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(s, "algorithm          {}", r.algo);
+    let _ = writeln!(s, "processes          {}", r.n);
+    let _ = writeln!(s, "virtual makespan   {}", r.makespan);
+    let _ = writeln!(s, "app messages       {}", r.app_messages);
+    let _ = writeln!(s, "control messages   {}", r.ctrl_messages);
+    let _ = writeln!(
+        s,
+        "piggyback bytes    {} ({}/msg)",
+        r.piggyback_bytes,
+        r.piggyback_bytes / r.app_messages.max(1)
+    );
+    let _ = writeln!(s, "rounds completed   {}", r.complete_rounds);
+    let _ = writeln!(s, "recovery line      S_{}", r.recovery_line);
+    let _ = writeln!(s, "peak writers       {}", r.storage.peak_writers);
+    let _ = writeln!(s, "storage stall      {}", r.storage.total_stall);
+    let _ = writeln!(s, "blocked time       {}", r.blocked_time);
+    let _ = writeln!(s, "forced delay       {}", r.forced_delay);
+    if let Some(obs) = &r.observer {
+        let _ = writeln!(s, "consistency        {} complete round(s) judged", obs.complete_csns().len());
+    }
+    match &r.protocol_error {
+        Some(e) => {
+            let _ = writeln!(s, "PROTOCOL ERROR     {e}");
+        }
+        None => {
+            if let Ok(k) = r.verify_consistency() {
+                let _ = writeln!(s, "theorem 2          {k} global checkpoint(s), all consistent");
+            }
+        }
+    }
+    s
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let algo = parse_algo(args.get("algo").unwrap_or("ocpt"))?;
+    let cfg = build_config(args)?;
+    let n = cfg.sim.n;
+    let r = run(&algo, cfg);
+    let mut out = report(&r);
+    if args.flag("diagram") {
+        out.push('\n');
+        out.push_str(&r.trace.ascii_diagram(n));
+    }
+    if let Some(path) = args.get("svg") {
+        std::fs::write(path, r.trace.to_svg(n))
+            .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("\nspace-time diagram written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &Args) -> Result<String, ArgError> {
+    let cfg = build_config(args)?;
+    let mut t = Table::new(
+        format!("comparison at n={} (seed {})", cfg.sim.n, cfg.sim.seed),
+        &[
+            "algo",
+            "rounds",
+            "peak_writers",
+            "stall_ms",
+            "blocked_ms",
+            "forced",
+            "ctrl_msgs",
+            "piggy_B/msg",
+        ],
+    );
+    for algo in Algo::comparison_set() {
+        let r = run(&algo, cfg.clone());
+        t.row(&[
+            r.algo.into(),
+            r.complete_rounds.to_string(),
+            r.storage.peak_writers.to_string(),
+            f2(r.storage.total_stall.as_secs_f64() * 1e3),
+            f2(r.blocked_time.as_secs_f64() * 1e3),
+            r.counters.get("ckpt.forced_before_processing").to_string(),
+            r.ctrl_messages.to_string(),
+            f2(r.piggyback_bytes as f64 / r.app_messages.max(1) as f64),
+        ]);
+    }
+    let mut out = t.render();
+    if args.flag("csv") {
+        out.push('\n');
+        out.push_str(&t.to_csv());
+    }
+    Ok(out)
+}
+
+fn cmd_recover(args: &Args) -> Result<String, ArgError> {
+    let mut cfg = build_config(args)?;
+    let crash_ms: u64 = args.num("crash-ms", 2_000)?;
+    let n = cfg.sim.n;
+    let victim = ProcessId((n / 2) as u16);
+    cfg.workload_duration = SimDuration::from_millis(crash_ms + 1_000);
+    cfg.faults =
+        FaultPlan::single(victim, SimTime::from_millis(crash_ms), SimDuration::from_millis(50));
+    cfg.stop_on_crash = !args.flag("live");
+    let mut out = String::new();
+    use std::fmt::Write as _;
+
+    let r = run(&Algo::ocpt(), cfg.clone());
+    if let Some(e) = &r.protocol_error {
+        return Err(ArgError(format!("ocpt run failed: {e}")));
+    }
+    if args.flag("live") {
+        let _ = writeln!(out, "[ocpt] rode through the crash of {victim} at t={crash_ms}ms");
+        let _ = writeln!(out, "[ocpt] recoveries performed : {}", r.counters.get("recovery.performed"));
+        let _ = writeln!(out, "[ocpt] in-transit re-sent   : {}", r.counters.get("recovery.resent_msgs"));
+        let _ = writeln!(out, "[ocpt] events re-executed   : {}", r.counters.get("recovery.events_lost"));
+        let _ = writeln!(out, "[ocpt] rounds completed     : {}", r.complete_rounds);
+    } else {
+        let obs = r.observer.as_ref().expect("observer on");
+        let line = r.recovery_line;
+        let roll = coordinated_rollback(obs, line);
+        let verified = verify_restored_states(&r, line).map_err(ArgError)?;
+        let total: u64 = obs.positions().iter().sum();
+        let _ = writeln!(out, "[ocpt] crash of {victim} at t={crash_ms}ms; rollback to S_{line}");
+        let _ = writeln!(
+            out,
+            "[ocpt] events lost {} of {} ({:.1}%), cascade rounds {}, restored verified {}",
+            roll.events_lost,
+            total,
+            100.0 * roll.events_lost as f64 / total.max(1) as f64,
+            roll.cascade_rounds,
+            verified
+        );
+        let u = run(&Algo::Uncoordinated, cfg);
+        let obs = u.observer.as_ref().expect("observer on");
+        let roll = domino_rollback(obs, victim);
+        let total: u64 = obs.positions().iter().sum();
+        let _ = writeln!(
+            out,
+            "[uncoordinated] events lost {} of {} ({:.1}%), {} to initial state, cascade rounds {}",
+            roll.events_lost,
+            total,
+            100.0 * roll.events_lost as f64 / total.max(1) as f64,
+            roll.rolled_to_initial,
+            roll.cascade_rounds
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_algos() -> String {
+    let mut t = Table::new("available algorithms", &["name", "class", "notes"]);
+    t.row(&["ocpt".into(), "quasi-synchronous (the paper)".into(), "optimized control layer, phased writes".into()]);
+    t.row(&["ocpt-naive".into(), "quasi-synchronous".into(), "no CK_BGN suppression / REQ skipping / END broadcast".into()]);
+    t.row(&["ocpt-basic".into(), "quasi-synchronous".into(), "Fig. 3 only — may not converge".into()]);
+    t.row(&["chandy-lamport".into(), "synchronous snapshot".into(), "needs FIFO; clustered writes".into()]);
+    t.row(&["koo-toueg".into(), "blocking synchronous".into(), "blocks sends between phases".into()]);
+    t.row(&["staggered".into(), "synchronous, staggered".into(), "token-serialised writes".into()]);
+    t.row(&["cic".into(), "communication-induced".into(), "forced checkpoints before processing".into()]);
+    t.row(&["uncoordinated".into(), "asynchronous".into(), "domino effect at recovery".into()]);
+    t.render()
+}
+
+/// Convenience wrapper for an OCPT config override example (used in docs).
+pub fn default_ocpt_config() -> OcptConfig {
+    OcptConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(v: &[&str]) -> Result<String, ArgError> {
+        let args = Args::parse(v.iter().map(|s| s.to_string()), BOOL_FLAGS)?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_and_algos() {
+        assert!(run_cli(&[]).unwrap().contains("USAGE"));
+        assert!(run_cli(&["algos"]).unwrap().contains("chandy-lamport"));
+        assert!(run_cli(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_small() {
+        let out = run_cli(&[
+            "run", "--n", "3", "--duration-ms", "400", "--interval-ms", "150", "--state-kb", "64",
+        ])
+        .unwrap();
+        assert!(out.contains("algorithm          ocpt"));
+        assert!(out.contains("all consistent"));
+    }
+
+    #[test]
+    fn run_each_algo_smoke() {
+        for algo in ["chandy-lamport", "koo-toueg", "staggered", "cic", "uncoordinated"] {
+            let out = run_cli(&[
+                "run", "--algo", algo, "--n", "3", "--duration-ms", "300", "--interval-ms",
+                "120", "--state-kb", "64",
+            ])
+            .unwrap();
+            assert!(out.contains(algo), "{out}");
+        }
+    }
+
+    #[test]
+    fn compare_renders_table() {
+        let out = run_cli(&[
+            "compare", "--n", "3", "--duration-ms", "300", "--interval-ms", "120", "--state-kb",
+            "64", "--csv",
+        ])
+        .unwrap();
+        assert!(out.contains("== comparison"));
+        assert!(out.contains("uncoordinated"));
+        assert!(out.contains("algo,rounds")); // csv
+    }
+
+    #[test]
+    fn recover_offline_and_live() {
+        let out = run_cli(&[
+            "recover", "--n", "4", "--crash-ms", "500", "--duration-ms", "900", "--interval-ms",
+            "150", "--state-kb", "64",
+        ])
+        .unwrap();
+        assert!(out.contains("rollback to S_"));
+        assert!(out.contains("uncoordinated"));
+        let out = run_cli(&[
+            "recover", "--n", "4", "--crash-ms", "500", "--interval-ms", "150", "--state-kb",
+            "64", "--live",
+        ])
+        .unwrap();
+        assert!(out.contains("rode through"));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(run_cli(&["run", "--n", "1"]).is_err());
+        assert!(run_cli(&["run", "--algo", "nope"]).is_err());
+        assert!(run_cli(&["run", "--topology", "torus"]).is_err());
+    }
+
+    #[test]
+    fn diagram_flag() {
+        let out = run_cli(&[
+            "run", "--n", "3", "--duration-ms", "200", "--interval-ms", "100", "--state-kb",
+            "64", "--diagram",
+        ])
+        .unwrap();
+        assert!(out.contains("legend:"));
+    }
+}

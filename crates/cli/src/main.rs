@@ -1,0 +1,18 @@
+//! The `ocpt` binary: see `ocpt help`.
+
+fn main() {
+    let args = match ocpt_cli::args::Args::parse(std::env::args().skip(1), ocpt_cli::BOOL_FLAGS) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match ocpt_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

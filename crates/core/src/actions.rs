@@ -1,0 +1,83 @@
+//! Actions — the protocol's side of the sans-io contract.
+//!
+//! The state machine in [`crate::protocol`] never performs I/O. Every
+//! handler appends [`Action`]s to a caller-supplied buffer; the driver
+//! (simulator harness or threaded runtime) executes them: snapshotting
+//! application state, writing to stable storage, sending control messages,
+//! arming timers. This keeps the algorithm identical across substrates and
+//! makes every paper case unit-testable without a network.
+
+use ocpt_sim::ProcessId;
+
+use crate::log::MessageLog;
+use crate::types::Csn;
+use crate::wire::CtrlMsg;
+
+/// An effect the driver must carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Snapshot the application state as tentative checkpoint `csn`
+    /// (`CT_{i,csn}`). The driver stores it per the configured
+    /// [`crate::config::FlushPolicy`].
+    TakeTentative {
+        /// The new checkpoint sequence number.
+        csn: Csn,
+    },
+    /// Finalize checkpoint `csn`: flush the message log (and the tentative
+    /// checkpoint, if not already durable) to stable storage. The log
+    /// handed over already excludes the trigger message where the paper
+    /// requires `logSet_i - {M}`.
+    Finalize {
+        /// The sequence number being finalized.
+        csn: Csn,
+        /// The frozen message log `logSet_{i,csn}`.
+        log: MessageLog,
+        /// When the finalization was triggered by receiving a message `M`
+        /// that the paper excludes from the flushed log (`logSet_i - {M}`,
+        /// sub-cases (3b)/(2c)), this is `M`'s id. The checkpoint's
+        /// consistency cut then sits *before* `receive(M)` — the paper's
+        /// `CFE_{i,k} -hb-> receive(M)` ordering in Theorem 2 Case 2.
+        excluded: Option<ocpt_sim::MsgId>,
+    },
+    /// Send a control message to `dst`.
+    SendCtrl {
+        /// Destination process.
+        dst: ProcessId,
+        /// The control message.
+        cm: CtrlMsg,
+    },
+    /// Arm the convergence timer for checkpoint `csn`.
+    SetTimer {
+        /// The checkpoint the timer guards.
+        csn: Csn,
+    },
+    /// Cancel the convergence timer.
+    CancelTimer,
+}
+
+impl Action {
+    /// True for actions that touch stable storage (used by tests).
+    pub fn is_storage(&self) -> bool {
+        matches!(self, Action::Finalize { .. })
+    }
+}
+
+/// Convenience alias for the action buffer handlers append to.
+pub type Outbox = Vec<Action>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::CtrlKind;
+
+    #[test]
+    fn storage_classification() {
+        assert!(Action::Finalize { csn: 1, log: MessageLog::new(), excluded: None }.is_storage());
+        assert!(!Action::TakeTentative { csn: 1 }.is_storage());
+        assert!(!Action::SendCtrl {
+            dst: ProcessId(0),
+            cm: CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }
+        }
+        .is_storage());
+    }
+}

@@ -1,0 +1,643 @@
+//! The control-message extension (paper §3.5.1, Fig. 4) — the *generalized
+//! checkpointing algorithm*.
+//!
+//! The basic algorithm converges only if application traffic happens to
+//! spread status knowledge everywhere; otherwise a tentative checkpoint can
+//! sit unfinalized forever (the paper's *convergence problem*). The fix:
+//!
+//! 1. a timer armed at every tentative checkpoint; on expiry the process
+//!    sends `CK_BGN` to `P_0` (suppressed when a smaller-id process is
+//!    known to be tentative — §3.5.1 case 1);
+//! 2. `P_0` circulates a `CK_REQ` token that makes every process take the
+//!    tentative checkpoint, skipping processes already known tentative
+//!    (§3.5.1 case 2);
+//! 3. when the token returns, `P_0` broadcasts `CK_END`, upon which
+//!    everyone finalizes (paper Theorem 1: the generalized algorithm
+//!    converges).
+//!
+//! The timer is cancelled when the checkpoint finalizes or when any
+//! control message carrying the current sequence number arrives.
+
+use ocpt_sim::ProcessId;
+
+use crate::actions::{Action, Outbox};
+use crate::error::ProtocolError;
+use crate::protocol::OcptProcess;
+use crate::types::{Csn, Status};
+use crate::wire::{CtrlKind, CtrlMsg};
+
+impl OcptProcess {
+    /// The convergence timer for checkpoint `csn` fired (Fig. 4, "When the
+    /// timer for finalizing the tentative checkpoint on P_i expires").
+    pub fn on_timer(&mut self, csn: Csn, out: &mut Outbox) {
+        // Stale or already-resolved timers are ignored.
+        if self.status() != Status::Tentative || self.csn() != csn {
+            return;
+        }
+        self.timer_armed = false;
+        self.stats_mut().inc("timer.expired");
+        if self.id() == ProcessId::P0 {
+            // P_0 initiates CK_REQ messages directly.
+            self.forward_ck_req(out);
+        } else {
+            if self.config().optimize_ck_bgn {
+                // §3.5.1 case 1: if some P_j with j < i is known tentative,
+                // that process (or a smaller one) will notify P_0.
+                if let Some(min) = self.tent_set().min() {
+                    if min < self.id() {
+                        self.stats_mut().inc("ctrl.bgn_suppressed");
+                        self.maybe_rearm(out);
+                        return;
+                    }
+                }
+            }
+            self.stats_mut().inc("ctrl.bgn_sent");
+            out.push(Action::SendCtrl {
+                dst: ProcessId::P0,
+                cm: CtrlMsg { kind: CtrlKind::CkBgn, csn },
+            });
+        }
+        self.maybe_rearm(out);
+    }
+
+    fn maybe_rearm(&mut self, out: &mut Outbox) {
+        if self.config().rearm_timer && self.status() == Status::Tentative {
+            self.timer_armed = true;
+            self.stats_mut().inc("timer.set");
+            out.push(Action::SetTimer { csn: self.csn() });
+        }
+    }
+
+    /// `forwardCheckpointRequest(P_i, CM)` from Fig. 4.
+    ///
+    /// Chooses the next hop for the `CK_REQ` token:
+    /// * a process that has already finalized forwards straight to `P_0`
+    ///   (§3.5.1 case 2, "If it has finalized this checkpoint, it forwards
+    ///   the message to P_0 directly");
+    /// * with the skip optimization, the first `P_k` (`k > i`) *not* known
+    ///   tentative; if all higher ids are known tentative, `P_0`;
+    /// * without it, simply `P_{i+1}` (wrapping to `P_0`).
+    ///
+    /// If the chosen hop is `P_0` and we *are* `P_0`, the ring is complete:
+    /// broadcast `CK_END` and finalize.
+    pub(crate) fn forward_ck_req(&mut self, out: &mut Outbox) {
+        let csn = self.csn();
+        let dst = if self.status() == Status::Normal {
+            ProcessId::P0
+        } else if self.config().optimize_ck_req {
+            self.tent_set().first_absent_above(self.id()).unwrap_or(ProcessId::P0)
+        } else {
+            ProcessId((self.id().0 + 1) % self.n() as u16)
+        };
+        self.ck_req_sent_for = Some(csn);
+        if dst == ProcessId::P0 && self.id() == ProcessId::P0 {
+            // Ring closed at the coordinator without leaving it.
+            self.complete_ring(out);
+            return;
+        }
+        self.stats_mut().inc("ctrl.req_sent");
+        out.push(Action::SendCtrl { dst, cm: CtrlMsg { kind: CtrlKind::CkReq, csn } });
+    }
+
+    /// `P_0` learned that every process has taken the tentative checkpoint:
+    /// broadcast `CK_END` (once) and finalize its own checkpoint.
+    fn complete_ring(&mut self, out: &mut Outbox) {
+        debug_assert_eq!(self.id(), ProcessId::P0);
+        if self.ck_end_sent_for != Some(self.csn()) {
+            self.broadcast_ck_end(out);
+        }
+        if self.status() == Status::Tentative {
+            self.finalize(out);
+        }
+    }
+
+    /// Broadcast `CK_END(csn)` to every other process (Fig. 4).
+    pub(crate) fn broadcast_ck_end(&mut self, out: &mut Outbox) {
+        let csn = self.csn();
+        if self.ck_end_sent_for == Some(csn) {
+            return;
+        }
+        self.ck_end_sent_for = Some(csn);
+        let me = self.id();
+        for dst in ProcessId::all(self.n()).filter(|d| *d != me) {
+            out.push(Action::SendCtrl { dst, cm: CtrlMsg { kind: CtrlKind::CkEnd, csn } });
+        }
+        let fanout = self.n() as u64 - 1;
+        self.stats_mut().add("ctrl.end_sent", fanout);
+    }
+
+    /// A control message arrived (Fig. 4, "When P_i receives CM from P_j").
+    pub fn on_ctrl_receive(
+        &mut self,
+        src: ProcessId,
+        cm: CtrlMsg,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
+        let _ = src;
+        self.stats_mut().inc("ctrl.received");
+
+        // Timer cancellation rule: "the timer is canceled when … it
+        // receives a CM with sequence number equal to that of its current
+        // tentative checkpoint."
+        if self.status() == Status::Tentative && cm.csn == self.csn() && self.timer_armed {
+            self.timer_armed = false;
+            out.push(Action::CancelTimer);
+        }
+
+        if cm.csn == self.csn() + 1 {
+            if cm.kind == CtrlKind::CkEnd {
+                // P_0 can only finalize csn+1 after we took tentative csn+1.
+                return Err(ProtocolError::CkEndAhead {
+                    at: self.id(),
+                    ours: self.csn(),
+                    theirs: cm.csn,
+                });
+            }
+            // The sender is already at csn+1, so checkpoint csn is fully
+            // taken everywhere: finalize ours (if pending), join the new
+            // one, and keep the token moving. The timer for the new
+            // tentative checkpoint is not armed: this very message is a CM
+            // carrying its sequence number, which would cancel it on the
+            // spot (Fig. 4's cancellation rule).
+            if self.status() == Status::Tentative {
+                self.finalize(out);
+            }
+            self.take_tentative(out, false);
+            self.forward_ck_req(out);
+            return Ok(());
+        }
+
+        if cm.csn == self.csn() {
+            match cm.kind {
+                CtrlKind::CkBgn => {
+                    if self.status() == Status::Tentative {
+                        if self.ck_req_sent_for == Some(cm.csn) {
+                            return Ok(()); // dedupe (Fig. 4)
+                        }
+                        self.forward_ck_req(out);
+                    } else {
+                        // Already finalized: tell everyone (handles the
+                        // suppression starvation case).
+                        self.broadcast_ck_end(out);
+                    }
+                }
+                CtrlKind::CkReq => {
+                    if self.id() == ProcessId::P0 {
+                        self.complete_ring(out);
+                    } else if self.ck_req_sent_for != Some(cm.csn) {
+                        self.forward_ck_req(out);
+                    }
+                }
+                CtrlKind::CkEnd => {
+                    if self.status() == Status::Tentative {
+                        self.finalize(out);
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        if cm.csn < self.csn() {
+            // Stale control message from a past checkpoint — ignore.
+            self.stats_mut().inc("ctrl.stale_ignored");
+            return Ok(());
+        }
+
+        // cm.csn > csn + 1: impossible under reliable channels.
+        Err(ProtocolError::CtrlCsnJump { at: self.id(), ours: self.csn(), theirs: cm.csn })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OcptConfig;
+    use crate::log::MessageLog;
+    use crate::wire::AppPayload;
+    use ocpt_sim::MsgId;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn proc_with(i: u16, n: usize, cfg: OcptConfig) -> OcptProcess {
+        OcptProcess::new(p(i), n, cfg)
+    }
+
+    fn proc(i: u16, n: usize) -> OcptProcess {
+        proc_with(i, n, OcptConfig::default())
+    }
+
+    fn ctrl_sends(out: &Outbox) -> Vec<(ProcessId, CtrlMsg)> {
+        out.iter()
+            .filter_map(|a| match a {
+                Action::SendCtrl { dst, cm } => Some((*dst, *cm)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tentative_checkpoint_arms_timer() {
+        let mut q = proc(1, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        assert!(out.contains(&Action::SetTimer { csn: 1 }));
+    }
+
+    #[test]
+    fn timer_expiry_sends_ck_bgn_to_p0() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]
+        );
+    }
+
+    #[test]
+    fn stale_timer_ignored() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(0, &mut out); // old csn
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ck_bgn_suppressed_when_smaller_id_known() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        // Learn that P1 is tentative via an app message.
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(4, p(1)),
+        };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert!(ctrl_sends(&out).is_empty(), "CK_BGN must be suppressed");
+        assert_eq!(q.stats().get("ctrl.bgn_suppressed"), 1);
+    }
+
+    #[test]
+    fn naive_mode_never_suppresses() {
+        let mut q = proc_with(2, 4, OcptConfig::naive_control());
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(4, p(1)),
+        };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert_eq!(ctrl_sends(&out).len(), 1);
+    }
+
+    #[test]
+    fn p0_timer_starts_req_ring() {
+        let mut q = proc(0, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(1, &mut out);
+        // P0 knows only itself tentative → token goes to P1.
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+    }
+
+    #[test]
+    fn req_skip_optimization_skips_known_tentatives() {
+        let mut q = proc(0, 5);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        // P0 learns P1 and P2 are tentative.
+        let mut ts = crate::types::TentSet::singleton(5, p(1));
+        ts.insert(p(2));
+        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        out.clear();
+        q.on_timer(1, &mut out);
+        // Token skips P1, P2 and lands on P3.
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+    }
+
+    #[test]
+    fn naive_req_walks_the_full_ring() {
+        let mut q = proc_with(0, 5, OcptConfig::naive_control());
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let mut ts = crate::types::TentSet::singleton(5, p(1));
+        ts.insert(p(2));
+        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+    }
+
+    #[test]
+    fn ck_req_one_ahead_takes_checkpoint_and_forwards() {
+        // P2 is normal at csn 0; CK_REQ(1) arrives.
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(q.csn(), 1);
+        assert_eq!(q.status(), Status::Tentative);
+        // Forwards to P3 (knows only itself).
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+        // No timer armed: this CM would cancel it immediately.
+        assert!(!out.contains(&Action::SetTimer { csn: 1 }));
+    }
+
+    #[test]
+    fn ck_req_one_ahead_finalizes_pending_first() {
+        // P2 tentative at csn 1; CK_REQ(2) arrives → finalize 1, take 2.
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 2 }, &mut out)
+            .unwrap();
+        assert_eq!(q.csn(), 2);
+        assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
+        assert!(out.iter().any(|a| matches!(a, Action::TakeTentative { csn: 2 })));
+    }
+
+    #[test]
+    fn last_process_returns_token_to_p0() {
+        let mut q = proc(3, 4);
+        let mut out = Outbox::new();
+        q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+    }
+
+    #[test]
+    fn p0_on_token_return_broadcasts_end_and_finalizes() {
+        let mut q = proc(0, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        let sends = ctrl_sends(&out);
+        let ends: Vec<_> = sends.iter().filter(|(_, cm)| cm.kind == CtrlKind::CkEnd).collect();
+        assert_eq!(ends.len(), 3); // P1, P2, P3
+        assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
+        assert_eq!(q.status(), Status::Normal);
+        // A second token return must not re-broadcast.
+        out.clear();
+        q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert!(ctrl_sends(&out).is_empty());
+    }
+
+    #[test]
+    fn ck_end_finalizes_tentative() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(q.status(), Status::Normal);
+        assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
+        // Duplicate CK_END is harmless.
+        out.clear();
+        q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ctrl_with_current_csn_cancels_timer() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert!(out.contains(&Action::CancelTimer));
+    }
+
+    #[test]
+    fn ck_bgn_at_finalized_p0_rebroadcasts_end() {
+        // P0 finalized csn 1 (normal). A late CK_BGN(1) arrives: P0 must
+        // answer with CK_END so the sender can finalize (§3.5.1 case 1 fix).
+        let mut q = proc_with(0, 3, OcptConfig::naive_control());
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        // Learn everyone took it → finalize.
+        let mut ts = crate::types::TentSet::singleton(3, p(1));
+        ts.insert(p(2));
+        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        assert_eq!(q.status(), Status::Normal);
+        out.clear();
+        q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .unwrap();
+        let ends = ctrl_sends(&out);
+        assert_eq!(ends.len(), 2);
+        assert!(ends.iter().all(|(_, cm)| cm.kind == CtrlKind::CkEnd));
+    }
+
+    #[test]
+    fn duplicate_ck_bgn_deduped_by_req_guard() {
+        let mut q = proc(0, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(ctrl_sends(&out).len(), 1);
+        out.clear();
+        q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .unwrap();
+        assert!(ctrl_sends(&out).is_empty(), "second CK_BGN must not fork the ring");
+    }
+
+    #[test]
+    fn p0_finalize_broadcasts_ck_end_by_default() {
+        // Default config: p0_broadcast_on_finalize = true. P0 finalizing
+        // via app traffic still broadcasts CK_END.
+        let mut q = proc(0, 2);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(2, p(1)),
+        };
+        out.clear();
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .unwrap();
+        assert_eq!(q.status(), Status::Normal);
+        let sends = ctrl_sends(&out);
+        assert_eq!(sends, vec![(p(1), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 })]);
+    }
+
+    #[test]
+    fn stale_ctrl_ignored_and_jump_is_error() {
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out); // csn 1
+        out.clear();
+        q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 0 }, &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        let e = q
+            .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 5 }, &mut out)
+            .unwrap_err();
+        assert!(matches!(e, ProtocolError::CtrlCsnJump { .. }));
+        let e = q
+            .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 2 }, &mut out)
+            .unwrap_err();
+        assert!(matches!(e, ProtocolError::CkEndAhead { .. }));
+    }
+
+    /// Full replay of paper Figure 5: P1 initiates, traffic is too sparse,
+    /// control messages converge the checkpoint.
+    #[test]
+    fn fig5_walkthrough() {
+        let n = 4;
+        let mut procs: Vec<OcptProcess> = (0..4).map(|i| proc(i as u16, n)).collect();
+        let mut out = Outbox::new();
+        let pl = AppPayload { id: 0, len: 0 };
+
+        // P1 takes CT_{1,1} and sends M2 to P2.
+        procs[1].initiate_checkpoint(&mut out);
+        out.clear();
+        let pb = procs[1].on_app_send(p(2), MsgId(2), pl);
+        procs[2].on_app_receive(p(1), MsgId(2), pl, &pb, &mut out).unwrap();
+        assert_eq!(procs[2].status(), Status::Tentative);
+        out.clear();
+
+        // P2 replies (M3), which is how P1 learns P2 has taken CT_{2,1} —
+        // the knowledge the paper's narrative relies on when P1 later
+        // skips P2 in the CK_REQ ring.
+        let pb = procs[2].on_app_send(p(1), MsgId(3), pl);
+        procs[1].on_app_receive(p(2), MsgId(3), pl, &pb, &mut out).unwrap();
+        assert_eq!(procs[1].tent_set().len(), 2); // {P1, P2}
+        out.clear();
+
+        // P2's timer would fire but is suppressed (knows P1 < P2).
+        procs[2].on_timer(1, &mut out);
+        assert!(ctrl_sends(&out).is_empty());
+        out.clear();
+
+        // P1's timer fires → CK_BGN to P0.
+        procs[1].on_timer(1, &mut out);
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]
+        );
+        out.clear();
+
+        // P0 receives CK_BGN(1): one ahead → takes CT_{0,1}, forwards
+        // CK_REQ to P1 (it knows only itself).
+        procs[0]
+            .on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(procs[0].status(), Status::Tentative);
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+        out.clear();
+
+        // P1 receives CK_REQ(1): knows P2 is tentative → skips to P3.
+        procs[1]
+            .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+        out.clear();
+
+        // P3 receives CK_REQ(1): one ahead → takes CT_{3,1}, returns token
+        // to P0.
+        procs[3]
+            .on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(procs[3].status(), Status::Tentative);
+        assert_eq!(
+            ctrl_sends(&out),
+            vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
+        );
+        out.clear();
+
+        // P0 gets the token back: finalizes C_{0,1} and broadcasts CK_END.
+        procs[0]
+            .on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .unwrap();
+        assert_eq!(procs[0].status(), Status::Normal);
+        let ends = ctrl_sends(&out);
+        assert_eq!(ends.iter().filter(|(_, cm)| cm.kind == CtrlKind::CkEnd).count(), 3);
+        out.clear();
+
+        // CK_END reaches P1, P2, P3 → all finalize checkpoint 1.
+        for i in [1usize, 2, 3] {
+            procs[i]
+                .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
+                .unwrap();
+            assert_eq!(procs[i].status(), Status::Normal, "P{i} finalized");
+            assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
+            out.clear();
+        }
+        for q in &procs {
+            assert_eq!(q.csn(), 1);
+            assert_eq!(q.stats().get("ckpt.finalized"), 1);
+        }
+    }
+
+    #[test]
+    fn finalize_log_excludes_nothing_on_ctrl_path() {
+        // Messages logged before CK_END must all be flushed.
+        let mut q = proc(2, 4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        q.on_app_send(p(3), MsgId(10), AppPayload { id: 1, len: 8 });
+        out.clear();
+        q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
+            .unwrap();
+        let log = out
+            .iter()
+            .find_map(|a| match a {
+                Action::Finalize { log, .. } => Some(log.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(log.len(), 1);
+        assert_ne!(log, MessageLog::new());
+    }
+}

@@ -1,0 +1,102 @@
+//! Protocol errors.
+//!
+//! The paper's case analysis (§3.4.3) contains sub-cases it proves cannot
+//! arise — (2d), (3c), (4c) and their control-message analogues. We do not
+//! silently ignore them: reaching one means either the proof's assumptions
+//! were violated (lossy channel, corrupted state) or the implementation is
+//! wrong, so the state machine surfaces a typed error and the property
+//! tests assert these are never produced under the system model.
+
+use ocpt_sim::ProcessId;
+
+use crate::types::Csn;
+
+/// An impossible-by-Theorem situation was observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Application message whose piggybacked `csn` is ahead by more than
+    /// one (paper sub-cases (2d)/(4c)): the sender could only have
+    /// finalized `csn_i + 1` after *we* took a tentative checkpoint with
+    /// that number.
+    AppCsnJump {
+        /// Receiving process.
+        at: ProcessId,
+        /// Our sequence number.
+        ours: Csn,
+        /// The piggybacked sequence number.
+        theirs: Csn,
+        /// Which paper sub-case this violates.
+        subcase: &'static str,
+    },
+    /// Application message from a `Normal`-status sender with `csn` ahead
+    /// of ours (paper sub-case (3c) and the (1)-analogue): a process cannot
+    /// finalize `csn` before we even take `csn`.
+    FinalizedAhead {
+        /// Receiving process.
+        at: ProcessId,
+        /// Our sequence number.
+        ours: Csn,
+        /// The piggybacked sequence number.
+        theirs: Csn,
+    },
+    /// Control message more than one sequence number ahead.
+    CtrlCsnJump {
+        /// Receiving process.
+        at: ProcessId,
+        /// Our sequence number.
+        ours: Csn,
+        /// The control message's sequence number.
+        theirs: Csn,
+    },
+    /// `CK_END` one ahead of us: `P_0` can only have finalized `csn + 1`
+    /// after we took a tentative checkpoint `csn + 1`.
+    CkEndAhead {
+        /// Receiving process.
+        at: ProcessId,
+        /// Our sequence number.
+        ours: Csn,
+        /// The control message's sequence number.
+        theirs: Csn,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::AppCsnJump { at, ours, theirs, subcase } => write!(
+                f,
+                "{at}: app message csn {theirs} jumps ahead of local csn {ours} (paper sub-case {subcase})"
+            ),
+            ProtocolError::FinalizedAhead { at, ours, theirs } => write!(
+                f,
+                "{at}: sender claims finalized csn {theirs} ahead of local csn {ours} (paper sub-case 3c)"
+            ),
+            ProtocolError::CtrlCsnJump { at, ours, theirs } => {
+                write!(f, "{at}: control message csn {theirs} jumps ahead of local csn {ours}")
+            }
+            ProtocolError::CkEndAhead { at, ours, theirs } => {
+                write!(f, "{at}: CK_END csn {theirs} ahead of local csn {ours}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subcase() {
+        let e = ProtocolError::AppCsnJump { at: ProcessId(1), ours: 2, theirs: 5, subcase: "2d" };
+        let s = e.to_string();
+        assert!(s.contains("2d") && s.contains("P1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = ProtocolError::CtrlCsnJump { at: ProcessId(0), ours: 1, theirs: 3 };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,56 @@
+//! The information piggy-backed on every application message (paper §3.4.2).
+//!
+//! Each process attaches its current `csn`, `stat` and `tentSet` to every
+//! application message it sends. This is the *only* overhead the basic
+//! algorithm imposes on the computation — experiment E6 measures it.
+
+use crate::types::{Csn, Status, TentSet};
+
+/// Piggybacked checkpointing state: `(M.csn, M.stat, M.tentSet)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Piggyback {
+    /// Sender's checkpoint sequence number at send time.
+    pub csn: Csn,
+    /// Sender's status at send time.
+    pub stat: Status,
+    /// Sender's tentative process set at send time.
+    pub tent_set: TentSet,
+}
+
+impl Piggyback {
+    /// Bytes this piggyback occupies on the wire:
+    /// 8 (csn) + 1 (stat) + ⌈N/8⌉ (tentSet bitmap).
+    pub fn wire_bytes(&self) -> usize {
+        8 + 1 + self.tent_set.wire_bytes()
+    }
+
+    /// Wire size for a system of `n` processes without constructing one.
+    pub fn wire_bytes_for(n: usize) -> usize {
+        8 + 1 + n.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocpt_sim::ProcessId;
+
+    #[test]
+    fn wire_bytes_matches_static_formula() {
+        for n in [2usize, 8, 9, 64, 65, 256] {
+            let pb = Piggyback {
+                csn: 7,
+                stat: Status::Tentative,
+                tent_set: TentSet::singleton(n, ProcessId(0)),
+            };
+            assert_eq!(pb.wire_bytes(), Piggyback::wire_bytes_for(n));
+        }
+    }
+
+    #[test]
+    fn grows_with_n() {
+        assert!(Piggyback::wire_bytes_for(256) > Piggyback::wire_bytes_for(4));
+        assert_eq!(Piggyback::wire_bytes_for(4), 10);
+        assert_eq!(Piggyback::wire_bytes_for(256), 8 + 1 + 32);
+    }
+}

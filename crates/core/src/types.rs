@@ -1,0 +1,273 @@
+//! Core protocol types: sequence numbers, process status and the tentative
+//! process set (paper §3.3).
+
+use std::fmt;
+
+use ocpt_sim::ProcessId;
+
+/// Checkpoint sequence number (the paper's `csn`). The initial checkpoint
+/// of every process has sequence number 0.
+pub type Csn = u64;
+
+/// Status of a process (paper §3.3, `stat_i`).
+///
+/// * `Normal` — no outstanding tentative checkpoint.
+/// * `Tentative` — a tentative checkpoint has been taken and not yet
+///   finalized; all messages sent and received are being logged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// No outstanding tentative checkpoint.
+    Normal,
+    /// Holding an unfinalized tentative checkpoint; logging messages.
+    Tentative,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Normal => write!(f, "normal"),
+            Status::Tentative => write!(f, "tentative"),
+        }
+    }
+}
+
+/// The tentative process set `tentSet_i`: which processes are known (to the
+/// holder) to have taken a tentative checkpoint with the current sequence
+/// number.
+///
+/// Represented as a bitset so the piggyback cost is `⌈N/8⌉` bytes — this is
+/// exactly what experiment E6 measures. Union (`merge`) is the only
+/// combining operation the algorithm needs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TentSet {
+    n: u16,
+    bits: Vec<u64>,
+}
+
+impl TentSet {
+    /// The empty set over `n` processes.
+    pub fn empty(n: usize) -> Self {
+        assert!(n >= 1 && n <= u16::MAX as usize, "bad process count");
+        TentSet { n: n as u16, bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// The singleton `{pid}` over `n` processes.
+    pub fn singleton(n: usize, pid: ProcessId) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(pid);
+        s
+    }
+
+    /// Number of processes in the system (the universe size, not the
+    /// cardinality).
+    pub fn universe(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Insert a process.
+    pub fn insert(&mut self, pid: ProcessId) {
+        assert!(pid.0 < self.n, "pid out of range");
+        self.bits[pid.index() / 64] |= 1u64 << (pid.index() % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pid: ProcessId) -> bool {
+        pid.0 < self.n && self.bits[pid.index() / 64] & (1u64 << (pid.index() % 64)) != 0
+    }
+
+    /// In-place union (`tentSet_i = tentSet_i ∪ M.tentSet`).
+    pub fn merge(&mut self, other: &TentSet) {
+        assert_eq!(self.n, other.n, "tentSet universe mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no process is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The paper's `tentSet_i == allPSet` test: every process has taken a
+    /// tentative checkpoint with this sequence number.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.n as usize
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).map(ProcessId).filter(move |p| self.contains(*p))
+    }
+
+    /// The smallest member, if any. Used by the CK_BGN suppression rule
+    /// (§3.5.1 case 1).
+    pub fn min(&self) -> Option<ProcessId> {
+        self.iter().next()
+    }
+
+    /// The first process with id `> from` that is **not** in the set, if
+    /// any. Used by the CK_REQ forwarding rule (§3.5.1 case 2).
+    pub fn first_absent_above(&self, from: ProcessId) -> Option<ProcessId> {
+        ((from.0 + 1)..self.n).map(ProcessId).find(|p| !self.contains(*p))
+    }
+
+    /// Encoded size on the wire: `⌈N/8⌉` bytes.
+    pub fn wire_bytes(&self) -> usize {
+        (self.n as usize).div_ceil(8)
+    }
+
+    /// Serialize into a byte vector (little-endian bitmap, `wire_bytes` long).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.wire_bytes()];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let word = self.bits[i / 8];
+            *byte = ((word >> ((i % 8) * 8)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Deserialize from `to_bytes` output.
+    pub fn from_bytes(n: usize, data: &[u8]) -> Option<Self> {
+        let mut s = Self::empty(n);
+        if data.len() != s.wire_bytes() {
+            return None;
+        }
+        for (i, &byte) in data.iter().enumerate() {
+            s.bits[i / 8] |= (byte as u64) << ((i % 8) * 8);
+        }
+        // Reject set bits beyond the universe.
+        if s.iter().count() != s.len() {
+            return None;
+        }
+        Some(s)
+    }
+}
+
+impl fmt::Debug for TentSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = TentSet::empty(5);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let s = TentSet::singleton(5, p(3));
+        assert!(s.contains(p(3)));
+        assert!(!s.contains(p(2)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = TentSet::singleton(4, p(0));
+        let b = TentSet::singleton(4, p(2));
+        a.merge(&b);
+        assert!(a.contains(p(0)) && a.contains(p(2)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut s = TentSet::empty(3);
+        for i in 0..3 {
+            assert!(!s.is_full());
+            s.insert(p(i));
+        }
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn min_and_first_absent() {
+        let mut s = TentSet::empty(6);
+        s.insert(p(1));
+        s.insert(p(2));
+        s.insert(p(4));
+        assert_eq!(s.min(), Some(p(1)));
+        assert_eq!(s.first_absent_above(p(1)), Some(p(3)));
+        assert_eq!(s.first_absent_above(p(3)), Some(p(5)));
+        assert_eq!(s.first_absent_above(p(5)), None);
+        // All above present → None.
+        s.insert(p(3));
+        s.insert(p(5));
+        assert_eq!(s.first_absent_above(p(0)), None);
+    }
+
+    #[test]
+    fn wire_size_scales_with_n() {
+        assert_eq!(TentSet::empty(4).wire_bytes(), 1);
+        assert_eq!(TentSet::empty(8).wire_bytes(), 1);
+        assert_eq!(TentSet::empty(9).wire_bytes(), 2);
+        assert_eq!(TentSet::empty(256).wire_bytes(), 32);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut s = TentSet::empty(77);
+        for i in [0u16, 5, 63, 64, 76] {
+            s.insert(p(i));
+        }
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), s.wire_bytes());
+        let d = TentSet::from_bytes(77, &bytes).unwrap();
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_input() {
+        assert!(TentSet::from_bytes(9, &[0xFF]).is_none()); // wrong length
+        // Bit 7 set for a universe of 7 → out-of-range bit.
+        assert!(TentSet::from_bytes(7, &[0x80]).is_none());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = TentSet::empty(100);
+        s.insert(p(70));
+        s.insert(p(3));
+        s.insert(p(64));
+        let v: Vec<u16> = s.iter().map(|q| q.0).collect();
+        assert_eq!(v, vec![3, 64, 70]);
+    }
+
+    #[test]
+    fn large_universe() {
+        let mut s = TentSet::empty(1000);
+        for i in 0..1000 {
+            s.insert(p(i));
+        }
+        assert!(s.is_full());
+        assert_eq!(s.wire_bytes(), 125);
+    }
+
+    #[test]
+    #[should_panic]
+    fn universe_mismatch_panics() {
+        let mut a = TentSet::empty(3);
+        let b = TentSet::empty(4);
+        a.merge(&b);
+    }
+}

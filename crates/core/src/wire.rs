@@ -1,0 +1,306 @@
+//! Wire format for application envelopes and control messages.
+//!
+//! The simulator could pass Rust values around directly, but the threaded
+//! runtime (`ocpt-runtime`) moves real bytes between OS threads, and the
+//! piggyback-overhead experiment needs byte-exact accounting — so envelopes
+//! get a real, versioned codec. Application payloads are *simulated*: the
+//! computation's semantics don't matter to the checkpointing algorithm, so
+//! a payload is `(id, len)` and `len` filler bytes on the wire.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ocpt_sim::ProcessId;
+
+use crate::piggyback::Piggyback;
+use crate::types::{Csn, Status, TentSet};
+
+/// A simulated application payload: an identity plus a declared size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AppPayload {
+    /// Workload-assigned identity (stable across checkpoint/replay).
+    pub id: u64,
+    /// Payload size in bytes (filler on the wire).
+    pub len: u32,
+}
+
+/// Control message kinds (paper §3.5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// "Checkpoint begin": a timed-out process notifies `P_0`.
+    CkBgn,
+    /// "Checkpoint request": the token `P_0` circulates to make every
+    /// process take a tentative checkpoint.
+    CkReq,
+    /// "Checkpoint end": `P_0`'s broadcast that finalization may proceed.
+    CkEnd,
+}
+
+impl CtrlKind {
+    /// Stable name for counters and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlKind::CkBgn => "CK_BGN",
+            CtrlKind::CkReq => "CK_REQ",
+            CtrlKind::CkEnd => "CK_END",
+        }
+    }
+}
+
+/// A control message `CM(type, csn)` (paper Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CtrlMsg {
+    /// The kind.
+    pub kind: CtrlKind,
+    /// The sender's current checkpoint sequence number.
+    pub csn: Csn,
+}
+
+/// Everything that can travel on a channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    /// An application message with its piggyback.
+    App {
+        /// Piggybacked checkpointing state.
+        pb: Piggyback,
+        /// The (simulated) payload.
+        payload: AppPayload,
+    },
+    /// A control message.
+    Ctrl(CtrlMsg),
+}
+
+impl Envelope {
+    /// Total bytes of this envelope on the wire (headers included), for a
+    /// system of `n` processes.
+    pub fn wire_bytes(&self, _n: usize) -> u64 {
+        match self {
+            Envelope::App { pb, payload } => {
+                (ENV_HEADER_BYTES + pb.wire_bytes() + APP_FIXED_BYTES) as u64 + payload.len as u64
+            }
+            Envelope::Ctrl(_) => (ENV_HEADER_BYTES + CTRL_FIXED_BYTES) as u64,
+        }
+    }
+}
+
+/// Envelope header: version(1) + discriminant(1) + n(2).
+pub const ENV_HEADER_BYTES: usize = 4;
+/// App fixed fields: payload id(8) + payload len(4).
+pub const APP_FIXED_BYTES: usize = 12;
+/// Ctrl fixed fields: kind(1) + csn(8).
+pub const CTRL_FIXED_BYTES: usize = 9;
+/// Wire format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors from decoding an envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the declared structure.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown discriminant or enum value.
+    BadTag(u8),
+    /// Malformed tentative set bitmap.
+    BadTentSet,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "envelope truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "bad tag {t}"),
+            WireError::BadTentSet => write!(f, "malformed tentSet bitmap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode an envelope. `payload.len` filler bytes are materialised for app
+/// messages so the encoding length equals [`Envelope::wire_bytes`].
+pub fn encode_envelope(env: &Envelope, n: usize) -> Bytes {
+    let mut b = BytesMut::with_capacity(env.wire_bytes(n) as usize);
+    b.put_u8(WIRE_VERSION);
+    match env {
+        Envelope::App { pb, payload } => {
+            b.put_u8(0);
+            b.put_u16(n as u16);
+            b.put_u64(pb.csn);
+            b.put_u8(match pb.stat {
+                Status::Normal => 0,
+                Status::Tentative => 1,
+            });
+            b.extend_from_slice(&pb.tent_set.to_bytes());
+            b.put_u64(payload.id);
+            b.put_u32(payload.len);
+            b.extend(std::iter::repeat_n(0u8, payload.len as usize));
+        }
+        Envelope::Ctrl(cm) => {
+            b.put_u8(1);
+            b.put_u16(n as u16);
+            b.put_u8(match cm.kind {
+                CtrlKind::CkBgn => 0,
+                CtrlKind::CkReq => 1,
+                CtrlKind::CkEnd => 2,
+            });
+            b.put_u64(cm.csn);
+        }
+    }
+    b.freeze()
+}
+
+/// Decode an envelope previously produced by [`encode_envelope`].
+pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
+    if buf.len() < ENV_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let disc = buf.get_u8();
+    let n = buf.get_u16() as usize;
+    match disc {
+        0 => {
+            if buf.len() < 9 {
+                return Err(WireError::Truncated);
+            }
+            let csn: Csn = buf.get_u64();
+            let stat = match buf.get_u8() {
+                0 => Status::Normal,
+                1 => Status::Tentative,
+                t => return Err(WireError::BadTag(t)),
+            };
+            let ts_len = n.div_ceil(8);
+            if buf.len() < ts_len + APP_FIXED_BYTES {
+                return Err(WireError::Truncated);
+            }
+            let ts_bytes = buf.split_to(ts_len);
+            let tent_set = TentSet::from_bytes(n, &ts_bytes).ok_or(WireError::BadTentSet)?;
+            let id = buf.get_u64();
+            let len = buf.get_u32();
+            if buf.len() < len as usize {
+                return Err(WireError::Truncated);
+            }
+            Ok((
+                Envelope::App {
+                    pb: Piggyback { csn, stat, tent_set },
+                    payload: AppPayload { id, len },
+                },
+                n,
+            ))
+        }
+        1 => {
+            if buf.len() < CTRL_FIXED_BYTES {
+                return Err(WireError::Truncated);
+            }
+            let kind = match buf.get_u8() {
+                0 => CtrlKind::CkBgn,
+                1 => CtrlKind::CkReq,
+                2 => CtrlKind::CkEnd,
+                t => return Err(WireError::BadTag(t)),
+            };
+            let csn = buf.get_u64();
+            Ok((Envelope::Ctrl(CtrlMsg { kind, csn }), n))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Convenience: the sending process of an envelope isn't part of the
+/// envelope itself; transports carry `(src, dst, Envelope)`. This struct is
+/// the framed triple used by the threaded runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Framed {
+    /// Sender.
+    pub src: ProcessId,
+    /// Receiver.
+    pub dst: ProcessId,
+    /// Content.
+    pub env: Envelope,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_app(n: usize) -> Envelope {
+        let mut ts = TentSet::singleton(n, ProcessId(1));
+        ts.insert(ProcessId(0));
+        Envelope::App {
+            pb: Piggyback { csn: 9, stat: Status::Tentative, tent_set: ts },
+            payload: AppPayload { id: 1234, len: 100 },
+        }
+    }
+
+    #[test]
+    fn app_round_trip() {
+        let env = sample_app(5);
+        let enc = encode_envelope(&env, 5);
+        assert_eq!(enc.len() as u64, env.wire_bytes(5));
+        let (dec, n) = decode_envelope(enc).unwrap();
+        assert_eq!(dec, env);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn ctrl_round_trip() {
+        for kind in [CtrlKind::CkBgn, CtrlKind::CkReq, CtrlKind::CkEnd] {
+            let env = Envelope::Ctrl(CtrlMsg { kind, csn: 3 });
+            let enc = encode_envelope(&env, 8);
+            assert_eq!(enc.len() as u64, env.wire_bytes(8));
+            let (dec, _) = decode_envelope(enc).unwrap();
+            assert_eq!(dec, env);
+        }
+    }
+
+    #[test]
+    fn ctrl_is_small_and_constant() {
+        let env = Envelope::Ctrl(CtrlMsg { kind: CtrlKind::CkBgn, csn: u64::MAX });
+        assert_eq!(env.wire_bytes(2), env.wire_bytes(256));
+        assert_eq!(env.wire_bytes(2), (ENV_HEADER_BYTES + CTRL_FIXED_BYTES) as u64);
+    }
+
+    #[test]
+    fn app_overhead_grows_with_n() {
+        let e4 = sample_app(4);
+        let e256 = {
+            let ts = TentSet::singleton(256, ProcessId(1));
+            Envelope::App {
+                pb: Piggyback { csn: 9, stat: Status::Tentative, tent_set: ts },
+                payload: AppPayload { id: 1234, len: 100 },
+            }
+        };
+        assert!(e256.wire_bytes(256) > e4.wire_bytes(4));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let enc = encode_envelope(&sample_app(5), 5);
+        for cut in [0, 3, 5, 12, enc.len() - 1] {
+            let r = decode_envelope(enc.slice(0..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag() {
+        let enc = encode_envelope(&sample_app(5), 5);
+        let mut raw = BytesMut::from(&enc[..]);
+        raw[0] = 99;
+        assert!(matches!(decode_envelope(raw.clone().freeze()), Err(WireError::BadVersion(99))));
+        raw[0] = WIRE_VERSION;
+        raw[1] = 7; // bad discriminant
+        assert!(matches!(decode_envelope(raw.freeze()), Err(WireError::BadTag(7))));
+    }
+
+    #[test]
+    fn zero_len_payload() {
+        let env = Envelope::App {
+            pb: Piggyback { csn: 0, stat: Status::Normal, tent_set: TentSet::empty(2) },
+            payload: AppPayload { id: 0, len: 0 },
+        };
+        let (dec, _) = decode_envelope(encode_envelope(&env, 2)).unwrap();
+        assert_eq!(dec, env);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ocpt-harness — drive any checkpointing protocol over the simulator
+//!
+//! The glue between the sans-io protocol crates (`ocpt-core`,
+//! `ocpt-baselines`) and the substrates (`ocpt-sim`, `ocpt-storage`,
+//! `ocpt-causality`):
+//!
+//! * [`workload`] — synthetic application traffic (topology × pattern ×
+//!   timing × payload);
+//! * [`runner`] — the deterministic driver: one [`runner::Runner`] per
+//!   (algorithm, workload, seed), producing a [`runner::RunResult`] with
+//!   every metric the experiments report;
+//! * [`algo`] — algorithm selection and checked dispatch;
+//! * [`analysis`] — offline recovery analysis: coordinated rollback,
+//!   domino-effect fixpoint, restored-state verification;
+//! * [`experiments`] — one function per reconstructed experiment
+//!   (E1–E8, A1–A3 in `DESIGN.md`), each returning the table its `exp_*`
+//!   binary prints.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod analysis;
+pub mod experiments;
+pub mod runner;
+pub mod workload;
+
+pub use algo::{run, run_checked, Algo};
+pub use analysis::{coordinated_rollback, domino_rollback, verify_restored_states, RollbackReport};
+pub use runner::{RunConfig, RunResult, Runner, StorageReport};
+pub use workload::{Pattern, PayloadSpec, Timing, WorkloadSpec, WorkloadState};

@@ -1,0 +1,933 @@
+//! The simulation driver: runs any [`CheckpointProtocol`] over the
+//! deterministic DES kernel, the stable-storage model and a workload,
+//! collecting every metric the experiments report.
+//!
+//! One `Runner` = one run = one (algorithm, workload, seed) triple. The
+//! driver owns everything the protocol must not see: the virtual clock,
+//! the network, application state, the storage server and the omniscient
+//! consistency observer.
+
+use std::collections::HashMap;
+
+use ocpt_baselines::api::{wire_cost, CheckpointProtocol, ProtoAction};
+use ocpt_causality::GlobalObserver;
+use ocpt_core::AppSnapshot;
+use ocpt_metrics::{Counters, Summary};
+use ocpt_sim::{
+    Event, FaultPlan, MsgId, Network, ProcessId, Scheduler, SimConfig, SimDuration, SimRng,
+    SimTime, StorageReqId, TimerId, Trace, TraceKind,
+};
+use ocpt_storage::{CheckpointStore, StorageConfig, StorageServer, StoredCheckpoint};
+
+use crate::workload::{WorkloadSpec, WorkloadState};
+
+/// Tick discriminators.
+const TICK_SEND: u64 = 1;
+const TICK_CKPT: u64 = 2;
+
+/// Simulated memory bandwidth for state capture (bytes/sec); used to charge
+/// the latency of taking a snapshot (and of CIC's forced checkpoints before
+/// message processing).
+const CAPTURE_BW_BPS: f64 = 4.0e9;
+
+/// Configuration of one run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// System size, seed, delays, FIFO-ness, horizon.
+    pub sim: SimConfig,
+    /// Application traffic.
+    pub workload: WorkloadSpec,
+    /// Period of driver-triggered checkpoint initiations;
+    /// `SimDuration::MAX` disables checkpointing entirely.
+    pub checkpoint_interval: SimDuration,
+    /// Offset each process's initiation phase by `i/n` of the interval
+    /// (used for uncoordinated checkpointing; coordinated algorithms
+    /// ignore non-coordinator ticks anyway).
+    pub stagger_initiation: bool,
+    /// Stable-storage server parameters.
+    pub storage: StorageConfig,
+    /// Declared size of a process state image.
+    pub state_bytes: u64,
+    /// Workload generation stops at this virtual time; the run then
+    /// quiesces (protocol timers and control traffic may continue).
+    pub workload_duration: SimDuration,
+    /// Injected failures.
+    pub faults: FaultPlan,
+    /// Stop the run at the first crash (recovery analysed offline).
+    pub stop_on_crash: bool,
+    /// Garbage-collect durable checkpoints older than the recovery line
+    /// (the paper: "all checkpoints taken before the latest committed
+    /// global checkpoint can be deleted to save space"). Off by default so
+    /// post-run analysis can inspect the full history.
+    pub gc_old_checkpoints: bool,
+    /// Record a trace (event-by-event; for tests and examples).
+    pub trace: bool,
+    /// Feed the consistency observer (costs memory proportional to the
+    /// message count; on for tests, off for the largest benches).
+    pub observe: bool,
+}
+
+impl RunConfig {
+    /// A reasonable default run: given size and seed, uniform-mesh
+    /// workload, 1 s checkpoint interval, 5 s of workload.
+    pub fn new(n: usize, seed: u64) -> Self {
+        RunConfig {
+            sim: SimConfig::new(n, seed).with_horizon(SimDuration::from_secs(60)),
+            workload: WorkloadSpec::uniform_mesh(SimDuration::from_millis(5)),
+            checkpoint_interval: SimDuration::from_secs(1),
+            // Decentralized algorithms have no synchronized clocks, so the
+            // realistic default offsets each process's initiation phase by
+            // i/n of the interval. Coordinator-based algorithms only act on
+            // the coordinator's tick (phase 0), so this is harmless there.
+            stagger_initiation: true,
+            storage: StorageConfig::default_nfs(),
+            state_bytes: 4 * 1024 * 1024,
+            workload_duration: SimDuration::from_secs(5),
+            faults: FaultPlan::none(),
+            stop_on_crash: true,
+            gc_old_checkpoints: false,
+            trace: false,
+            observe: true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WriteKind {
+    State,
+    Extra,
+}
+
+#[derive(Debug)]
+struct PendingWrite {
+    pid: ProcessId,
+    seq: u64,
+    kind: WriteKind,
+    blob: bytes::Bytes,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct CkptProgress {
+    snapshot: Option<AppSnapshot>,
+    state_issued: bool,
+    state_durable: bool,
+    extra_issued: bool,
+    extra_durable: bool,
+    completed: bool,
+    durable_recorded: bool,
+    storage_done_notified: bool,
+    state_blob: Option<bytes::Bytes>,
+    log_blob: Option<bytes::Bytes>,
+}
+
+impl CkptProgress {
+    fn writes_durable(&self) -> bool {
+        (!self.state_issued || self.state_durable) && (!self.extra_issued || self.extra_durable)
+    }
+    fn fully_durable(&self) -> bool {
+        self.completed && self.state_issued && self.writes_durable()
+    }
+}
+
+/// Storage-side results of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageReport {
+    /// Peak concurrent writers at the stable storage — the paper's
+    /// headline contention number.
+    pub peak_writers: i64,
+    /// Time-weighted mean concurrent writers.
+    pub mean_writers: f64,
+    /// Total time ≥ 2 writers were active.
+    pub contended_time: SimDuration,
+    /// Sum over writes of (actual − contention-free) latency.
+    pub total_stall: SimDuration,
+    /// Mean write latency in seconds.
+    pub write_latency_mean: f64,
+    /// Max write latency in seconds.
+    pub write_latency_max: f64,
+    /// Total bytes written.
+    pub total_bytes: u64,
+    /// Total write requests.
+    pub total_requests: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Algorithm name.
+    pub algo: &'static str,
+    /// Number of processes.
+    pub n: usize,
+    /// Driver counters merged with per-process protocol counters.
+    pub counters: Counters,
+    /// Application messages sent.
+    pub app_messages: u64,
+    /// Application payload bytes sent.
+    pub app_payload_bytes: u64,
+    /// Bytes added to application messages by piggybacks.
+    pub piggyback_bytes: u64,
+    /// Protocol (control) messages sent.
+    pub ctrl_messages: u64,
+    /// Bytes of control traffic.
+    pub ctrl_bytes: u64,
+    /// Virtual time when the run quiesced.
+    pub makespan: SimTime,
+    /// Total time application sends were blocked by the protocol.
+    pub blocked_time: SimDuration,
+    /// Total pre-processing delay from forced checkpoints.
+    pub forced_delay: SimDuration,
+    /// Checkpoint completion latency (first snapshot of round → last
+    /// completion of round), seconds, over complete rounds.
+    pub ckpt_latency: Summary,
+    /// Rounds completed by every process.
+    pub complete_rounds: u64,
+    /// Greatest sequence number durable on all processes.
+    pub recovery_line: u64,
+    /// Peak bytes staged in volatile memory.
+    pub staging_peak: u64,
+    /// Storage metrics.
+    pub storage: StorageReport,
+    /// The consistency oracle (when `observe` was on).
+    pub observer: Option<GlobalObserver>,
+    /// Durable checkpoint store (blobs for recovery analysis).
+    pub store: CheckpointStore,
+    /// Final application state per process.
+    pub app_final: Vec<AppSnapshot>,
+    /// Ground-truth application state at each checkpoint's cut,
+    /// keyed by `(pid, seq)` — what a correct recovery must restore.
+    pub cut_states: HashMap<(u16, u64), AppSnapshot>,
+    /// Live protocol instances' snapshot of checkpoint counts etc. is in
+    /// `counters`; the trace is here when enabled.
+    pub trace: Trace,
+    /// First crash, if any was injected.
+    pub crash: Option<(ProcessId, SimTime)>,
+    /// Fatal protocol error (impossible paper sub-case reached) — tests
+    /// assert this is `None`.
+    pub protocol_error: Option<String>,
+}
+
+impl RunResult {
+    /// Check every complete global checkpoint for consistency against both
+    /// oracles. Returns the number of checkpoints verified.
+    pub fn verify_consistency(&self) -> Result<u64, String> {
+        let obs = self.observer.as_ref().ok_or("run had observe=false")?;
+        let mut checked = 0;
+        for csn in obs.complete_csns() {
+            let report = obs.judge(csn).expect("complete csn must judge");
+            if !report.is_consistent() {
+                return Err(format!(
+                    "S_{csn} inconsistent: {} orphan(s), e.g. {:?}",
+                    report.orphans.len(),
+                    report.orphans.first()
+                ));
+            }
+            if obs.vclock_consistent(csn) != Some(true) {
+                return Err(format!("S_{csn}: vclock oracle disagrees"));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+}
+
+/// The driver.
+pub struct Runner<P: CheckpointProtocol> {
+    cfg: RunConfig,
+    procs: Vec<P>,
+    app: Vec<AppSnapshot>,
+    /// App state before each process's most recent event (for cuts that
+    /// step one event back).
+    prev_app: Vec<AppSnapshot>,
+    /// App state at each checkpoint's consistency cut — the ground truth
+    /// the recovery tests compare restored states against.
+    cut_states: HashMap<(u16, u64), AppSnapshot>,
+    crashed: Vec<bool>,
+    sched: Scheduler<P::Env>,
+    net: Network,
+    server: StorageServer,
+    store: CheckpointStore,
+    observer: Option<GlobalObserver>,
+    trace: Trace,
+    wl: Vec<WorkloadState>,
+    wl_rng: Vec<SimRng>,
+    next_msg: u64,
+    next_req: u64,
+    timers: Vec<HashMap<u64, TimerId>>,
+    pending_writes: HashMap<StorageReqId, PendingWrite>,
+    /// Each process writes over one connection: at most one of its
+    /// requests is at the server; the rest wait here in FIFO order.
+    write_queue: Vec<std::collections::VecDeque<PendingWrite>>,
+    write_busy: Vec<bool>,
+    progress: HashMap<(u16, u64), CkptProgress>,
+    counters: Counters,
+    blocked_since: Vec<Option<SimTime>>,
+    blocked_time: SimDuration,
+    forced_delay: SimDuration,
+    first_snapshot_at: HashMap<u64, SimTime>,
+    last_complete_at: HashMap<u64, SimTime>,
+    complete_count: HashMap<u64, usize>,
+    staged_now: u64,
+    staging_peak: u64,
+    app_payload_bytes: u64,
+    piggyback_bytes: u64,
+    ctrl_messages: u64,
+    ctrl_bytes: u64,
+    crash: Option<(ProcessId, SimTime)>,
+    protocol_error: Option<String>,
+    algo: &'static str,
+}
+
+impl<P: CheckpointProtocol> Runner<P> {
+    /// Build a runner; `make` constructs the protocol instance per process.
+    pub fn new(cfg: RunConfig, make: impl Fn(ProcessId, usize, u64) -> P) -> Self {
+        cfg.sim.validate().expect("invalid sim config");
+        cfg.faults.validate(cfg.sim.n).expect("invalid fault plan");
+        let n = cfg.sim.n;
+        let seed = cfg.sim.seed;
+        let procs: Vec<P> = ProcessId::all(n).map(|p| make(p, n, seed)).collect();
+        let fifo_needed = procs.iter().any(|p| p.needs_fifo());
+        let fifo = cfg.sim.fifo || fifo_needed;
+        let algo = procs[0].name();
+        Runner {
+            app: ProcessId::all(n)
+                .map(|p| AppSnapshot::initial(p.0 as u64, cfg.state_bytes))
+                .collect(),
+            prev_app: ProcessId::all(n)
+                .map(|p| AppSnapshot::initial(p.0 as u64, cfg.state_bytes))
+                .collect(),
+            cut_states: HashMap::new(),
+            crashed: vec![false; n],
+            sched: Scheduler::new(),
+            net: Network::new(n, cfg.sim.delay, fifo, seed),
+            server: StorageServer::new(cfg.storage),
+            store: CheckpointStore::new(n),
+            observer: cfg.observe.then(|| GlobalObserver::new(n)),
+            trace: if cfg.trace { Trace::enabled() } else { Trace::disabled() },
+            wl: (0..n).map(|_| WorkloadState::new(cfg.workload)).collect(),
+            wl_rng: (0..n).map(|i| SimRng::derive(seed, 0x574C ^ (i as u64) << 8)).collect(),
+            next_msg: 0,
+            next_req: 0,
+            timers: vec![HashMap::new(); n],
+            pending_writes: HashMap::new(),
+            write_queue: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            write_busy: vec![false; n],
+            progress: HashMap::new(),
+            counters: Counters::new(),
+            blocked_since: vec![None; n],
+            blocked_time: SimDuration::ZERO,
+            forced_delay: SimDuration::ZERO,
+            first_snapshot_at: HashMap::new(),
+            last_complete_at: HashMap::new(),
+            complete_count: HashMap::new(),
+            staged_now: 0,
+            staging_peak: 0,
+            app_payload_bytes: 0,
+            piggyback_bytes: 0,
+            ctrl_messages: 0,
+            ctrl_bytes: 0,
+            crash: None,
+            protocol_error: None,
+            procs,
+            cfg,
+            algo,
+        }
+    }
+
+    fn capture_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.cfg.state_bytes as f64 / CAPTURE_BW_BPS)
+    }
+
+    /// Execute the whole run.
+    pub fn run(mut self) -> RunResult {
+        let n = self.cfg.sim.n;
+        // Faults.
+        for f in self.cfg.faults.faults() {
+            self.sched.schedule_at(f.at, Event::Crash { pid: f.pid });
+            if let Some(d) = f.down_for {
+                self.sched.schedule_at(f.at + d, Event::Recover { pid: f.pid });
+            }
+        }
+        // First workload sends.
+        for pid in ProcessId::all(n) {
+            let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
+            self.sched.schedule_after(gap, Event::Tick { pid, kind: TICK_SEND });
+        }
+        // Checkpoint initiations.
+        if self.cfg.checkpoint_interval != SimDuration::MAX {
+            for pid in ProcessId::all(n) {
+                let phase = if self.cfg.stagger_initiation {
+                    self.cfg.checkpoint_interval * pid.0 as u64 / n as u64
+                } else {
+                    SimDuration::ZERO
+                };
+                self.sched
+                    .schedule_after(self.cfg.checkpoint_interval + phase, Event::Tick {
+                        pid,
+                        kind: TICK_CKPT,
+                    });
+            }
+        }
+
+        let hard_stop = SimTime::ZERO + self.cfg.sim.horizon;
+        while let Some((now, ev)) = self.sched.pop() {
+            if now > hard_stop {
+                self.counters.inc("run.hit_horizon");
+                break;
+            }
+            if self.protocol_error.is_some() {
+                break;
+            }
+            match ev {
+                Event::Tick { pid, kind: TICK_SEND } => self.on_send_tick(now, pid),
+                Event::Tick { pid, kind: TICK_CKPT } => self.on_ckpt_tick(now, pid),
+                Event::Tick { .. } => unreachable!("unknown tick"),
+                Event::Deliver { src, dst, msg_id, msg } => {
+                    self.on_deliver(now, src, dst, msg_id, msg)
+                }
+                Event::Timer { pid, tag, .. } => {
+                    if self.crashed[pid.index()] {
+                        continue;
+                    }
+                    self.timers[pid.index()].remove(&tag);
+                    let mut out = Vec::new();
+                    self.procs[pid.index()].on_timer(tag, &mut out);
+                    self.execute(now, pid, out);
+                }
+                Event::StorageDone { .. } => self.pump_storage(now),
+                Event::Crash { pid } => {
+                    self.counters.inc("fault.crashes");
+                    self.crashed[pid.index()] = true;
+                    self.crash.get_or_insert((pid, now));
+                    self.trace.record(now, pid, TraceKind::Crash, "fail-stop");
+                    // Volatile state (unfinalized tentative checkpoints and
+                    // in-memory logs) is lost.
+                    self.sched.drop_events_for(pid);
+                    if self.cfg.stop_on_crash {
+                        break;
+                    }
+                }
+                Event::Recover { pid } => {
+                    self.counters.inc("fault.recover_events");
+                    self.trace.record(now, pid, TraceKind::Recover, "system rollback");
+                    if let Err(e) = self.perform_system_recovery(now, pid) {
+                        self.protocol_error = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn on_send_tick(&mut self, now: SimTime, pid: ProcessId) {
+        if self.crashed[pid.index()] {
+            return;
+        }
+        let workload_end = SimTime::ZERO + self.cfg.workload_duration;
+        if now >= workload_end {
+            return;
+        }
+        if !self.procs[pid.index()].can_send_app() {
+            // Blocked by the protocol (Koo–Toueg phase 1): retry shortly
+            // and account the delay.
+            if self.blocked_since[pid.index()].is_none() {
+                self.blocked_since[pid.index()] = Some(now);
+            }
+            self.counters.inc("app.send_deferred");
+            self.sched
+                .schedule_after(SimDuration::from_micros(200), Event::Tick { pid, kind: TICK_SEND });
+            return;
+        }
+        if let Some(t0) = self.blocked_since[pid.index()].take() {
+            self.blocked_time += now - t0;
+        }
+        let n = self.cfg.sim.n;
+        let rng = &mut self.wl_rng[pid.index()];
+        let Some(dst) = self.wl[pid.index()].next_dst(n, pid, rng) else {
+            return;
+        };
+        let len = self.wl[pid.index()].next_payload_len(rng);
+        let msg_id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let payload = ocpt_core::AppPayload { id: msg_id.0, len };
+        let mut out = Vec::new();
+        let env = self.procs[pid.index()].wrap_app(dst, msg_id, payload, &mut out);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_send(pid, msg_id);
+        }
+        self.prev_app[pid.index()] = self.app[pid.index()];
+        self.app[pid.index()].apply_send(payload);
+        let bytes = self.procs[pid.index()].env_wire_bytes(&env);
+        self.app_payload_bytes += len as u64;
+        self.piggyback_bytes += bytes - wire_cost::app(len, 0);
+        self.counters.inc("app.messages");
+        let at = self.net.send(now, pid, dst, bytes);
+        self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
+        self.trace.record(now, pid, TraceKind::AppSend, format!("M{} -> {dst}", msg_id.0));
+        self.execute(now, pid, out);
+        // Draw the next send.
+        let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
+        self.sched.schedule_after(gap, Event::Tick { pid, kind: TICK_SEND });
+    }
+
+    fn on_ckpt_tick(&mut self, now: SimTime, pid: ProcessId) {
+        if self.crashed[pid.index()] {
+            return;
+        }
+        // Initiate only while at least one more interval of application
+        // traffic remains, so no round is forced to converge in silence
+        // (the convergence-in-silence behaviour has dedicated tests).
+        let workload_end = SimTime::ZERO + self.cfg.workload_duration;
+        if now + self.cfg.checkpoint_interval <= workload_end {
+            let mut out = Vec::new();
+            self.procs[pid.index()].initiate(&mut out);
+            self.execute(now, pid, out);
+            self.sched
+                .schedule_after(self.cfg.checkpoint_interval, Event::Tick { pid, kind: TICK_CKPT });
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, src: ProcessId, dst: ProcessId, msg_id: MsgId, env: P::Env) {
+        if self.crashed[dst.index()] {
+            self.counters.inc("net.dropped_to_crashed");
+            return;
+        }
+        let mut out = Vec::new();
+        let res = self.procs[dst.index()].on_arrival(src, msg_id, env, &mut out);
+        let delivered = match res {
+            Ok(d) => d,
+            Err(e) => {
+                self.protocol_error = Some(e);
+                return;
+            }
+        };
+        self.execute(now, dst, out);
+        if let Some(payload) = delivered {
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_recv(dst, msg_id);
+            }
+            self.prev_app[dst.index()] = self.app[dst.index()];
+            self.app[dst.index()].apply_recv(payload);
+            self.counters.inc("app.delivered");
+            self.trace
+                .record(now, dst, TraceKind::AppRecv, format!("M{} <- {src}", msg_id.0));
+            let mut out2 = Vec::new();
+            if let Err(e) =
+                self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out2)
+            {
+                self.protocol_error = Some(e);
+                return;
+            }
+            self.execute(now, dst, out2);
+        } else {
+            self.trace.record(now, dst, TraceKind::CtrlRecv, format!("from {src}"));
+        }
+    }
+
+    /// Full-system rollback recovery: every process restores the state of
+    /// the durable recovery line `S_line`, in-flight messages are flushed,
+    /// in-transit messages across the line are re-injected from the
+    /// durable sender logs, and the workload resumes. The paper's model:
+    /// finalized checkpoints with equal sequence number form a consistent
+    /// global checkpoint (Theorem 2), so `S_line` is a correct restart
+    /// point and rollback never cascades.
+    fn perform_system_recovery(&mut self, now: SimTime, recovered: ProcessId) -> Result<(), String> {
+        let n = self.cfg.sim.n;
+        let line = self.store.recovery_line();
+        self.counters.inc("recovery.performed");
+        self.crashed[recovered.index()] = false;
+
+        // Protocol support check first: algorithms without live recovery
+        // fail fast here, before any state is touched.
+        for pid in ProcessId::all(n) {
+            self.procs[pid.index()].restore_from_line(line)?;
+        }
+
+        // The observer's pre-crash record is consumed here (to find the
+        // in-transit messages), then replaced with a fresh epoch: events
+        // beyond the rollback line are erased from history.
+        let resend: Vec<(ProcessId, ProcessId, ocpt_core::AppPayload)> = if line > 0 {
+            if let Some(obs) = self.observer.as_ref() {
+                let report = obs.judge(line).ok_or("recovery line not judged")?;
+                if !report.is_consistent() {
+                    return Err(format!("recovery line S_{line} inconsistent?!"));
+                }
+                let mut v = Vec::new();
+                for pid in ProcessId::all(n) {
+                    let ckpt = self
+                        .store
+                        .get(pid, line)
+                        .ok_or_else(|| format!("{pid}: no durable checkpoint {line}"))?;
+                    let log = if ckpt.log.is_empty() {
+                        ocpt_core::MessageLog::new()
+                    } else {
+                        ocpt_core::MessageLog::decode(ckpt.log.clone())
+                            .ok_or("corrupt durable log")?
+                    };
+                    for e in log.sent() {
+                        let crosses_line =
+                            report.in_transit.iter().any(|t| t.msg.0 == e.msg_id.0);
+                        if crosses_line {
+                            v.push((pid, e.peer, e.payload));
+                        }
+                    }
+                }
+                v.sort_by_key(|(src, dst, p)| (src.0, dst.0, p.id));
+                v
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+
+        // Flush channels, timers and ticks; keep only future faults.
+        self.sched.clear_except_faults();
+        for t in &mut self.timers {
+            t.clear();
+        }
+        // Obsolete in-flight storage work and post-line durable records.
+        self.pending_writes.clear();
+        for q in &mut self.write_queue {
+            q.clear();
+        }
+        self.write_busy.iter_mut().for_each(|b| *b = false);
+        let dropped = self.store.truncate_above(line);
+        self.counters.add("recovery.checkpoints_invalidated", dropped as u64);
+        self.progress.retain(|&(_, seq), _| seq <= line);
+        self.cut_states.retain(|&(_, seq), _| seq <= line);
+        self.first_snapshot_at.retain(|&seq, _| seq <= line);
+        self.last_complete_at.retain(|&seq, _| seq <= line);
+        self.complete_count.retain(|&seq, _| seq <= line);
+        self.staged_now = 0;
+
+        // Restore every process's application state.
+        let mut lost_events = 0u64;
+        for pid in ProcessId::all(n) {
+            let restored = if line > 0 {
+                let ckpt = self.store.get(pid, line).expect("checked above");
+                let plan = ocpt_core::plan_recovery(line, ckpt.state.clone(), ckpt.log.clone())
+                    .map_err(|e| format!("{pid}: {e}"))?;
+                plan.restored
+            } else {
+                AppSnapshot::initial(pid.0 as u64, self.cfg.state_bytes)
+            };
+            lost_events += self.app[pid.index()].counter - restored.counter.min(self.app[pid.index()].counter);
+            self.app[pid.index()] = restored;
+            self.prev_app[pid.index()] = restored;
+            self.crashed[pid.index()] = false;
+        }
+        self.counters.add("recovery.events_lost", lost_events);
+
+        // Fresh observation epoch.
+        if self.observer.is_some() {
+            self.observer = Some(GlobalObserver::new(n));
+        }
+
+        // Re-inject in-transit messages from the durable sender logs: the
+        // send is already part of the restored sender state, so only the
+        // network and the receiver see the message again.
+        for (src, dst, payload) in resend {
+            let Some(env) = self.procs[src.index()].replay_envelope(payload) else {
+                continue;
+            };
+            let msg_id = MsgId(self.next_msg);
+            self.next_msg += 1;
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_send(src, msg_id);
+            }
+            let bytes = self.procs[src.index()].env_wire_bytes(&env);
+            let at = self.net.send(now, src, dst, bytes);
+            self.sched.schedule_at(at, Event::Deliver { src, dst, msg_id, msg: env });
+            self.counters.inc("recovery.resent_msgs");
+            self.trace.record(now, src, TraceKind::AppSend, format!("resend M{}", payload.id));
+        }
+
+        // Resume: workload ticks and checkpoint ticks for everyone.
+        for pid in ProcessId::all(n) {
+            let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
+            self.sched.schedule_after(gap, Event::Tick { pid, kind: TICK_SEND });
+            if self.cfg.checkpoint_interval != SimDuration::MAX {
+                self.sched
+                    .schedule_after(self.cfg.checkpoint_interval, Event::Tick { pid, kind: TICK_CKPT });
+            }
+        }
+        Ok(())
+    }
+
+    fn stage(&mut self, bytes: u64) {
+        self.staged_now += bytes;
+        self.staging_peak = self.staging_peak.max(self.staged_now);
+    }
+
+    fn unstage(&mut self, bytes: u64) {
+        self.staged_now = self.staged_now.saturating_sub(bytes);
+    }
+
+    fn execute(&mut self, now: SimTime, pid: ProcessId, actions: Vec<ProtoAction<P::Env>>) {
+        for a in actions {
+            match a {
+                ProtoAction::Snapshot { seq } => {
+                    let snap = self.app[pid.index()];
+                    self.progress.entry((pid.0, seq)).or_default().snapshot = Some(snap);
+                    self.stage(self.cfg.state_bytes);
+                    self.counters.inc("ckpt.snapshots");
+                    self.first_snapshot_at.entry(seq).or_insert(now);
+                    self.trace.record(now, pid, TraceKind::TentativeCkpt, format!("CT({seq})"));
+                }
+                ProtoAction::MarkCut { seq, back } => {
+                    if let Some(obs) = self.observer.as_mut() {
+                        let pos = obs.positions()[pid.index()] - back as u64;
+                        obs.on_finalize(pid, seq, pos, now);
+                    }
+                    let state = if back == 0 {
+                        self.app[pid.index()]
+                    } else {
+                        self.prev_app[pid.index()]
+                    };
+                    self.cut_states.insert((pid.0, seq), state);
+                }
+                ProtoAction::FlushState { seq } => {
+                    let blob = {
+                        let p = self.progress.entry((pid.0, seq)).or_default();
+                        p.state_issued = true;
+                        p.snapshot.expect("FlushState before Snapshot").encode()
+                    };
+                    self.submit_write(now, pid, seq, WriteKind::State, blob, self.cfg.state_bytes);
+                }
+                ProtoAction::FlushExtra { seq, bytes, log } => {
+                    let blob = log.map(|l| l.encode()).unwrap_or_default();
+                    self.progress.entry((pid.0, seq)).or_default().extra_issued = true;
+                    self.stage(bytes);
+                    self.submit_write(now, pid, seq, WriteKind::Extra, blob, bytes);
+                }
+                ProtoAction::Complete { seq } => {
+                    let newly = {
+                        let p = self.progress.entry((pid.0, seq)).or_default();
+                        let newly = !p.completed;
+                        p.completed = true;
+                        newly
+                    };
+                    if newly {
+                        let t = self.last_complete_at.get(&seq).copied().unwrap_or(now).max(now);
+                        self.last_complete_at.insert(seq, t);
+                        *self.complete_count.entry(seq).or_insert(0) += 1;
+                        self.counters.inc("ckpt.completes");
+                        self.trace.record(now, pid, TraceKind::FinalizeCkpt, format!("C({seq})"));
+                        self.maybe_durable(now, pid, seq);
+                    }
+                }
+                ProtoAction::Send { dst, env } => {
+                    let bytes = self.procs[pid.index()].env_wire_bytes(&env);
+                    self.ctrl_messages += 1;
+                    self.ctrl_bytes += bytes;
+                    let msg_id = MsgId(self.next_msg);
+                    self.next_msg += 1;
+                    let at = self.net.send(now, pid, dst, bytes);
+                    self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
+                    self.trace.record(now, pid, TraceKind::CtrlSend, format!("-> {dst}"));
+                }
+                ProtoAction::SetTimer { tag, delay } => {
+                    let id = self.sched.set_timer(pid, delay, tag);
+                    if let Some(old) = self.timers[pid.index()].insert(tag, id) {
+                        self.sched.cancel_timer(old);
+                    }
+                }
+                ProtoAction::CancelTimer { tag } => {
+                    if let Some(id) = self.timers[pid.index()].remove(&tag) {
+                        self.sched.cancel_timer(id);
+                    }
+                }
+                ProtoAction::ForcedBeforeProcessing { .. } => {
+                    self.counters.inc("ckpt.forced_before_processing");
+                    self.forced_delay += self.capture_delay();
+                }
+            }
+        }
+    }
+
+    fn submit_write(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        seq: u64,
+        kind: WriteKind,
+        blob: bytes::Bytes,
+        bytes: u64,
+    ) {
+        let w = PendingWrite { pid, seq, kind, blob, bytes };
+        if self.write_busy[pid.index()] {
+            // One connection per process: queue behind the in-flight write.
+            self.write_queue[pid.index()].push_back(w);
+            self.counters.inc("storage.writes_queued");
+            return;
+        }
+        self.start_write(now, w);
+    }
+
+    fn start_write(&mut self, now: SimTime, w: PendingWrite) {
+        let pid = w.pid;
+        self.write_busy[pid.index()] = true;
+        let req = StorageReqId(self.next_req);
+        self.next_req += 1;
+        self.server.submit(now, pid, req, w.bytes);
+        self.counters.inc("storage.writes");
+        self.trace.record(
+            now,
+            pid,
+            TraceKind::StorageStart,
+            format!("ckpt {} {:?} {}B", w.seq, w.kind, w.bytes),
+        );
+        self.pending_writes.insert(req, w);
+        self.schedule_storage_wakeup(now);
+    }
+
+    fn pump_storage(&mut self, now: SimTime) {
+        self.server.advance(now);
+        let completions = self.server.take_completed();
+        for c in completions {
+            let Some(w) = self.pending_writes.remove(&c.req) else {
+                continue;
+            };
+            let released = match w.kind {
+                WriteKind::State => self.cfg.state_bytes,
+                WriteKind::Extra => w.bytes,
+            };
+            self.unstage(released);
+            self.trace.record(c.at, w.pid, TraceKind::StorageDone, format!("ckpt {}", w.seq));
+            let notify = {
+                let p = self.progress.entry((w.pid.0, w.seq)).or_default();
+                match w.kind {
+                    WriteKind::State => {
+                        p.state_durable = true;
+                        p.state_blob = Some(w.blob);
+                    }
+                    WriteKind::Extra => {
+                        p.extra_durable = true;
+                        p.log_blob = Some(w.blob);
+                    }
+                }
+                let notify = p.writes_durable() && !p.storage_done_notified;
+                if notify {
+                    p.storage_done_notified = true;
+                }
+                notify
+            };
+            if notify {
+                let mut out = Vec::new();
+                self.procs[w.pid.index()].on_storage_done(w.seq, &mut out);
+                self.execute(now, w.pid, out);
+            }
+            self.maybe_durable(now, w.pid, w.seq);
+            // Free the connection and start the next queued write.
+            self.write_busy[w.pid.index()] = false;
+            if let Some(next) = self.write_queue[w.pid.index()].pop_front() {
+                self.start_write(now, next);
+            }
+        }
+        if self.server.in_flight() > 0 {
+            self.schedule_storage_wakeup(now);
+        }
+    }
+
+    /// Schedule the next storage wakeup. The completion estimate comes from
+    /// floating-point bandwidth math, so it can round to an instant a hair
+    /// *before* the write actually finishes; a +1ns margin (and never in
+    /// the past) guarantees forward progress.
+    fn schedule_storage_wakeup(&mut self, now: SimTime) {
+        if let Some(t) = self.server.next_completion() {
+            let at = (t + SimDuration::from_nanos(1)).max(now + SimDuration::from_nanos(1));
+            self.sched
+                .schedule_at(at, Event::StorageDone { pid: ProcessId::P0, req: StorageReqId(u64::MAX) });
+        }
+    }
+
+    fn maybe_durable(&mut self, now: SimTime, pid: ProcessId, seq: u64) {
+        let blobs = {
+            let p = self.progress.entry((pid.0, seq)).or_default();
+            if p.fully_durable() && !p.durable_recorded {
+                p.durable_recorded = true;
+                Some((
+                    p.state_blob.clone().unwrap_or_default(),
+                    p.log_blob.clone().unwrap_or_default(),
+                ))
+            } else {
+                None
+            }
+        };
+        if let Some((state, log)) = blobs {
+            self.store.put(StoredCheckpoint { pid, csn: seq, state, log, durable_at: now });
+            self.counters.inc("ckpt.durable");
+            if self.cfg.gc_old_checkpoints {
+                let line = self.store.recovery_line();
+                if line > 0 {
+                    let dropped = self.store.gc_below(line);
+                    self.counters.add("storage.gc_reclaimed", dropped as u64);
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> RunResult {
+        // Let any still-active storage writes complete "after the end" so
+        // durability accounting is complete.
+        while self.server.in_flight() > 0 {
+            let t = self.server.next_completion().expect("in-flight implies completion");
+            self.pump_storage(t + SimDuration::from_nanos(1));
+        }
+        let makespan = self.sched.now();
+        let n = self.cfg.sim.n;
+        let mut counters = self.counters;
+        for p in &self.procs {
+            counters.merge(p.stats());
+        }
+        let mut ckpt_latency = Summary::new();
+        let mut complete_rounds = 0;
+        for (seq, &cnt) in &self.complete_count {
+            if cnt == n {
+                complete_rounds += 1;
+                if let (Some(a), Some(b)) =
+                    (self.first_snapshot_at.get(seq), self.last_complete_at.get(seq))
+                {
+                    ckpt_latency.record(b.saturating_since(*a).as_secs_f64());
+                }
+            }
+        }
+        let storage = StorageReport {
+            peak_writers: self.server.peak_writers(),
+            mean_writers: self.server.mean_writers(makespan),
+            contended_time: self.server.contended_time(makespan),
+            total_stall: self.server.total_stall(),
+            write_latency_mean: self.server.latency().mean(),
+            write_latency_max: self.server.latency().max(),
+            total_bytes: self.server.total_bytes(),
+            total_requests: self.server.total_requests(),
+        };
+        RunResult {
+            algo: self.algo,
+            n,
+            counters,
+            app_messages: self.next_msg - self.ctrl_messages,
+            app_payload_bytes: self.app_payload_bytes,
+            piggyback_bytes: self.piggyback_bytes,
+            ctrl_messages: self.ctrl_messages,
+            ctrl_bytes: self.ctrl_bytes,
+            makespan,
+            blocked_time: self.blocked_time,
+            forced_delay: self.forced_delay,
+            ckpt_latency,
+            complete_rounds,
+            recovery_line: self.store.recovery_line(),
+            staging_peak: self.staging_peak,
+            storage,
+            observer: self.observer,
+            store: self.store,
+            app_final: self.app,
+            cut_states: self.cut_states,
+            trace: self.trace,
+            crash: self.crash,
+            protocol_error: self.protocol_error,
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic application workloads.
+//!
+//! The checkpointing algorithms only see *when* messages flow, *between
+//! whom*, and *how big* they are — so a workload is exactly that triple:
+//! a timing process, a destination pattern over a topology, and a payload
+//! size distribution. The patterns cover the communication structures the
+//! paper's introduction motivates: general message-passing (uniform mesh),
+//! pipelined/neighbour computations (ring, stencil grid), client–server
+//! (master–worker, hot-spot) and bursty phase-structured traffic.
+
+use ocpt_sim::{ProcessId, SimDuration, SimRng, Topology};
+
+/// When a process emits its next message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Timing {
+    /// Poisson process: exponential inter-send gaps with the given mean.
+    Poisson {
+        /// Mean inter-send gap.
+        mean: SimDuration,
+    },
+    /// Regular gaps with ±jitter.
+    Uniform {
+        /// Base gap.
+        gap: SimDuration,
+        /// Max deviation either way.
+        jitter: SimDuration,
+    },
+    /// Alternating bursts: `burst_len` sends with `fast` gaps, then one
+    /// `idle` gap.
+    Bursty {
+        /// Sends per burst.
+        burst_len: u32,
+        /// Gap inside a burst.
+        fast: SimDuration,
+        /// Gap between bursts.
+        idle: SimDuration,
+    },
+}
+
+/// How a destination is picked among the topology's neighbours.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// Uniform over neighbours.
+    Uniform,
+    /// With probability `bias`, send to the hot process (if a neighbour);
+    /// otherwise uniform.
+    HotSpot {
+        /// The hot destination.
+        hot: ProcessId,
+        /// Probability of targeting it.
+        bias: f64,
+    },
+    /// Master–worker: the master round-robins over workers, workers always
+    /// answer the master. (Pair with [`Topology::Star`].)
+    MasterWorker,
+}
+
+/// Payload size distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadSpec {
+    /// Every message has this many bytes.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]`.
+    Uniform(u32, u32),
+}
+
+/// A complete workload specification.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Who may talk to whom.
+    pub topology: Topology,
+    /// Destination choice.
+    pub pattern: Pattern,
+    /// Send timing per process.
+    pub timing: Timing,
+    /// Payload sizes.
+    pub payload: PayloadSpec,
+}
+
+impl WorkloadSpec {
+    /// A default "general distributed computation": full mesh, uniform
+    /// destinations, Poisson sends at the given mean gap, 1 KiB payloads.
+    pub fn uniform_mesh(mean_gap: SimDuration) -> Self {
+        WorkloadSpec {
+            topology: Topology::FullMesh,
+            pattern: Pattern::Uniform,
+            timing: Timing::Poisson { mean: mean_gap },
+            payload: PayloadSpec::Fixed(1024),
+        }
+    }
+}
+
+/// Per-process workload state (burst position etc.).
+#[derive(Debug)]
+pub struct WorkloadState {
+    spec: WorkloadSpec,
+    burst_pos: u32,
+    rr_next: usize,
+    sends: u64,
+}
+
+impl WorkloadState {
+    /// Fresh state for one process.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        WorkloadState { spec, burst_pos: 0, rr_next: 0, sends: 0 }
+    }
+
+    /// Messages emitted so far.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// The gap before this process's next send.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        match self.spec.timing {
+            Timing::Poisson { mean } => rng.exp_duration(mean),
+            Timing::Uniform { gap, jitter } => rng.jittered(gap, jitter),
+            Timing::Bursty { burst_len, fast, idle } => {
+                self.burst_pos += 1;
+                if self.burst_pos >= burst_len {
+                    self.burst_pos = 0;
+                    idle
+                } else {
+                    fast
+                }
+            }
+        }
+    }
+
+    /// Pick the destination for `src`'s next message. Returns `None` when
+    /// `src` has no neighbours (degenerate topology).
+    pub fn next_dst(&mut self, n: usize, src: ProcessId, rng: &mut SimRng) -> Option<ProcessId> {
+        let nbrs = self.spec.topology.neighbors(n, src);
+        if nbrs.is_empty() {
+            return None;
+        }
+        self.sends += 1;
+        let dst = match self.spec.pattern {
+            Pattern::Uniform => nbrs[rng.next_usize_below(nbrs.len())],
+            Pattern::HotSpot { hot, bias } => {
+                if hot != src && nbrs.contains(&hot) && rng.chance(bias) {
+                    hot
+                } else {
+                    nbrs[rng.next_usize_below(nbrs.len())]
+                }
+            }
+            Pattern::MasterWorker => {
+                if src == ProcessId::P0 {
+                    let dst = nbrs[self.rr_next % nbrs.len()];
+                    self.rr_next += 1;
+                    dst
+                } else {
+                    ProcessId::P0
+                }
+            }
+        };
+        Some(dst)
+    }
+
+    /// Sample a payload size.
+    pub fn next_payload_len(&mut self, rng: &mut SimRng) -> u32 {
+        match self.spec.payload {
+            PayloadSpec::Fixed(l) => l,
+            PayloadSpec::Uniform(lo, hi) => {
+                lo + rng.next_u64_below((hi - lo + 1) as u64) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(77)
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_mean() {
+        let spec = WorkloadSpec::uniform_mesh(SimDuration::from_millis(5));
+        let mut ws = WorkloadState::new(spec);
+        let mut r = rng();
+        let n = 10_000u64;
+        let total: u64 = (0..n).map(|_| ws.next_gap(&mut r).as_nanos()).sum();
+        let avg = total / n;
+        assert!((avg as f64 - 5e6).abs() < 0.1 * 5e6, "avg={avg}");
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let spec = WorkloadSpec {
+            timing: Timing::Bursty {
+                burst_len: 3,
+                fast: SimDuration::from_micros(1),
+                idle: SimDuration::from_millis(1),
+            },
+            ..WorkloadSpec::uniform_mesh(SimDuration::from_millis(1))
+        };
+        let mut ws = WorkloadState::new(spec);
+        let mut r = rng();
+        let gaps: Vec<u64> = (0..6).map(|_| ws.next_gap(&mut r).as_nanos()).collect();
+        assert_eq!(gaps, vec![1_000, 1_000, 1_000_000, 1_000, 1_000, 1_000_000]);
+    }
+
+    #[test]
+    fn uniform_dst_only_neighbors() {
+        let spec = WorkloadSpec::uniform_mesh(SimDuration::from_millis(1));
+        let mut ws = WorkloadState::new(spec);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = ws.next_dst(4, ProcessId(2), &mut r).unwrap();
+            assert_ne!(d, ProcessId(2));
+            assert!(d.index() < 4);
+        }
+        assert_eq!(ws.sends(), 100);
+    }
+
+    #[test]
+    fn hotspot_biases_toward_hot() {
+        let spec = WorkloadSpec {
+            pattern: Pattern::HotSpot { hot: ProcessId(0), bias: 0.9 },
+            ..WorkloadSpec::uniform_mesh(SimDuration::from_millis(1))
+        };
+        let mut ws = WorkloadState::new(spec);
+        let mut r = rng();
+        let hits = (0..1000)
+            .filter(|_| ws.next_dst(8, ProcessId(3), &mut r).unwrap() == ProcessId(0))
+            .count();
+        assert!(hits > 800, "hits={hits}");
+    }
+
+    #[test]
+    fn master_worker_round_robin() {
+        let spec = WorkloadSpec {
+            topology: Topology::Star,
+            pattern: Pattern::MasterWorker,
+            ..WorkloadSpec::uniform_mesh(SimDuration::from_millis(1))
+        };
+        let mut ws = WorkloadState::new(spec);
+        let mut r = rng();
+        let d1 = ws.next_dst(4, ProcessId(0), &mut r).unwrap();
+        let d2 = ws.next_dst(4, ProcessId(0), &mut r).unwrap();
+        let d3 = ws.next_dst(4, ProcessId(0), &mut r).unwrap();
+        let d4 = ws.next_dst(4, ProcessId(0), &mut r).unwrap();
+        assert_eq!(
+            vec![d1, d2, d3, d4],
+            vec![ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(1)]
+        );
+        // Workers reply to the master.
+        assert_eq!(ws.next_dst(4, ProcessId(2), &mut r), Some(ProcessId(0)));
+    }
+
+    #[test]
+    fn payload_specs() {
+        let mut ws = WorkloadState::new(WorkloadSpec {
+            payload: PayloadSpec::Uniform(10, 20),
+            ..WorkloadSpec::uniform_mesh(SimDuration::from_millis(1))
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            let l = ws.next_payload_len(&mut r);
+            assert!((10..=20).contains(&l));
+        }
+        let mut fixed = WorkloadState::new(WorkloadSpec::uniform_mesh(SimDuration::from_millis(1)));
+        assert_eq!(fixed.next_payload_len(&mut r), 1024);
+    }
+}

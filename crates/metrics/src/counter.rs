@@ -1,0 +1,106 @@
+//! Named counters grouped in a registry.
+//!
+//! Protocol drivers bump counters ("ck_bgn_sent", "forced_checkpoints", …)
+//! and experiments read them back by name. A `BTreeMap` keeps report output
+//! deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named monotonically increasing counters.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    inner: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `v` to counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.inner.entry(name).or_insert(0) += v;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.inner.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another registry into this one (summing matching names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Sum of counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.inner.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| *v).sum()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.inner {
+            writeln!(f, "{k:<32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_add_get() {
+        let mut c = Counters::new();
+        c.inc("a");
+        c.add("a", 4);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        a.inc("x");
+        b.add("x", 2);
+        b.inc("y");
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn prefix_sum_and_order() {
+        let mut c = Counters::new();
+        c.add("ctrl.bgn", 1);
+        c.add("ctrl.req", 2);
+        c.add("app.sent", 7);
+        assert_eq!(c.sum_prefix("ctrl."), 3);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["app.sent", "ctrl.bgn", "ctrl.req"]);
+    }
+
+    #[test]
+    fn display_is_line_per_counter() {
+        let mut c = Counters::new();
+        c.inc("one");
+        assert!(c.to_string().contains("one"));
+    }
+}

@@ -1,0 +1,174 @@
+//! A log-bucketed histogram for latency-like values.
+//!
+//! Buckets are powers of two over `u64` values (nanoseconds, bytes, counts),
+//! giving ≤ 2× relative error per bucket with 64 fixed buckets and O(1)
+//! record cost — good enough for the shape comparisons the experiments make.
+
+/// Power-of-two bucketed histogram over `u64` observations.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    #[inline]
+    fn bucket_of(x: u64) -> usize {
+        if x == 0 {
+            0
+        } else {
+            64 - x.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+        self.sum += x as u128;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket containing
+    /// the q-th ranked observation (≤ 2× the true value).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for x in [1u64, 2, 4, 8, 16] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 31);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 16);
+        assert!((h.mean() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketing_zero_and_powers() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantile_within_2x() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((250..=1000).contains(&p50), "p50={p50}");
+        let p0 = h.quantile(0.0);
+        assert!(p0 <= 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+}

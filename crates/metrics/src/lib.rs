@@ -1,0 +1,27 @@
+//! # ocpt-metrics — measurement primitives for the OCPT reproduction
+//!
+//! Small, dependency-free building blocks shared by the simulator, the
+//! storage model and the experiment harness:
+//!
+//! * [`Counters`] — named event counts (control messages, forced
+//!   checkpoints, …);
+//! * [`Summary`] / [`Quantiles`] — streaming statistics over latencies;
+//! * [`Histogram`] — log-bucketed distribution sketch;
+//! * [`StepSeries`] — piecewise-constant series with peak and
+//!   time-weighted-mean queries (concurrent writers at stable storage);
+//! * [`Table`] — aligned text / CSV rendering for the experiment binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counter;
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use counter::Counters;
+pub use histogram::Histogram;
+pub use series::StepSeries;
+pub use summary::{Quantiles, Summary};
+pub use table::{f2, f3, pct, Table};

@@ -1,0 +1,165 @@
+//! Step time-series: a value that changes at discrete instants, with
+//! peak/time-weighted-average queries. Used to track "number of concurrent
+//! writers at the stable storage" over a run — the quantity at the heart of
+//! the paper's contention argument.
+
+/// A piecewise-constant series of `(t, value)` steps over `u64` time.
+#[derive(Clone, Debug, Default)]
+pub struct StepSeries {
+    /// (time, new value) change points, time-ordered.
+    points: Vec<(u64, i64)>,
+    current: i64,
+    peak: i64,
+}
+
+impl StepSeries {
+    /// A series starting at value 0.
+    pub fn new() -> Self {
+        StepSeries::default()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.current
+    }
+
+    /// Largest value ever reached.
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+
+    /// Set the value at time `t` (must be non-decreasing in `t`).
+    pub fn set(&mut self, t: u64, v: i64) {
+        if let Some(&(last_t, last_v)) = self.points.last() {
+            debug_assert!(t >= last_t, "series time went backwards");
+            if last_v == v {
+                return;
+            }
+            if last_t == t {
+                self.points.pop();
+            }
+        }
+        self.points.push((t, v));
+        self.current = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Add `delta` to the value at time `t`.
+    pub fn add(&mut self, t: u64, delta: i64) {
+        self.set(t, self.current + delta);
+    }
+
+    /// Time-weighted mean over `[0, end]`.
+    pub fn time_weighted_mean(&self, end: u64) -> f64 {
+        if end == 0 || self.points.is_empty() {
+            return self.current as f64;
+        }
+        let mut area = 0i128;
+        let mut prev_t = 0u64;
+        let mut prev_v = 0i64;
+        for &(t, v) in &self.points {
+            let t = t.min(end);
+            area += (t - prev_t) as i128 * prev_v as i128;
+            prev_t = t;
+            prev_v = v;
+            if t >= end {
+                break;
+            }
+        }
+        if prev_t < end {
+            area += (end - prev_t) as i128 * prev_v as i128;
+        }
+        area as f64 / end as f64
+    }
+
+    /// Total time the value was ≥ `threshold`, within `[0, end]`.
+    pub fn time_at_or_above(&self, threshold: i64, end: u64) -> u64 {
+        let mut total = 0u64;
+        let mut prev_t = 0u64;
+        let mut prev_v = 0i64;
+        for &(t, v) in &self.points {
+            let t = t.min(end);
+            if prev_v >= threshold {
+                total += t - prev_t;
+            }
+            prev_t = t;
+            prev_v = v;
+            if t >= end {
+                break;
+            }
+        }
+        if prev_t < end && prev_v >= threshold {
+            total += end - prev_t;
+        }
+        total
+    }
+
+    /// The raw change points (for plotting/export).
+    pub fn points(&self) -> &[(u64, i64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let s = StepSeries::new();
+        assert_eq!(s.value(), 0);
+        assert_eq!(s.peak(), 0);
+    }
+
+    #[test]
+    fn add_and_peak() {
+        let mut s = StepSeries::new();
+        s.add(10, 1);
+        s.add(20, 1);
+        s.add(30, -1);
+        s.add(40, 3);
+        assert_eq!(s.value(), 4);
+        assert_eq!(s.peak(), 4);
+    }
+
+    #[test]
+    fn time_weighted_mean_simple() {
+        let mut s = StepSeries::new();
+        // 0 on [0,10), 2 on [10,20), 0 after.
+        s.set(10, 2);
+        s.set(20, 0);
+        let m = s.time_weighted_mean(40);
+        assert!((m - 0.5).abs() < 1e-12, "m={m}");
+    }
+
+    #[test]
+    fn time_at_or_above() {
+        let mut s = StepSeries::new();
+        s.set(10, 1);
+        s.set(30, 2);
+        s.set(50, 0);
+        assert_eq!(s.time_at_or_above(1, 100), 40); // [10,50)
+        assert_eq!(s.time_at_or_above(2, 100), 20); // [30,50)
+        assert_eq!(s.time_at_or_above(3, 100), 0);
+    }
+
+    #[test]
+    fn coalesces_same_time_updates() {
+        let mut s = StepSeries::new();
+        s.add(5, 1);
+        s.add(5, 1);
+        s.add(5, -2);
+        // Net zero at t=5; mean should be 0 everywhere.
+        assert_eq!(s.value(), 0);
+        assert!((s.time_weighted_mean(10)).abs() < 1e-12);
+        // Peak still observed the transient 2.
+        assert_eq!(s.peak(), 2);
+    }
+
+    #[test]
+    fn mean_with_tail() {
+        let mut s = StepSeries::new();
+        s.set(0, 4);
+        assert!((s.time_weighted_mean(10) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the measurement primitives — the experiment numbers
+//! are only as trustworthy as these.
+
+use ocpt_metrics::{Counters, Histogram, Quantiles, StepSeries, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford merge equals sequential accumulation, for any split point.
+    #[test]
+    fn summary_merge_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let k = split.index(xs.len());
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..k] {
+            a.record(x);
+        }
+        for &x in &xs[k..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Histogram quantiles stay within the 2× bucket guarantee, and the
+    /// merge of two histograms behaves like recording both streams.
+    #[test]
+    fn histogram_quantile_bounds_and_merge(
+        xs in prop::collection::vec(1u64..1_000_000, 1..200),
+        ys in prop::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut h = Histogram::new();
+        let mut both = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+            both.record(x);
+        }
+        let mut h2 = Histogram::new();
+        for &y in &ys {
+            h2.record(y);
+            both.record(y);
+        }
+        // Quantile bound: the estimate is within 2× of the true order
+        // statistic at the histogram's own rank convention
+        // (round((len-1)·q), matching Histogram::quantile).
+        let mut sorted = xs.clone();
+        sorted.sort();
+        let rank = ((sorted.len() as f64 - 1.0) * 0.5).round() as usize;
+        let true_median = sorted[rank];
+        let est = h.quantile(0.5);
+        prop_assert!(est * 2 >= true_median && est <= true_median * 2,
+            "median {true_median} est {est}");
+        h.merge(&h2);
+        prop_assert_eq!(h.count(), both.count());
+        prop_assert_eq!(h.sum(), both.sum());
+        prop_assert_eq!(h.max(), both.max());
+    }
+
+    /// Exact quantiles are order statistics.
+    #[test]
+    fn quantiles_are_order_statistics(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let mut q = Quantiles::new();
+        for &x in &xs {
+            q.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(q.quantile(0.0), sorted[0]);
+        prop_assert_eq!(q.quantile(1.0), *sorted.last().unwrap());
+        let med = q.p50();
+        prop_assert!(sorted.contains(&med));
+    }
+
+    /// Step-series time-weighted mean equals a brute-force integral.
+    #[test]
+    fn step_series_mean_matches_integral(
+        steps in prop::collection::vec((1u64..1_000, -5i64..6), 1..40),
+    ) {
+        let mut s = StepSeries::new();
+        let mut t = 0u64;
+        let mut points = vec![];
+        for (dt, dv) in &steps {
+            t += dt;
+            s.add(t, *dv);
+            points.push((t, s.value()));
+        }
+        let end = t + 100;
+        // Brute force integral.
+        let mut area = 0i64;
+        let mut prev_t = 0u64;
+        let mut prev_v = 0i64;
+        for (pt, pv) in points {
+            area += (pt - prev_t) as i64 * prev_v;
+            prev_t = pt;
+            prev_v = pv;
+        }
+        area += (end - prev_t) as i64 * prev_v;
+        let expect = area as f64 / end as f64;
+        prop_assert!((s.time_weighted_mean(end) - expect).abs() < 1e-9,
+            "{} vs {}", s.time_weighted_mean(end), expect);
+    }
+
+    /// Counter merge is commutative and preserves totals.
+    #[test]
+    fn counters_merge_commutes(a in prop::collection::vec(0u64..100, 3), b in prop::collection::vec(0u64..100, 3)) {
+        let names = ["x", "y", "z"];
+        let mk = |vals: &[u64]| {
+            let mut c = Counters::new();
+            for (n, v) in names.iter().zip(vals) {
+                c.add(n, *v);
+            }
+            c
+        };
+        let mut ab = mk(&a);
+        ab.merge(&mk(&b));
+        let mut ba = mk(&b);
+        ba.merge(&mk(&a));
+        for n in names {
+            prop_assert_eq!(ab.get(n), ba.get(n));
+        }
+    }
+}

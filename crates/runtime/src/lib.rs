@@ -1,0 +1,34 @@
+//! # ocpt-runtime — the OCPT protocol on real threads
+//!
+//! The simulator (`ocpt-harness`) proves properties deterministically; this
+//! crate shows the same sans-io state machine is not simulator-bound. Each
+//! process is an OS thread; envelopes travel as encoded bytes over
+//! crossbeam channels (so the `ocpt_core::wire` codec is exercised for
+//! real); the convergence timer is a wall-clock deadline; finalized
+//! checkpoints land in a shared [`StableStore`]; and a mutex-guarded
+//! [`ocpt_causality::GlobalObserver`] checks Theorem 2 against genuine
+//! thread interleavings.
+//!
+//! ```no_run
+//! use ocpt_runtime::Cluster;
+//! use ocpt_core::OcptConfig;
+//! use ocpt_sim::ProcessId;
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::start(4, OcptConfig::default());
+//! cluster.send_app(ProcessId(0), ProcessId(1), 1024);
+//! cluster.checkpoint(ProcessId(0));
+//! cluster.wait_for_round(1, Duration::from_secs(5)).unwrap();
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod node;
+pub mod storage;
+
+pub use cluster::{Cluster, ClusterError};
+pub use node::{Command, StatusEvent};
+pub use storage::{DurableCheckpoint, StableStore};

@@ -1,0 +1,85 @@
+//! Shared in-memory stable storage for the threaded runtime.
+//!
+//! Plays the role of the network file server: one shared, synchronised
+//! store all nodes write finalized checkpoints to. Writes are durable the
+//! moment `put` returns (the runtime exists to exercise the protocol under
+//! real concurrency; storage *timing* is the simulator's job).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use ocpt_core::Csn;
+use ocpt_sim::ProcessId;
+use parking_lot::Mutex;
+
+/// One durable checkpoint record.
+#[derive(Clone, Debug)]
+pub struct DurableCheckpoint {
+    /// Encoded tentative-checkpoint state.
+    pub state: Bytes,
+    /// Encoded message log.
+    pub log: Bytes,
+}
+
+/// The shared store.
+#[derive(Debug, Default)]
+pub struct StableStore {
+    inner: Mutex<HashMap<(u16, Csn), DurableCheckpoint>>,
+}
+
+impl StableStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        StableStore::default()
+    }
+
+    /// Persist a finalized checkpoint.
+    pub fn put(&self, pid: ProcessId, csn: Csn, state: Bytes, log: Bytes) {
+        let mut g = self.inner.lock();
+        let prev = g.insert((pid.0, csn), DurableCheckpoint { state, log });
+        debug_assert!(prev.is_none(), "{pid} wrote checkpoint {csn} twice");
+    }
+
+    /// Fetch a durable checkpoint.
+    pub fn get(&self, pid: ProcessId, csn: Csn) -> Option<DurableCheckpoint> {
+        self.inner.lock().get(&(pid.0, csn)).cloned()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Greatest `csn` durable on all `n` processes (0 if none).
+    pub fn recovery_line(&self, n: usize) -> Csn {
+        let g = self.inner.lock();
+        let mut per: HashMap<Csn, usize> = HashMap::new();
+        for (_, csn) in g.keys() {
+            *per.entry(*csn).or_insert(0) += 1;
+        }
+        per.into_iter().filter(|&(_, c)| c == n).map(|(k, _)| k).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_line() {
+        let s = StableStore::new();
+        assert!(s.is_empty());
+        s.put(ProcessId(0), 1, Bytes::from_static(b"a"), Bytes::new());
+        s.put(ProcessId(1), 1, Bytes::from_static(b"b"), Bytes::new());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.recovery_line(2), 1);
+        assert_eq!(s.recovery_line(3), 0);
+        assert_eq!(s.get(ProcessId(0), 1).unwrap().state, Bytes::from_static(b"a"));
+        assert!(s.get(ProcessId(0), 2).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Top-level simulation configuration.
+
+use crate::network::DelayModel;
+use crate::time::SimDuration;
+
+/// Parameters of the simulated distributed system (paper §2.1).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of processes `N`.
+    pub n: usize,
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Per-message transit delay model.
+    pub delay: DelayModel,
+    /// Whether channels preserve order. The paper's algorithm does not need
+    /// FIFO; Chandy–Lamport does.
+    pub fifo: bool,
+    /// Hard stop: the simulation ends at this virtual instant even if events
+    /// remain (safety net against non-terminating configurations).
+    pub horizon: SimDuration,
+}
+
+impl SimConfig {
+    /// A small default system: 4 processes, LAN delays, non-FIFO, 10 s horizon.
+    pub fn new(n: usize, seed: u64) -> Self {
+        SimConfig {
+            n,
+            seed,
+            delay: DelayModel::default_lan(),
+            fifo: false,
+            horizon: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Builder: set the delay model.
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Builder: enable or disable FIFO channels.
+    pub fn with_fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Builder: set the horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validate invariants (n ≥ 2, horizon > 0).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err("need at least 2 processes".into());
+        }
+        if self.n > u16::MAX as usize {
+            return Err("too many processes".into());
+        }
+        if self.horizon.is_zero() {
+            return Err("horizon must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SimConfig::new(4, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_and_zero_rejected() {
+        assert!(SimConfig::new(1, 1).validate().is_err());
+        let c = SimConfig::new(4, 1).with_horizon(SimDuration::ZERO);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::new(8, 2)
+            .with_fifo(true)
+            .with_delay(DelayModel::Fixed(SimDuration::from_micros(1)))
+            .with_horizon(SimDuration::from_secs(60));
+        assert!(c.fifo);
+        assert_eq!(c.horizon, SimDuration::from_secs(60));
+    }
+}

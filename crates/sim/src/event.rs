@@ -1,0 +1,143 @@
+//! Simulation events.
+//!
+//! The kernel is specialised for message-passing distributed systems: the
+//! event vocabulary covers message delivery, per-process timers, stable
+//! storage completions, workload ticks and crash/recovery faults. The
+//! payload type `M` is generic so each protocol carries its own envelope.
+
+use crate::id::{MsgId, ProcessId, StorageReqId, TimerId};
+use crate::time::SimTime;
+
+/// A simulation event, dispatched by the scheduler at its due time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message from `src` arrives at `dst`.
+    Deliver {
+        /// Sending process.
+        src: ProcessId,
+        /// Receiving process.
+        dst: ProcessId,
+        /// Unique id of this message within the run.
+        msg_id: MsgId,
+        /// Protocol-specific envelope.
+        msg: M,
+    },
+    /// A timer owned by `pid` fires. `tag` is the owner's discriminator.
+    Timer {
+        /// Owning process.
+        pid: ProcessId,
+        /// Scheduler-assigned id (for cancellation).
+        id: TimerId,
+        /// Owner-chosen discriminator (e.g. "checkpoint interval").
+        tag: u64,
+    },
+    /// A stable-storage write issued by `pid` has become durable.
+    StorageDone {
+        /// Issuing process.
+        pid: ProcessId,
+        /// The request that completed.
+        req: StorageReqId,
+    },
+    /// A workload tick for `pid` (e.g. "emit the next application message").
+    Tick {
+        /// Target process.
+        pid: ProcessId,
+        /// Owner-chosen discriminator.
+        kind: u64,
+    },
+    /// Process `pid` crashes (fail-stop).
+    Crash {
+        /// Crashing process.
+        pid: ProcessId,
+    },
+    /// Process `pid` restarts and begins recovery.
+    Recover {
+        /// Recovering process.
+        pid: ProcessId,
+    },
+}
+
+impl<M> Event<M> {
+    /// The process this event is primarily addressed to.
+    pub fn target(&self) -> ProcessId {
+        match self {
+            Event::Deliver { dst, .. } => *dst,
+            Event::Timer { pid, .. }
+            | Event::StorageDone { pid, .. }
+            | Event::Tick { pid, .. }
+            | Event::Crash { pid }
+            | Event::Recover { pid } => *pid,
+        }
+    }
+}
+
+/// An event together with its due time and a FIFO tiebreak sequence number.
+///
+/// Ordering is `(time, seq)` so that events scheduled earlier at the same
+/// instant run first — this makes runs bit-for-bit reproducible.
+#[derive(Clone, Debug)]
+pub struct Scheduled<M> {
+    /// When the event is due.
+    pub at: SimTime,
+    /// Insertion order tiebreak.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_resolution() {
+        let e: Event<()> = Event::Deliver {
+            src: ProcessId(1),
+            dst: ProcessId(2),
+            msg_id: MsgId(0),
+            msg: (),
+        };
+        assert_eq!(e.target(), ProcessId(2));
+        let t: Event<()> = Event::Timer { pid: ProcessId(3), id: TimerId(0), tag: 9 };
+        assert_eq!(t.target(), ProcessId(3));
+        let c: Event<()> = Event::Crash { pid: ProcessId(4) };
+        assert_eq!(c.target(), ProcessId(4));
+    }
+
+    #[test]
+    fn scheduled_orders_earliest_first_then_fifo() {
+        use std::collections::BinaryHeap;
+        let mk = |at, seq| Scheduled::<u32> {
+            at: SimTime::from_nanos(at),
+            seq,
+            event: Event::Tick { pid: ProcessId(0), kind: 0 },
+        };
+        let mut h = BinaryHeap::new();
+        h.push(mk(10, 2));
+        h.push(mk(5, 3));
+        h.push(mk(10, 1));
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| h.pop()).map(|s| (s.at.as_nanos(), s.seq)).collect();
+        assert_eq!(order, vec![(5, 3), (10, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Failure injection: fail-stop crashes with optional restart.
+//!
+//! The checkpointing literature (and this paper) assumes fail-stop
+//! processes: a crashed process loses its volatile state (tentative
+//! checkpoints and message logs held in memory!) but keeps whatever it
+//! flushed to stable storage. A fault plan is a deterministic list of crash
+//! and recovery instants, pre-scheduled at simulation start so runs remain
+//! reproducible.
+
+use crate::id::ProcessId;
+use crate::time::{SimDuration, SimTime};
+
+/// One injected fault: `pid` crashes at `at`, and (optionally) restarts
+/// after `down_for`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The process that fails.
+    pub pid: ProcessId,
+    /// Crash instant.
+    pub at: SimTime,
+    /// How long the process stays down; `None` means it never restarts.
+    pub down_for: Option<SimDuration>,
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single crash of `pid` at `at`, restarting after `down_for`.
+    pub fn single(pid: ProcessId, at: SimTime, down_for: SimDuration) -> Self {
+        FaultPlan { faults: vec![Fault { pid, at, down_for: Some(down_for) }] }
+    }
+
+    /// Add a fault to the plan (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// All faults, in the order added.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Validate the plan against a system of `n` processes: ids in range,
+    /// and no overlapping down-times for the same process.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        let mut per: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n];
+        for f in &self.faults {
+            if f.pid.index() >= n {
+                return Err(format!("fault references {} but n={n}", f.pid));
+            }
+            let end = match f.down_for {
+                Some(d) => f.at + d,
+                None => SimTime::MAX,
+            };
+            per[f.pid.index()].push((f.at, end));
+        }
+        for (i, spans) in per.iter_mut().enumerate() {
+            spans.sort();
+            for w in spans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(format!("P{i} has overlapping faults"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plan() {
+        let p = FaultPlan::single(ProcessId(1), SimTime::from_secs(1), SimDuration::from_millis(100));
+        assert_eq!(p.faults().len(), 1);
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_pid_rejected() {
+        let p = FaultPlan::single(ProcessId(9), SimTime::ZERO, SimDuration::ZERO);
+        assert!(p.validate(4).is_err());
+    }
+
+    #[test]
+    fn overlapping_faults_rejected() {
+        let p = FaultPlan::none()
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: Some(SimDuration::from_secs(10)) })
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(5), down_for: Some(SimDuration::from_secs(1)) });
+        assert!(p.validate(2).is_err());
+    }
+
+    #[test]
+    fn non_overlapping_faults_accepted() {
+        let p = FaultPlan::none()
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: Some(SimDuration::from_secs(1)) })
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(3), down_for: None });
+        assert!(p.validate(2).is_ok());
+    }
+
+    #[test]
+    fn permanent_crash_overlaps_everything_after() {
+        let p = FaultPlan::none()
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: None })
+            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(3), down_for: Some(SimDuration::ZERO) });
+        assert!(p.validate(1).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Identifiers shared across the simulation and the protocol crates.
+
+use std::fmt;
+
+/// Identifier of one of the `N` sequential processes `P_0 … P_{N-1}` of the
+/// distributed computation (paper §2.1).
+///
+/// Process ids are dense: a system of `n` processes uses exactly the ids
+/// `0..n`. The paper's control-message layer relies on this total order
+/// (`CK_BGN` suppression picks the smallest id, the `CK_REQ` ring walks ids
+/// upward), so the id is an ordered integer rather than an opaque handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// The conventional coordinator `P_0` used by the control-message layer.
+    pub const P0: ProcessId = ProcessId(0);
+
+    /// The id as a `usize`, for indexing per-process tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate all process ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        assert!(n <= u16::MAX as usize + 1, "too many processes");
+        (0..n as u16).map(ProcessId)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(v: u16) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(v: usize) -> Self {
+        assert!(v <= u16::MAX as usize, "process id out of range");
+        ProcessId(v as u16)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a timer registered with the scheduler.
+///
+/// Timers are cancelled lazily: cancelling bumps a generation counter and a
+/// fired event whose id no longer matches is dropped by the scheduler.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Identifier of an in-flight stable-storage request.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StorageReqId(pub u64);
+
+/// Monotonically increasing identifier for an application message, unique
+/// within one simulation run. Used by the causality checker to match send
+/// and receive events of the same message.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_iteration_and_index() {
+        let ids: Vec<ProcessId> = ProcessId::all(3).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert_eq!(ids[2].index(), 2);
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(7).to_string(), "P7");
+        assert_eq!(format!("{:?}", ProcessId(7)), "P7");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcessId::from(3u16), ProcessId(3));
+        assert_eq!(ProcessId::from(4usize), ProcessId(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_usize_panics() {
+        let _ = ProcessId::from(usize::from(u16::MAX) + 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Network model: reliable point-to-point channels with arbitrary finite
+//! delays (paper §2.1). Channels are non-FIFO by default — the paper's
+//! algorithm does not need FIFO — but FIFO can be enabled per run because
+//! the Chandy–Lamport baseline requires it.
+
+use crate::id::ProcessId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// How a per-message transit delay is sampled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Fixed(SimDuration),
+    /// Uniform in `[lo, hi]`.
+    Uniform(SimDuration, SimDuration),
+    /// `floor + Exp(mean)` — a propagation floor plus exponential queueing.
+    Exp {
+        /// Minimum transit time.
+        floor: SimDuration,
+        /// Mean of the exponential component.
+        mean: SimDuration,
+    },
+}
+
+impl DelayModel {
+    /// Sample one transit delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform(lo, hi) => rng.uniform_duration(lo, hi),
+            DelayModel::Exp { floor, mean } => floor + rng.exp_duration(mean),
+        }
+    }
+
+    /// A sensible LAN-ish default: 50µs floor + Exp(150µs).
+    pub fn default_lan() -> Self {
+        DelayModel::Exp {
+            floor: SimDuration::from_micros(50),
+            mean: SimDuration::from_micros(150),
+        }
+    }
+}
+
+/// Per-run network statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to the network.
+    pub messages: u64,
+    /// Total payload+header bytes carried.
+    pub bytes: u64,
+}
+
+/// The network: computes delivery times, enforces FIFO when configured,
+/// assigns message ids and accumulates traffic statistics.
+#[derive(Debug)]
+pub struct Network {
+    n: usize,
+    delay: DelayModel,
+    fifo: bool,
+    rng: SimRng,
+    /// Last delivery instant per ordered channel (src, dst); FIFO only.
+    last_delivery: Vec<SimTime>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Build a network for `n` processes.
+    pub fn new(n: usize, delay: DelayModel, fifo: bool, seed: u64) -> Self {
+        Network {
+            n,
+            delay,
+            fifo,
+            rng: SimRng::derive(seed, NET_TAG),
+            last_delivery: vec![SimTime::ZERO; n * n],
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether channels preserve ordering.
+    pub fn is_fifo(&self) -> bool {
+        self.fifo
+    }
+
+    /// Accept a message at `now`, returning its delivery instant. The
+    /// caller assigns message ids and schedules the `Deliver` event.
+    pub fn send(&mut self, now: SimTime, src: ProcessId, dst: ProcessId, bytes: u64) -> SimTime {
+        assert!(src.index() < self.n && dst.index() < self.n, "pid out of range");
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let mut at = now + self.delay.sample(&mut self.rng);
+        if self.fifo {
+            let slot = src.index() * self.n + dst.index();
+            if at < self.last_delivery[slot] {
+                at = self.last_delivery[slot];
+            }
+            self.last_delivery[slot] = at;
+        }
+        at
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+/// Tag for deriving the network's RNG sub-stream from the master seed.
+const NET_TAG: u64 = 0x004E_4554_574F_524B; // "NETWORK"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(fifo: bool, delay: DelayModel) -> Network {
+        Network::new(4, delay, fifo, 1234)
+    }
+
+    #[test]
+    fn fixed_delay_is_exact() {
+        let mut n = net(false, DelayModel::Fixed(SimDuration::from_micros(10)));
+        let now = SimTime::from_millis(1);
+        let at = n.send(now, ProcessId(0), ProcessId(1), 100);
+        assert_eq!(at, now + SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn fifo_never_reorders_a_channel() {
+        let mut n = net(true, DelayModel::Uniform(SimDuration::ZERO, SimDuration::from_millis(5)));
+        let mut last = SimTime::ZERO;
+        for i in 0..200u64 {
+            let at = n.send(SimTime::from_micros(i), ProcessId(2), ProcessId(3), 8);
+            assert!(at >= last, "FIFO violated");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn non_fifo_can_reorder() {
+        let mut n = net(false, DelayModel::Uniform(SimDuration::ZERO, SimDuration::from_millis(5)));
+        let mut times = Vec::new();
+        for i in 0..200u64 {
+            let at = n.send(SimTime::from_micros(i), ProcessId(0), ProcessId(1), 8);
+            times.push(at);
+        }
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_ne!(times, sorted, "expected at least one reordering with this seed");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(false, DelayModel::Fixed(SimDuration::ZERO));
+        n.send(SimTime::ZERO, ProcessId(0), ProcessId(1), 100);
+        n.send(SimTime::ZERO, ProcessId(0), ProcessId(2), 50);
+        assert_eq!(n.stats(), NetworkStats { messages: 2, bytes: 150 });
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut n = Network::new(
+                3,
+                DelayModel::Exp { floor: SimDuration::ZERO, mean: SimDuration::from_micros(100) },
+                false,
+                99,
+            );
+            (0..50)
+                .map(|_| n.send(SimTime::ZERO, ProcessId(0), ProcessId(1), 1))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! Every run is fully determined by a single `u64` seed. Sub-streams (per
+//! process, per channel, per workload) are derived with SplitMix64 so that
+//! adding a consumer does not perturb the draws seen by existing consumers —
+//! essential for comparable parameter sweeps.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// SplitMix64 step, used to derive independent sub-seeds from a master seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a named sub-seed from a master seed. `tag` distinguishes streams
+/// (e.g. per-process workload vs. channel jitter).
+pub fn derive_seed(master: u64, tag: u64) -> u64 {
+    let mut s = master ^ tag.wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+/// A seeded RNG with distribution helpers used across the simulator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Create a derived sub-stream.
+    pub fn derive(master: u64, tag: u64) -> Self {
+        SimRng::new(derive_seed(master, tag))
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_usize_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson message inter-arrival times in the workloads.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+        let u = self.inner.gen::<f64>().max(1e-12);
+        mean.mul_f64(-u.ln())
+    }
+
+    /// Uniformly jittered duration in `[base - spread, base + spread]`,
+    /// clamped at zero.
+    pub fn jittered(&mut self, base: SimDuration, spread: SimDuration) -> SimDuration {
+        if spread.is_zero() {
+            return base;
+        }
+        let lo = base.as_nanos().saturating_sub(spread.as_nanos());
+        let hi = base.as_nanos().saturating_add(spread.as_nanos());
+        SimDuration::from_nanos(self.inner.gen_range(lo..=hi))
+    }
+
+    /// Uniform duration in `[lo, hi]`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        assert!(lo <= hi, "uniform_duration: lo > hi");
+        SimDuration::from_nanos(self.inner.gen_range(lo.as_nanos()..=hi.as_nanos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_below(1000), b.next_u64_below(1000));
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = SimRng::derive(42, 1);
+        let mut b = SimRng::derive(42, 2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64_below(u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64_below(u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn exp_duration_mean_is_plausible() {
+        let mut r = SimRng::new(7);
+        let mean = SimDuration::from_millis(10);
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| r.exp_duration(mean).as_nanos()).sum();
+        let avg = total / n;
+        // Within 5% of the requested mean.
+        let expect = mean.as_nanos();
+        assert!((avg as f64 - expect as f64).abs() < 0.05 * expect as f64, "avg={avg}");
+    }
+
+    #[test]
+    fn exp_duration_zero_mean() {
+        let mut r = SimRng::new(7);
+        assert_eq!(r.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jittered_bounds() {
+        let mut r = SimRng::new(9);
+        let base = SimDuration::from_micros(100);
+        let spread = SimDuration::from_micros(20);
+        for _ in 0..1000 {
+            let d = r.jittered(base, spread);
+            assert!(d >= SimDuration::from_micros(80) && d <= SimDuration::from_micros(120));
+        }
+        assert_eq!(r.jittered(base, SimDuration::ZERO), base);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,278 @@
+//! The discrete-event scheduler: a virtual clock plus an event heap.
+//!
+//! Determinism contract: with equal seeds and equal sequences of `schedule`
+//! calls, `pop` returns the exact same sequence of events. Ties at the same
+//! instant are broken by insertion order.
+
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::event::{Event, Scheduled};
+use crate::id::{ProcessId, TimerId};
+use crate::time::{SimDuration, SimTime};
+
+/// Virtual clock and pending-event queue.
+#[derive(Debug)]
+pub struct Scheduler<M> {
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    heap: BinaryHeap<Scheduled<M>>,
+    /// Timers that have been set and not yet fired or cancelled.
+    live_timers: HashSet<TimerId>,
+    popped: u64,
+}
+
+impl<M> Default for Scheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Scheduler<M> {
+    /// A scheduler at time zero with no pending events.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            heap: BinaryHeap::new(),
+            live_timers: HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event is clamped to `now` (runs next).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: Event<M>) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Register a timer owned by `pid`, firing after `delay` with the given
+    /// owner tag. Returns the id to use for cancellation.
+    pub fn set_timer(&mut self, pid: ProcessId, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.live_timers.insert(id);
+        self.schedule_after(delay, Event::Timer { pid, id, tag });
+        id
+    }
+
+    /// Cancel a previously set timer. Cancelling an already-fired or
+    /// already-cancelled timer is a harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.live_timers.remove(&id);
+    }
+
+    /// True if the timer is still pending (set, not fired, not cancelled).
+    pub fn timer_live(&self, id: TimerId) -> bool {
+        self.live_timers.contains(&id)
+    }
+
+    /// Pop the next due event, advancing the clock to its instant.
+    ///
+    /// Cancelled timers are skipped transparently. Returns `None` when the
+    /// queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        while let Some(s) = self.heap.pop() {
+            if let Event::Timer { id, .. } = &s.event {
+                // Drop stale timer firings.
+                if !self.live_timers.remove(id) {
+                    continue;
+                }
+            }
+            debug_assert!(s.at >= self.now, "time went backwards");
+            self.now = s.at;
+            self.popped += 1;
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// Peek at the due time of the next (non-cancelled) event without
+    /// advancing the clock.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(s) = self.heap.peek() {
+            if let Event::Timer { id, .. } = &s.event {
+                if !self.live_timers.contains(id) {
+                    self.heap.pop();
+                    continue;
+                }
+            }
+            return Some(s.at);
+        }
+        None
+    }
+
+    /// Drop every pending event except injected faults (used at recovery
+    /// time: rollback flushes the channels, cancels all timers and ticks,
+    /// and the recovery routine re-arms the world afresh).
+    pub fn clear_except_faults(&mut self) {
+        let drained: Vec<Scheduled<M>> = std::mem::take(&mut self.heap).into_vec();
+        self.live_timers.clear();
+        for s in drained {
+            if matches!(s.event, Event::Crash { .. } | Event::Recover { .. }) {
+                self.heap.push(s);
+            }
+        }
+    }
+
+    /// Drop every pending event addressed to `pid` (used at crash time so a
+    /// dead process receives nothing until recovery re-arms it).
+    ///
+    /// Message deliveries *to* a crashed process are silently lost, matching
+    /// the fail-stop model; in-flight messages *from* it were already sent.
+    pub fn drop_events_for(&mut self, pid: ProcessId) {
+        let drained: Vec<Scheduled<M>> = std::mem::take(&mut self.heap).into_vec();
+        for s in drained {
+            let addressed = s.event.target() == pid;
+            let keep = match &s.event {
+                // Faults are driven by the fault plan, never dropped.
+                Event::Crash { .. } | Event::Recover { .. } => true,
+                _ => !addressed,
+            };
+            if keep {
+                self.heap.push(s);
+            } else if let Event::Timer { id, .. } = &s.event {
+                self.live_timers.remove(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::MsgId;
+
+    fn tick(pid: u16, kind: u64) -> Event<u32> {
+        Event::Tick { pid: ProcessId(pid), kind }
+    }
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), tick(0, 0));
+        s.schedule_at(SimTime::from_nanos(5), tick(0, 1));
+        s.schedule_at(SimTime::from_nanos(10), tick(0, 2));
+        let kinds: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|(_, e)| match e {
+                Event::Tick { kind, .. } => kind,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 0, 2]);
+        assert_eq!(s.now(), SimTime::from_nanos(10));
+        assert_eq!(s.events_dispatched(), 3);
+    }
+
+    #[test]
+    fn cancelled_timers_are_skipped() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t1 = s.set_timer(ProcessId(0), SimDuration::from_nanos(5), 100);
+        let t2 = s.set_timer(ProcessId(0), SimDuration::from_nanos(10), 200);
+        assert!(s.timer_live(t1));
+        s.cancel_timer(t1);
+        assert!(!s.timer_live(t1));
+        let (_, e) = s.pop().expect("one timer should fire");
+        match e {
+            Event::Timer { id, tag, .. } => {
+                assert_eq!(id, t2);
+                assert_eq!(tag, 200);
+            }
+            _ => panic!("unexpected event"),
+        }
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn timer_fires_once() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = s.set_timer(ProcessId(1), SimDuration::from_nanos(1), 7);
+        assert!(s.pop().is_some());
+        assert!(!s.timer_live(t));
+        // Cancelling after fire is a no-op.
+        s.cancel_timer(t);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(42), tick(0, 0));
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(s.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn drop_events_for_removes_only_targets() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(
+            SimTime::from_nanos(5),
+            Event::Deliver { src: ProcessId(0), dst: ProcessId(1), msg_id: MsgId(0), msg: 9 },
+        );
+        s.schedule_at(SimTime::from_nanos(6), tick(1, 0));
+        s.schedule_at(SimTime::from_nanos(7), tick(2, 0));
+        s.schedule_at(SimTime::from_nanos(8), Event::Recover { pid: ProcessId(1) });
+        s.drop_events_for(ProcessId(1));
+        let mut remaining = Vec::new();
+        while let Some((_, e)) = s.pop() {
+            remaining.push(e.target());
+        }
+        assert_eq!(remaining, vec![ProcessId(2), ProcessId(1)]); // tick P2, recover P1
+    }
+
+    #[test]
+    fn clear_except_faults_keeps_only_faults() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(5), tick(0, 0));
+        let t = s.set_timer(ProcessId(1), SimDuration::from_nanos(3), 9);
+        s.schedule_at(SimTime::from_nanos(7), Event::Crash { pid: ProcessId(2) });
+        s.schedule_at(SimTime::from_nanos(9), Event::Recover { pid: ProcessId(2) });
+        s.clear_except_faults();
+        assert!(!s.timer_live(t));
+        let kinds: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert!(matches!(kinds[0], Event::Crash { .. }));
+        assert!(matches!(kinds[1], Event::Recover { .. }));
+        assert_eq!(kinds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), tick(0, 0));
+        s.pop();
+        s.schedule_at(SimTime::from_nanos(5), tick(0, 1));
+    }
+}

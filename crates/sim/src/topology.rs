@@ -1,0 +1,151 @@
+//! Communication topologies for workload generators.
+//!
+//! A topology answers one question: which peers may a process send
+//! application messages to? The underlying network is always fully
+//! connected (any process *can* reach any other — the control-message layer
+//! relies on that); topology only shapes the *application* traffic pattern.
+
+use crate::id::ProcessId;
+
+/// Application-level communication topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every process may message every other process.
+    FullMesh,
+    /// Process `i` messages `i±1 (mod n)`.
+    Ring,
+    /// Process 0 is the hub; leaves message only the hub, the hub messages leaves.
+    Star,
+    /// 2-D grid (row-major, `cols` columns); neighbors are N/S/E/W.
+    Grid {
+        /// Number of columns of the grid; rows are derived from `n`.
+        cols: usize,
+    },
+}
+
+impl Topology {
+    /// The peers `src` may send to, in ascending id order.
+    pub fn neighbors(&self, n: usize, src: ProcessId) -> Vec<ProcessId> {
+        assert!(n >= 2, "need at least two processes");
+        let i = src.index();
+        assert!(i < n, "pid out of range");
+        let mut out = match *self {
+            Topology::FullMesh => (0..n).filter(|&j| j != i).map(ProcessId::from).collect(),
+            Topology::Ring => {
+                let prev = (i + n - 1) % n;
+                let next = (i + 1) % n;
+                let mut v = vec![ProcessId::from(prev), ProcessId::from(next)];
+                v.sort();
+                v.dedup();
+                v
+            }
+            Topology::Star => {
+                if i == 0 {
+                    (1..n).map(ProcessId::from).collect()
+                } else {
+                    vec![ProcessId::P0]
+                }
+            }
+            Topology::Grid { cols } => {
+                assert!(cols >= 1, "grid needs at least one column");
+                let r = i / cols;
+                let c = i % cols;
+                let mut v = Vec::with_capacity(4);
+                if r > 0 {
+                    v.push(i - cols);
+                }
+                if c > 0 {
+                    v.push(i - 1);
+                }
+                if c + 1 < cols && i + 1 < n {
+                    v.push(i + 1);
+                }
+                if i + cols < n {
+                    v.push(i + cols);
+                }
+                v.into_iter().map(ProcessId::from).collect()
+            }
+        };
+        out.sort();
+        out
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::FullMesh => "mesh",
+            Topology::Ring => "ring",
+            Topology::Star => "star",
+            Topology::Grid { .. } => "grid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u16]) -> Vec<ProcessId> {
+        v.iter().map(|&x| ProcessId(x)).collect()
+    }
+
+    #[test]
+    fn full_mesh_excludes_self() {
+        let nbrs = Topology::FullMesh.neighbors(4, ProcessId(2));
+        assert_eq!(nbrs, ids(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn ring_wraps() {
+        assert_eq!(Topology::Ring.neighbors(5, ProcessId(0)), ids(&[1, 4]));
+        assert_eq!(Topology::Ring.neighbors(5, ProcessId(4)), ids(&[0, 3]));
+    }
+
+    #[test]
+    fn ring_of_two_dedups() {
+        assert_eq!(Topology::Ring.neighbors(2, ProcessId(0)), ids(&[1]));
+    }
+
+    #[test]
+    fn star_hub_and_leaf() {
+        assert_eq!(Topology::Star.neighbors(4, ProcessId(0)), ids(&[1, 2, 3]));
+        assert_eq!(Topology::Star.neighbors(4, ProcessId(3)), ids(&[0]));
+    }
+
+    #[test]
+    fn grid_interior_and_edges() {
+        // 2x3 grid: 0 1 2 / 3 4 5
+        let g = Topology::Grid { cols: 3 };
+        assert_eq!(g.neighbors(6, ProcessId(0)), ids(&[1, 3]));
+        assert_eq!(g.neighbors(6, ProcessId(1)), ids(&[0, 2, 4]));
+        assert_eq!(g.neighbors(6, ProcessId(4)), ids(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn grid_ragged_last_row() {
+        // 3 cols, n=5: 0 1 2 / 3 4
+        let g = Topology::Grid { cols: 3 };
+        assert_eq!(g.neighbors(5, ProcessId(2)), ids(&[1]));
+        assert_eq!(g.neighbors(5, ProcessId(4)), ids(&[1, 3]));
+    }
+
+    #[test]
+    fn every_topology_keeps_everyone_connected() {
+        // Sanity: union of neighbor relations is connected (BFS reaches all).
+        for topo in [Topology::FullMesh, Topology::Ring, Topology::Star, Topology::Grid { cols: 4 }] {
+            let n = 12;
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(i) = stack.pop() {
+                for p in topo.neighbors(n, ProcessId::from(i)) {
+                    if !seen[p.index()] {
+                        seen[p.index()] = true;
+                        stack.push(p.index());
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{topo:?} disconnected");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Execution tracing and ASCII space-time diagrams.
+//!
+//! Traces serve two purposes: (1) the paper-figure scenario tests assert on
+//! exact event sequences, and (2) the examples render a space-time diagram
+//! like the paper's Figures 2 and 5 so a human can eyeball a run.
+
+use std::fmt::Write as _;
+
+use crate::id::ProcessId;
+use crate::time::SimTime;
+
+/// Category of a traced occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// An application message was sent.
+    AppSend,
+    /// An application message was received and processed.
+    AppRecv,
+    /// A control message was sent (CK_BGN / CK_REQ / CK_END, markers, …).
+    CtrlSend,
+    /// A control message was received.
+    CtrlRecv,
+    /// A tentative checkpoint was taken (state saved optimistically).
+    TentativeCkpt,
+    /// A checkpoint was finalized (tentative + log flushed / made permanent).
+    FinalizeCkpt,
+    /// A stable-storage write started.
+    StorageStart,
+    /// A stable-storage write became durable.
+    StorageDone,
+    /// The process crashed.
+    Crash,
+    /// The process restarted and recovered.
+    Recover,
+    /// Algorithm-specific note.
+    Note,
+}
+
+impl TraceKind {
+    fn glyph(self) -> char {
+        match self {
+            TraceKind::AppSend => '>',
+            TraceKind::AppRecv => '<',
+            TraceKind::CtrlSend => '}',
+            TraceKind::CtrlRecv => '{',
+            TraceKind::TentativeCkpt => 'T',
+            TraceKind::FinalizeCkpt => 'F',
+            TraceKind::StorageStart => 'w',
+            TraceKind::StorageDone => 'W',
+            TraceKind::Crash => 'X',
+            TraceKind::Recover => 'R',
+            TraceKind::Note => '*',
+        }
+    }
+}
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which process it happened on.
+    pub pid: ProcessId,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form detail (message names, sequence numbers, …).
+    pub detail: String,
+}
+
+/// An append-only trace. Disabled traces cost one branch per record call.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn enabled() -> Self {
+        Trace { enabled: true, events: Vec::new() }
+    }
+
+    /// A trace that drops everything (for large benchmark runs).
+    pub fn disabled() -> Self {
+        Trace { enabled: false, events: Vec::new() }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one occurrence (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, pid: ProcessId, kind: TraceKind, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, pid, kind, detail: detail.into() });
+        }
+    }
+
+    /// All recorded events, in record order (which is time order, since the
+    /// simulator records as it dispatches).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events on one process.
+    pub fn for_process(&self, pid: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Render a compact ASCII space-time diagram: one row per process, one
+    /// column per recorded event (columns are globally time-ordered). This
+    /// intentionally mirrors the look of the paper's Figures 2 and 5.
+    pub fn ascii_diagram(&self, n: usize) -> String {
+        let cols = self.events.len();
+        let mut rows = vec![vec!['-'; cols]; n];
+        for (c, e) in self.events.iter().enumerate() {
+            if e.pid.index() < n {
+                rows[e.pid.index()][c] = e.kind.glyph();
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            let _ = write!(out, "P{i:<3}|");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "legend: > send  < recv  }} ctrl-send  {{ ctrl-recv  T tentative  F finalize  w flush-start  W durable  X crash  R recover"
+        );
+        out
+    }
+
+    /// Render a proper space-time diagram as an SVG document: one
+    /// horizontal lifeline per process, events as glyphs placed at their
+    /// true (virtual) times — the publishable version of the paper's
+    /// Figures 2 and 5.
+    pub fn to_svg(&self, n: usize) -> String {
+        const ROW_H: f64 = 42.0;
+        const LEFT: f64 = 56.0;
+        const WIDTH: f64 = 960.0;
+        const TOP: f64 = 28.0;
+        let t_max = self.events.iter().map(|e| e.at.as_nanos()).max().unwrap_or(1).max(1);
+        let x = |t: SimTime| LEFT + (WIDTH - LEFT - 20.0) * t.as_nanos() as f64 / t_max as f64;
+        let y = |p: ProcessId| TOP + ROW_H * p.index() as f64 + ROW_H / 2.0;
+        let height = TOP + ROW_H * n as f64 + 34.0;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" font-family="monospace" font-size="11">"#
+        );
+        let _ = write!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        for p in (0..n).map(|i| ProcessId(i as u16)) {
+            let yy = y(p);
+            let _ = write!(
+                s,
+                r##"<line x1="{LEFT}" y1="{yy}" x2="{}" y2="{yy}" stroke="#888"/><text x="8" y="{}">{p}</text>"##,
+                WIDTH - 16.0,
+                yy + 4.0
+            );
+        }
+        for e in &self.events {
+            if e.pid.index() >= n {
+                continue;
+            }
+            let (color, r) = match e.kind {
+                TraceKind::TentativeCkpt => ("#e8a33d", 6.0),
+                TraceKind::FinalizeCkpt => ("#2e7d32", 6.0),
+                TraceKind::StorageStart | TraceKind::StorageDone => ("#7b1fa2", 3.5),
+                TraceKind::CtrlSend | TraceKind::CtrlRecv => ("#c62828", 3.0),
+                TraceKind::Crash => ("#000000", 7.0),
+                TraceKind::Recover => ("#1565c0", 7.0),
+                _ => ("#90a4ae", 2.0),
+            };
+            let _ = write!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="{r}" fill="{color}"><title>{} {} {:?} {}</title></circle>"#,
+                x(e.at),
+                y(e.pid),
+                e.at,
+                e.pid,
+                e.kind,
+                svg_escape(&e.detail),
+            );
+        }
+        let _ = write!(
+            s,
+            r#"<text x="{LEFT}" y="{}">orange=tentative green=finalize purple=storage red=control grey=app  t∈[0,{}]</text>"#,
+            height - 12.0,
+            SimTime::from_nanos(t_max)
+        );
+        s.push_str("</svg>");
+        s
+    }
+
+    /// A line-per-event textual log (stable format, used in tests/examples).
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{:>12}  {:<4} {:?} {}", e.at.to_string(), e.pid.to_string(), e.kind, e.detail);
+        }
+        out
+    }
+}
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_lifelines_and_events() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), ProcessId(0), TraceKind::TentativeCkpt, "CT(1)");
+        t.record(SimTime::from_millis(2), ProcessId(1), TraceKind::FinalizeCkpt, "C(1)");
+        t.record(SimTime::from_millis(3), ProcessId(1), TraceKind::AppSend, "M<1>&x");
+        let svg = t.to_svg(2);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 2, "one lifeline per process");
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("M&lt;1&gt;&amp;x"), "detail must be escaped");
+    }
+
+    #[test]
+    fn svg_of_empty_trace_is_valid() {
+        let t = Trace::enabled();
+        let svg = t.to_svg(3);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, ProcessId(0), TraceKind::AppSend, "M1");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_nanos(1), ProcessId(0), TraceKind::AppSend, "M1");
+        t.record(SimTime::from_nanos(2), ProcessId(1), TraceKind::AppRecv, "M1");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].detail, "M1");
+        assert_eq!(t.for_process(ProcessId(1)).count(), 1);
+        assert_eq!(t.of_kind(TraceKind::AppSend).count(), 1);
+    }
+
+    #[test]
+    fn ascii_diagram_shape() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_nanos(1), ProcessId(0), TraceKind::TentativeCkpt, "CT01");
+        t.record(SimTime::from_nanos(2), ProcessId(1), TraceKind::FinalizeCkpt, "C11");
+        let d = t.ascii_diagram(2);
+        let lines: Vec<&str> = d.lines().collect();
+        assert!(lines[0].starts_with("P0"));
+        assert!(lines[0].contains('T'));
+        assert!(lines[1].contains('F'));
+    }
+
+    #[test]
+    fn render_log_contains_details() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(5), ProcessId(2), TraceKind::Note, "hello");
+        let log = t.render_log();
+        assert!(log.contains("P2"));
+        assert!(log.contains("hello"));
+    }
+}

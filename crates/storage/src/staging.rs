@@ -1,0 +1,111 @@
+//! Local-memory staging accounting.
+//!
+//! Under the paper's algorithm a tentative checkpoint and its growing
+//! message log live in the process's **local memory** until finalization
+//! flushes them to stable storage. That is the mechanism that removes
+//! contention — but it costs memory. This module accounts for that cost so
+//! experiment E5 can report it: bytes staged per process over time, and the
+//! peak across the run.
+
+use ocpt_sim::{ProcessId, SimTime};
+
+/// Per-process staging accounting.
+#[derive(Debug)]
+pub struct StagingArea {
+    current: Vec<u64>,
+    peak: Vec<u64>,
+    peak_total: u64,
+    peak_total_at: SimTime,
+}
+
+impl StagingArea {
+    /// A staging area for `n` processes.
+    pub fn new(n: usize) -> Self {
+        StagingArea {
+            current: vec![0; n],
+            peak: vec![0; n],
+            peak_total: 0,
+            peak_total_at: SimTime::ZERO,
+        }
+    }
+
+    /// `pid` stages `bytes` more (tentative checkpoint taken or message
+    /// appended to the in-memory log).
+    pub fn stage(&mut self, now: SimTime, pid: ProcessId, bytes: u64) {
+        let c = &mut self.current[pid.index()];
+        *c += bytes;
+        let c = *c;
+        let p = &mut self.peak[pid.index()];
+        *p = (*p).max(c);
+        let total: u64 = self.current.iter().sum();
+        if total > self.peak_total {
+            self.peak_total = total;
+            self.peak_total_at = now;
+        }
+    }
+
+    /// `pid` released `bytes` (flushed to stable storage or discarded at a
+    /// crash). Releasing more than staged is a logic error.
+    pub fn release(&mut self, pid: ProcessId, bytes: u64) {
+        let c = &mut self.current[pid.index()];
+        debug_assert!(*c >= bytes, "releasing more than staged");
+        *c = c.saturating_sub(bytes);
+    }
+
+    /// `pid` lost all volatile staging (crash).
+    pub fn drop_all(&mut self, pid: ProcessId) -> u64 {
+        std::mem::take(&mut self.current[pid.index()])
+    }
+
+    /// Bytes currently staged by `pid`.
+    pub fn staged(&self, pid: ProcessId) -> u64 {
+        self.current[pid.index()]
+    }
+
+    /// Peak bytes ever staged by `pid`.
+    pub fn peak_of(&self, pid: ProcessId) -> u64 {
+        self.peak[pid.index()]
+    }
+
+    /// Peak simultaneous staging across all processes, and when it occurred.
+    pub fn peak_total(&self) -> (u64, SimTime) {
+        (self.peak_total, self.peak_total_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_release_roundtrip() {
+        let mut s = StagingArea::new(2);
+        s.stage(SimTime::from_nanos(1), ProcessId(0), 100);
+        s.stage(SimTime::from_nanos(2), ProcessId(0), 50);
+        assert_eq!(s.staged(ProcessId(0)), 150);
+        s.release(ProcessId(0), 150);
+        assert_eq!(s.staged(ProcessId(0)), 0);
+        assert_eq!(s.peak_of(ProcessId(0)), 150);
+    }
+
+    #[test]
+    fn peak_total_tracks_sum() {
+        let mut s = StagingArea::new(2);
+        s.stage(SimTime::from_nanos(1), ProcessId(0), 100);
+        s.stage(SimTime::from_nanos(2), ProcessId(1), 300);
+        s.release(ProcessId(0), 100);
+        s.stage(SimTime::from_nanos(3), ProcessId(0), 50);
+        let (peak, at) = s.peak_total();
+        assert_eq!(peak, 400);
+        assert_eq!(at, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn crash_drops_everything() {
+        let mut s = StagingArea::new(1);
+        s.stage(SimTime::ZERO, ProcessId(0), 77);
+        assert_eq!(s.drop_all(ProcessId(0)), 77);
+        assert_eq!(s.staged(ProcessId(0)), 0);
+        assert_eq!(s.peak_of(ProcessId(0)), 77);
+    }
+}

@@ -1,0 +1,77 @@
+//! Domain scenario: a 4×4 stencil computation (nearest-neighbour halo
+//! exchange, the classic HPC workload the checkpointing literature —
+//! Oliner et al. [9], Zhang et al. [12] — worries about) checkpointed by
+//! each algorithm, comparing stable-storage contention and overhead.
+//!
+//! ```sh
+//! cargo run --release --example grid_stencil
+//! ```
+
+use ocpt::metrics::Table;
+use ocpt::prelude::*;
+use ocpt_harness::workload::{Pattern, PayloadSpec, Timing};
+
+fn main() {
+    let n = 16; // 4×4 grid
+    let mut table = Table::new(
+        "4x4 stencil: checkpointing overhead by algorithm",
+        &[
+            "algo",
+            "rounds",
+            "peak_writers",
+            "stall_ms",
+            "blocked_ms",
+            "forced_ckpts",
+            "ctrl_msgs",
+            "consistent",
+        ],
+    );
+
+    for algo in Algo::comparison_set() {
+        let mut cfg = RunConfig::new(n, 2026);
+        cfg.workload = WorkloadSpec {
+            topology: Topology::Grid { cols: 4 },
+            pattern: Pattern::Uniform,
+            // A halo exchange every ~2 ms per rank, 8 KiB halos.
+            timing: Timing::Uniform {
+                gap: SimDuration::from_millis(2),
+                jitter: SimDuration::from_micros(200),
+            },
+            payload: PayloadSpec::Fixed(8 * 1024),
+        };
+        // 16 ranks × 2 MiB per 2 s ≈ 16 MB/s against a 50 MB/s server:
+        // busy, not saturated — contention here measures write clustering.
+        cfg.checkpoint_interval = SimDuration::from_secs(2);
+        cfg.workload_duration = SimDuration::from_secs(5);
+        cfg.state_bytes = 2 * 1024 * 1024;
+
+        let r = run(&algo, cfg);
+        assert!(r.protocol_error.is_none(), "{}: {:?}", r.algo, r.protocol_error);
+        let consistent = if r.algo == "uncoordinated" {
+            "n/a".to_string()
+        } else {
+            match r.verify_consistency() {
+                Ok(k) => format!("{k} ✓"),
+                Err(e) => format!("FAIL: {e}"),
+            }
+        };
+        table.row(&[
+            r.algo.into(),
+            r.complete_rounds.to_string(),
+            r.storage.peak_writers.to_string(),
+            format!("{:.2}", r.storage.total_stall.as_secs_f64() * 1e3),
+            format!("{:.2}", r.blocked_time.as_secs_f64() * 1e3),
+            r.counters.get("ckpt.forced_before_processing").to_string(),
+            r.ctrl_messages.to_string(),
+            consistent,
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "Reading guide: the paper's algorithm (ocpt) should show peak_writers ≈ 1–2 and\n\
+         ~zero stall (writes placed at each process's convenience), no blocking (unlike\n\
+         koo-toueg) and no forced pre-processing checkpoints (unlike cic), at the cost\n\
+         of piggybacks and a few control messages per quiet round."
+    );
+}

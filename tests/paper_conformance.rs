@@ -1,0 +1,127 @@
+//! Paper-conformance checks that don't fit the other suites: the exact
+//! statements the text makes about the algorithm's externally visible
+//! behaviour, tested at the whole-system level.
+
+use ocpt::prelude::*;
+
+fn cfg(n: usize, seed: u64) -> RunConfig {
+    let mut c = RunConfig::new(n, seed);
+    c.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(3));
+    c.checkpoint_interval = SimDuration::from_millis(250);
+    c.workload_duration = SimDuration::from_millis(1_500);
+    c.state_bytes = 128 * 1024;
+    c
+}
+
+/// §1: "if each process is required to take checkpoints once in every time
+/// interval of t seconds, no process takes more than one checkpoint in any
+/// time interval of t seconds."
+#[test]
+fn at_most_one_checkpoint_per_interval_per_process() {
+    let mut c = cfg(6, 21);
+    c.trace = true;
+    let r = run_checked(&Algo::ocpt(), c);
+    for pid in ProcessId::all(6) {
+        let mut times: Vec<SimTime> = r
+            .trace
+            .for_process(pid)
+            .filter(|e| e.kind == ocpt::sim::TraceKind::TentativeCkpt)
+            .map(|e| e.at)
+            .collect();
+        times.sort();
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(
+                gap >= SimDuration::from_millis(125),
+                "{pid} took two tentative checkpoints {gap} apart"
+            );
+        }
+    }
+}
+
+/// §3.4: sequence numbers are assigned "one more than that assigned to its
+/// previous checkpoint" — finalized rounds are gap-free 1..=R.
+#[test]
+fn sequence_numbers_are_dense() {
+    let r = run_checked(&Algo::ocpt(), cfg(5, 22));
+    let obs = r.observer.as_ref().unwrap();
+    let complete = obs.complete_csns();
+    assert!(!complete.is_empty());
+    for (i, csn) in complete.iter().enumerate() {
+        assert_eq!(*csn, i as u64 + 1, "gap in finalized sequence numbers");
+    }
+    for pid in ProcessId::all(5) {
+        let ckpts = obs.checkpoints_of(pid);
+        for (i, (csn, _)) in ckpts.iter().enumerate() {
+            assert_eq!(*csn, i as u64 + 1, "{pid} has a csn gap");
+        }
+    }
+}
+
+/// §3.2: "a process is not allowed to initiate a new consistent global
+/// checkpoint until it finalizes its current tentative checkpoint" — at
+/// every instant, tentative counts never exceed finalized + 1 per process.
+#[test]
+fn no_overlapping_tentative_checkpoints() {
+    let r = run_checked(&Algo::ocpt(), cfg(5, 23));
+    // Counter-level invariant over the whole run: each tentative checkpoint
+    // is matched by exactly one finalization.
+    assert_eq!(r.counters.get("ckpt.tentative"), r.counters.get("ckpt.finalized"));
+}
+
+/// §2.1: "Channels need not be FIFO" — the algorithm stays correct under
+/// aggressively reordering channels.
+#[test]
+fn correct_under_heavy_reordering() {
+    let mut c = cfg(5, 24);
+    c.sim = c.sim.with_fifo(false).with_delay(DelayModel::Uniform(
+        SimDuration::from_micros(10),
+        SimDuration::from_millis(20), // 2000× spread → massive reordering
+    ));
+    let r = run_checked(&Algo::ocpt(), c);
+    assert!(r.complete_rounds >= 2);
+    assert!(r.verify_consistency().unwrap() >= 2);
+}
+
+/// §2.1 again, but with near-zero delays (instant network): degenerate
+/// timing must not break the case analysis.
+#[test]
+fn correct_under_instant_network() {
+    let mut c = cfg(4, 25);
+    c.sim = c.sim.with_delay(DelayModel::Fixed(SimDuration::from_nanos(1)));
+    let r = run_checked(&Algo::ocpt(), c);
+    assert!(r.complete_rounds >= 2);
+}
+
+/// Two processes — the smallest legal system; every receive is from "the
+/// rest of the system", so finalizations collapse to single exchanges.
+#[test]
+fn minimal_two_process_system() {
+    let r = run_checked(&Algo::ocpt(), cfg(2, 26));
+    assert!(r.complete_rounds >= 2);
+    assert_eq!(r.counters.get("ckpt.tentative"), r.counters.get("ckpt.finalized"));
+}
+
+/// A large system: N = 64 with scaled state still collects consistent
+/// rounds and keeps the piggyback at 9 + ⌈64/8⌉ = 17 bytes.
+#[test]
+fn large_system_n64() {
+    let mut c = cfg(64, 27);
+    c.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(8));
+    c.checkpoint_interval = SimDuration::from_millis(500);
+    c.workload_duration = SimDuration::from_millis(1_500);
+    c.state_bytes = 64 * 1024;
+    let r = run_checked(&Algo::ocpt(), c);
+    assert!(r.complete_rounds >= 1);
+    assert_eq!(r.piggyback_bytes / r.app_messages, 17);
+}
+
+/// The recovery line never exceeds the least finalized round and catches
+/// up once writes drain — durability lags the decision by bounded time.
+#[test]
+fn recovery_line_trails_then_catches_up() {
+    let r = run_checked(&Algo::ocpt(), cfg(5, 28));
+    // After quiescence (runner drains storage), the line equals the number
+    // of globally completed rounds.
+    assert_eq!(r.recovery_line, r.complete_rounds);
+}
