@@ -1,0 +1,350 @@
+//! Vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io mirror, so the workspace carries the slice of the criterion
+//! API its benches use as a local path dependency: `criterion_group!` /
+//! `criterion_main!`, [`Criterion`], benchmark groups with
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::throughput`] /
+//! [`BenchmarkGroup::bench_with_input`], and [`Bencher::iter`].
+//!
+//! Measurement model: each sample times a calibrated batch of iterations
+//! with `std::time::Instant`; the reported figure is the best (minimum)
+//! per-iteration time across samples, which is robust to scheduler noise.
+//! There are no plots, no statistics files, and no saved baselines.
+//!
+//! Run modes, following cargo's conventions for `harness = false` targets:
+//! `cargo bench` passes `--bench` and gets full measurement; `cargo test`
+//! runs the same executables *without* `--bench`, and each benchmark body
+//! executes exactly once as a smoke test so assertions inside benches
+//! still fire in the test suite.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark: `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Best observed per-iteration nanoseconds (set by `iter`).
+    best_ns: f64,
+    iters_done: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`--bench` present).
+    Measure,
+    /// Run the body once (plain `cargo test` on a harness=false target).
+    Smoke,
+}
+
+impl Bencher {
+    /// Time the closure. In measurement mode, runs calibrated batches and
+    /// records the best per-iteration time; in smoke mode runs it once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(f());
+            self.iters_done += 1;
+            return;
+        }
+        // Calibrate: grow the batch until it takes >= 1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            self.iters_done += batch;
+        }
+        self.best_ns = best;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id.clone(), |b| f(b));
+        self
+    }
+
+    fn run(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            samples: self.sample_size,
+            best_ns: f64::NAN,
+            iters_done: 0,
+        };
+        f(&mut b);
+        match b.mode {
+            Mode::Smoke => println!("{full}: ok (smoke, {} iter)", b.iters_done.max(1)),
+            Mode::Measure => {
+                let mut line = format!("{full}: {} /iter", fmt_ns(b.best_ns));
+                if let Some(t) = self.throughput {
+                    let per_sec = match t {
+                        Throughput::Elements(n) => {
+                            format!("{} elem/s", fmt_rate(n as f64 / (b.best_ns * 1e-9)))
+                        }
+                        Throughput::Bytes(n) => {
+                            format!("{}B/s", fmt_rate(n as f64 / (b.best_ns * 1e-9)))
+                        }
+                    };
+                    line.push_str(&format!("  ({per_sec})"));
+                }
+                println!("{line}");
+            }
+        }
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "<unmeasured>".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.0} ")
+    }
+}
+
+/// Entry point for a bench target.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench to harness=false executables;
+        // cargo test runs them bare. Anything that isn't a flag filters
+        // benchmark names, like upstream.
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--bench" => mode = Mode::Measure,
+                "--test" => mode = Mode::Smoke,
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure at top level.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let g = BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        };
+        g.run("-", |b| f(b));
+        self
+    }
+
+    /// Upstream-compatible no-op (config already comes from args).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, full: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| full.contains(f))
+    }
+}
+
+/// Group benchmark functions under one registry entry.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke, filter: None };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1));
+            g.bench_with_input(BenchmarkId::new("b", 1), &(), |b, _| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_finite_time() {
+        let mut c = Criterion { mode: Mode::Measure, filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut x = 0u64;
+        g.bench_with_input(BenchmarkId::new("b", 1), &(), |b, _| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        g.finish();
+        assert!(x > 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { mode: Mode::Measure, filter: Some("nomatch".into()) };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("b", 1), &(), |b, _| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 0);
+    }
+}

@@ -1,0 +1,597 @@
+//! Vendored, dependency-free subset of the `proptest` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io mirror, so the workspace carries the slice of the proptest
+//! API its test-suite uses as a local path dependency:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! - [`Strategy`] with `prop_map` / `prop_flat_map`, range and tuple
+//!   strategies, [`any`], [`Just`], `prop::collection::vec`,
+//!   `prop::sample::Index`.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed per test (override with `PROPTEST_SEED`), there is
+//! no shrinking, and no failure persistence. The default case count is
+//! 256, like upstream; override globally with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+
+// ---------- deterministic RNG ----------
+
+/// SplitMix64-based deterministic RNG driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG for a named test: deterministic per (test name, seed).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed: u64 = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0x0C97_0C97_0C97_0C97),
+            Err(_) => 0x0C97_0C97_0C97_0C97,
+        };
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Widening-multiply rejection-free mapping (small bias is fine for
+        // test-case generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Resolve the effective case count (`PROPTEST_CASES` overrides).
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+// ---------- config and errors ----------
+
+/// Per-invocation configuration (only `cases` is meaningful here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Upstream-compatible helper: a config with the given case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error/result plumbing compatible with upstream `test_runner`.
+pub mod test_runner {
+    /// A failed test case (carries the failure message).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure from any displayable reason.
+        pub fn fail<M: std::fmt::Display>(m: M) -> TestCaseError {
+            TestCaseError(m.to_string())
+        }
+
+        /// Upstream alias for [`TestCaseError::fail`].
+        pub fn reject<M: std::fmt::Display>(m: M) -> TestCaseError {
+            TestCaseError::fail(m)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Result alias used by generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+// ---------- Strategy core ----------
+
+/// A generator of values of type `Value`.
+///
+/// Object-safe for `generate`; the combinators require `Sized`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    alts: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives; panics if empty.
+    pub fn new(alts: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { alts }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.alts.len() as u64) as usize;
+        self.alts[i].generate(rng)
+    }
+}
+
+// ---------- ranges ----------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = if width > u64::MAX as u128 {
+                    // Only reachable for 128-bit-wide u64/i64 ranges.
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(width as u64) as u128
+                };
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = if width > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(width as u64) as u128
+                };
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------- tuples ----------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------- any / Arbitrary ----------
+
+/// Types with a canonical unconstrained strategy.
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, magnitude-varied — good enough for tests.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy form of [`Arbitrary`]; see [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------- prop:: namespace ----------
+
+/// Upstream-style `prop::` namespace (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Accepted sizes for [`vec`]: an exact count or a half-open range.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi: r.end }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            }
+        }
+
+        /// A `Vec` of values from `elem`, sized within `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + if span <= 1 { 0 } else { rng.below(span) as usize };
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An abstract index into a collection of as-yet-unknown size.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Resolve against a concrete collection size (> 0).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64() as usize)
+            }
+        }
+    }
+}
+
+// ---------- macros ----------
+
+/// Fail the current property with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        // The expected `Vec<Box<dyn Strategy<..>>>` type flows from
+        // `Union::new` into the vec! elements, unsizing each Box.
+        $crate::Union::new(vec![$(::std::boxed::Box::new($strat)),+])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    // One property function, then recurse on the rest.
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::resolve_cases(__cfg.cases);
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(binding in strategy, ...) { body }` items (attributes such as
+/// `#[test]` and doc comments pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// One-stop import, mirroring upstream's `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-5i64..6).generate(&mut rng);
+            assert!((-5..6).contains(&s));
+            let f = (-1e6f64..1e6).generate(&mut rng);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = crate::TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..10, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let exact = prop::collection::vec(0u8..10, 3).generate(&mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        /// The macro pipeline itself: bindings, prop_assert, early return.
+        #[test]
+        fn macro_smoke(x in 1u32..100, pair in (0u8..4, any::<bool>()), v in prop::collection::vec(0u16..9, 0..5)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(pair.0 as usize + v.len(), pair.0 as usize + v.len());
+            if v.is_empty() {
+                return Ok(());
+            }
+            let one = prop_oneof![Just(1u8), Just(1u8)];
+            let mut rng = crate::TestRng::for_test("inner");
+            prop_assert_eq!(one.generate(&mut rng), 1u8);
+        }
+    }
+}

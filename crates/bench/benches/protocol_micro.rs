@@ -35,6 +35,44 @@ fn bench_tentset(c: &mut Criterion) {
     g.finish();
 }
 
+/// Piggyback construction on the send path. The tentSet ships inside the
+/// piggyback of **every** application message, so this must be a refcount
+/// bump, never a bitset copy — asserted here with the copy-on-write fault
+/// counter, at a universe size (1024 → 128-byte bitset) where an
+/// accidental deep clone would also be clearly visible in the timing.
+fn bench_piggyback_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("piggyback_send");
+    for n in [64usize, 1024] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("construct", n), &n, |b, &n| {
+            let mut p = OcptProcess::new(ProcessId(0), n, OcptConfig::basic_only());
+            let mut out = Vec::new();
+            p.initiate_checkpoint(&mut out);
+            let before = TentSet::deep_copies();
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                std::hint::black_box(p.on_app_send(
+                    ProcessId(1),
+                    MsgId(id),
+                    AppPayload { id, len: 256 },
+                ))
+            });
+            let pb = p.on_app_send(ProcessId(1), MsgId(id + 1), AppPayload { id, len: 256 });
+            assert_eq!(
+                TentSet::deep_copies(),
+                before,
+                "n={n}: send path deep-cloned the tentSet"
+            );
+            assert!(
+                TentSet::shares_storage(&pb.tent_set, p.tent_set()),
+                "n={n}: piggyback does not share tentSet storage"
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_send_receive_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol_path");
     for n in [8usize, 64, 256] {
@@ -125,5 +163,12 @@ fn bench_log(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tentset, bench_send_receive_path, bench_wire_codec, bench_log);
+criterion_group!(
+    benches,
+    bench_tentset,
+    bench_piggyback_sharing,
+    bench_send_receive_path,
+    bench_wire_codec,
+    bench_log
+);
 criterion_main!(benches);

@@ -1,6 +1,14 @@
 //! Run the complete reconstructed evaluation (E1–E8, A1–A3) in one go.
-use ocpt_bench::ExpArgs;
+//!
+//! With `--bench-json <path>`, every experiment grid is executed twice —
+//! `--jobs 1` and then the requested worker count — and the wall-clock
+//! self-measurement (per-experiment and total speedup, events/sec) is
+//! written to the path as JSON. The printed tables come from the parallel
+//! pass; they are byte-identical to the serial pass by construction.
+
+use ocpt_bench::{bench_report_json, BenchEntry, ExpArgs};
 use ocpt_harness::experiments as exp;
+use ocpt_harness::{GridOptions, RunGrid};
 use ocpt_sim::SimDuration;
 
 fn main() {
@@ -14,13 +22,51 @@ fn main() {
     ];
     let timeouts = [SimDuration::from_millis(125), SimDuration::from_millis(500)];
     let intervals = [SimDuration::from_millis(250), SimDuration::from_millis(1000)];
-    args.emit(&exp::e1_contention(ns, p));
-    args.emit(&exp::e2_overhead(&intervals, p));
-    args.emit(&exp::e3_control_messages(&gaps, p));
-    args.emit(&exp::e4_convergence(&gaps[..2], &timeouts, p));
-    args.emit(&exp::e5_logging(&gaps[..2], p));
-    args.emit(&exp::e6_piggyback(ns, p));
-    args.emit(&exp::e7_recovery(p, (p.workload_ms * 3) / 4));
-    args.emit(&exp::e8_response_time(&gaps[..2], p));
-    args.emit(&exp::a2_flush_policy(p));
+    let grids: Vec<(&str, RunGrid)> = vec![
+        ("e1", exp::e1_contention(ns, p)),
+        ("e2", exp::e2_overhead(&intervals, p)),
+        ("e3", exp::e3_control_messages(&gaps, p)),
+        ("e4", exp::e4_convergence(&gaps[..2], &timeouts, p)),
+        ("e5", exp::e5_logging(&gaps[..2], p)),
+        ("e6", exp::e6_piggyback(ns, p)),
+        ("e7", exp::e7_recovery(p, (p.workload_ms * 3) / 4)),
+        ("e8", exp::e8_response_time(&gaps[..2], p)),
+        ("a2", exp::a2_flush_policy(p)),
+    ];
+
+    match &args.bench_json {
+        None => {
+            for (_, g) in &grids {
+                args.emit(g);
+            }
+        }
+        Some(path) => {
+            let serial = GridOptions { jobs: 1, replicates: args.replicates };
+            let jobs = args.effective_jobs();
+            let mut entries = Vec::with_capacity(grids.len());
+            for (name, g) in &grids {
+                let s = g.run(&serial);
+                let out = args.emit(g);
+                assert_eq!(
+                    s.table.render(),
+                    out.table.render(),
+                    "{name}: parallel output diverged from serial"
+                );
+                entries.push(BenchEntry {
+                    name: (*name).into(),
+                    serial_secs: s.wall_secs,
+                    parallel_secs: out.wall_secs,
+                    runs: out.runs,
+                    sim_events: out.sim_events,
+                });
+            }
+            let report = bench_report_json(jobs, &entries);
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote self-benchmark to {path}");
+            eprint!("{report}");
+        }
+    }
 }

@@ -4,11 +4,18 @@
 //! `cargo run -p ocpt-bench --release --bin exp_contention`), plus
 //! Criterion microbenches (`cargo bench`). This library holds the tiny
 //! shared argument parser the binaries use.
+//!
+//! Every binary executes its experiment through the grid engine
+//! (`ocpt_harness::grid`): `--jobs N` runs cells on N worker threads and
+//! `--replicates R` repeats every cell under R derived seeds. The table
+//! is byte-identical for any `--jobs` value — parallelism changes wall
+//! time only, which `exp_all --bench-json` measures and reports.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use ocpt_harness::experiments::ExpParams;
+use ocpt_harness::{GridOptions, GridOutcome, RunGrid};
 use ocpt_sim::SimDuration;
 
 /// Command-line options shared by all experiment binaries.
@@ -20,12 +27,25 @@ pub struct ExpArgs {
     pub csv: bool,
     /// Master seed.
     pub seed: u64,
+    /// Grid worker threads (0 = one per available core).
+    pub jobs: usize,
+    /// Seed-replicates per grid cell.
+    pub replicates: usize,
+    /// `exp_all` only: write the serial-vs-parallel self-benchmark here.
+    pub bench_json: Option<String>,
 }
 
 impl ExpArgs {
     /// Parse from `std::env::args`; exits with usage on error.
     pub fn parse() -> ExpArgs {
-        let mut args = ExpArgs { quick: false, csv: false, seed: 42 };
+        let mut args = ExpArgs {
+            quick: false,
+            csv: false,
+            seed: 42,
+            jobs: 1,
+            replicates: 1,
+            bench_json: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -37,11 +57,46 @@ impl ExpArgs {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
+                "--jobs" => {
+                    args.jobs = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs an integer (0 = auto)"));
+                }
+                "--replicates" => {
+                    let r: usize = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--replicates needs an integer >= 1"));
+                    if r == 0 {
+                        usage("--replicates needs an integer >= 1");
+                    }
+                    args.replicates = r;
+                }
+                "--bench-json" => {
+                    args.bench_json = Some(
+                        it.next().unwrap_or_else(|| usage("--bench-json needs a path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         args
+    }
+
+    /// Effective worker count (`--jobs 0` resolves to the core count).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Grid execution options from the parsed flags.
+    pub fn grid_options(&self) -> GridOptions {
+        GridOptions { jobs: self.effective_jobs(), replicates: self.replicates }
     }
 
     /// Base experiment parameters at this scale.
@@ -70,19 +125,114 @@ impl ExpArgs {
         }
     }
 
-    /// Print a finished table (and CSV when requested).
-    pub fn emit(&self, t: &ocpt_metrics::Table) {
-        println!("{}", t.render());
+    /// Execute a grid with the parsed options and print its table (and
+    /// CSV when requested). Returns the outcome for self-measurement.
+    pub fn emit(&self, g: &RunGrid) -> GridOutcome {
+        let out = g.run(&self.grid_options());
+        println!("{}", out.table.render());
         if self.csv {
-            println!("{}", t.to_csv());
+            println!("{}", out.table.to_csv());
         }
+        out
     }
+}
+
+/// One named measurement for the `--bench-json` report.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Experiment label (e.g. `"e1"`).
+    pub name: String,
+    /// Wall-clock seconds with `--jobs 1`.
+    pub serial_secs: f64,
+    /// Wall-clock seconds with the parallel worker count.
+    pub parallel_secs: f64,
+    /// Simulation runs in the grid (cells × replicates).
+    pub runs: usize,
+    /// Simulator events dispatched (identical across both passes).
+    pub sim_events: u64,
+}
+
+/// Render the self-benchmark as JSON (hand-formatted: no serde offline).
+pub fn bench_report_json(jobs: usize, entries: &[BenchEntry]) -> String {
+    let total_serial: f64 = entries.iter().map(|e| e.serial_secs).sum();
+    let total_parallel: f64 = entries.iter().map(|e| e.parallel_secs).sum();
+    let total_events: u64 = entries.iter().map(|e| e.sim_events).sum();
+    let total_runs: usize = entries.iter().map(|e| e.runs).sum();
+    let speedup = if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"total_runs\": {total_runs},\n"));
+    out.push_str(&format!("  \"total_sim_events\": {total_events},\n"));
+    out.push_str(&format!("  \"serial_wall_secs\": {total_serial:.6},\n"));
+    out.push_str(&format!("  \"parallel_wall_secs\": {total_parallel:.6},\n"));
+    out.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    out.push_str(&format!(
+        "  \"serial_events_per_sec\": {:.1},\n",
+        if total_serial > 0.0 { total_events as f64 / total_serial } else { 0.0 }
+    ));
+    out.push_str(&format!(
+        "  \"parallel_events_per_sec\": {:.1},\n",
+        if total_parallel > 0.0 { total_events as f64 / total_parallel } else { 0.0 }
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"sim_events\": {}, \
+             \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \"speedup\": {:.3}}}{sep}\n",
+            e.name,
+            e.runs,
+            e.sim_events,
+            e.serial_secs,
+            e.parallel_secs,
+            if e.parallel_secs > 0.0 { e.serial_secs / e.parallel_secs } else { 0.0 },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: exp_* [--quick] [--csv] [--seed <u64>]");
+    eprintln!(
+        "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
+         [--replicates <r>] [--bench-json <path>]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_shape() {
+        let entries = vec![
+            BenchEntry {
+                name: "e1".into(),
+                serial_secs: 2.0,
+                parallel_secs: 0.5,
+                runs: 12,
+                sim_events: 1000,
+            },
+            BenchEntry {
+                name: "e2".into(),
+                serial_secs: 1.0,
+                parallel_secs: 0.5,
+                runs: 6,
+                sim_events: 500,
+            },
+        ];
+        let j = bench_report_json(4, &entries);
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"speedup\": 3.000"));
+        assert!(j.contains("\"name\": \"e1\""));
+        assert!(j.contains("\"total_runs\": 18"));
+        // Valid-ish JSON: balanced braces/brackets, no trailing comma.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
 }

@@ -32,6 +32,20 @@ struct MsgRecord {
     send_clock: Option<VClock>,
 }
 
+/// One finalized checkpoint of one process, as the oracle saw it.
+///
+/// Kept in a per-process `Vec` sorted by `csn` — checkpoint sequence
+/// numbers are dense and per-process lookups dominate, so this replaces
+/// three `HashMap<(ProcessId, u64), _>` tables (position, clock, time)
+/// with a single binary-searched record table and no per-entry hashing.
+#[derive(Clone, Debug)]
+struct CkptRecord {
+    csn: u64,
+    pos: u64,
+    clock: VClock,
+    time: SimTime,
+}
+
 /// An orphan message with respect to some cut: received inside, sent outside.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Orphan {
@@ -85,12 +99,8 @@ pub struct GlobalObserver {
     /// checkpoint cuts that step one event back (OCPT's excluded trigger).
     prev_clocks: Vec<VClock>,
     msgs: HashMap<MsgId, MsgRecord>,
-    /// `(pid, csn)` → cut position at finalization.
-    ckpt_pos: HashMap<(ProcessId, u64), u64>,
-    /// `(pid, csn)` → vector clock at finalization.
-    ckpt_clock: HashMap<(ProcessId, u64), VClock>,
-    /// `(pid, csn)` → finalization instant (reporting only).
-    ckpt_time: HashMap<(ProcessId, u64), SimTime>,
+    /// Finalized checkpoints per process, sorted by `csn`.
+    ckpts: Vec<Vec<CkptRecord>>,
 }
 
 impl GlobalObserver {
@@ -102,10 +112,14 @@ impl GlobalObserver {
             clocks: (0..n).map(|_| VClock::zero(n)).collect(),
             prev_clocks: (0..n).map(|_| VClock::zero(n)).collect(),
             msgs: HashMap::new(),
-            ckpt_pos: HashMap::new(),
-            ckpt_clock: HashMap::new(),
-            ckpt_time: HashMap::new(),
+            ckpts: vec![Vec::new(); n],
         }
+    }
+
+    /// The checkpoint record of `(pid, csn)`, if finalized.
+    fn ckpt(&self, pid: ProcessId, csn: u64) -> Option<&CkptRecord> {
+        let table = &self.ckpts[pid.index()];
+        table.binary_search_by_key(&csn, |r| r.csn).ok().map(|i| &table[i])
     }
 
     /// Number of processes.
@@ -117,7 +131,9 @@ impl GlobalObserver {
     /// clock is retained internally for the matching receive.
     pub fn on_send(&mut self, pid: ProcessId, msg: MsgId) -> u64 {
         let idx = self.bump(pid);
-        self.prev_clocks[pid.index()] = self.clocks[pid.index()].clone();
+        // clone_from reuses the previous snapshot's allocation: no per-event
+        // Vec allocation on this (hot) path.
+        self.prev_clocks[pid.index()].clone_from(&self.clocks[pid.index()]);
         self.clocks[pid.index()].tick(pid);
         let rec = self.msgs.entry(msg).or_default();
         debug_assert!(rec.send.is_none(), "duplicate send for {msg:?}");
@@ -132,7 +148,7 @@ impl GlobalObserver {
     /// debug builds; in release it merges nothing).
     pub fn on_recv(&mut self, pid: ProcessId, msg: MsgId) -> u64 {
         let idx = self.bump(pid);
-        self.prev_clocks[pid.index()] = self.clocks[pid.index()].clone();
+        self.prev_clocks[pid.index()].clone_from(&self.clocks[pid.index()]);
         let sender_clock = self.msgs.get(&msg).and_then(|r| r.send_clock.clone());
         debug_assert!(sender_clock.is_some(), "receive of unknown message {msg:?}");
         if let Some(c) = sender_clock {
@@ -151,22 +167,23 @@ impl GlobalObserver {
     /// event count or one less (a cut placed just before the most recent
     /// event — the paper's excluded-trigger finalization).
     pub fn on_finalize(&mut self, pid: ProcessId, csn: u64, pos: u64, at: SimTime) {
-        let prev = self.ckpt_pos.insert((pid, csn), pos);
-        debug_assert!(prev.is_none(), "{pid} finalized csn {csn} twice");
         // The oracle clock of a checkpoint at position `pos`: we tick the
         // local component so two checkpoints at identical positions on
         // different processes stay concurrent, matching the "checkpoint is
         // a local event" convention of §2.2.
         let cur = self.next_idx[pid.index()];
         debug_assert!(pos == cur || pos + 1 == cur, "cut must be at or one before the present");
-        let mut c = if pos == cur {
+        let mut clock = if pos == cur {
             self.clocks[pid.index()].clone()
         } else {
             self.prev_clocks[pid.index()].clone()
         };
-        c.tick(pid);
-        self.ckpt_clock.insert((pid, csn), c);
-        self.ckpt_time.insert((pid, csn), at);
+        clock.tick(pid);
+        let table = &mut self.ckpts[pid.index()];
+        match table.binary_search_by_key(&csn, |r| r.csn) {
+            Ok(_) => debug_assert!(false, "{pid} finalized csn {csn} twice"),
+            Err(i) => table.insert(i, CkptRecord { csn, pos, clock, time: at }),
+        }
     }
 
     fn bump(&mut self, pid: ProcessId) -> u64 {
@@ -182,20 +199,23 @@ impl GlobalObserver {
 
     /// Sequence numbers for which **all** `n` processes have finalized.
     pub fn complete_csns(&self) -> Vec<u64> {
-        let mut per: HashMap<u64, usize> = HashMap::new();
-        for (pid_csn, _) in self.ckpt_pos.iter() {
-            *per.entry(pid_csn.1).or_insert(0) += 1;
-        }
-        let mut v: Vec<u64> = per.into_iter().filter(|&(_, c)| c == self.n).map(|(k, _)| k).collect();
-        v.sort();
-        v
+        // Intersect the per-process (sorted) csn sequences, seeded from the
+        // process with the fewest finalizations.
+        let Some(smallest) = self.ckpts.iter().min_by_key(|t| t.len()) else {
+            return Vec::new();
+        };
+        smallest
+            .iter()
+            .map(|r| r.csn)
+            .filter(|&csn| ProcessId::all(self.n).all(|pid| self.ckpt(pid, csn).is_some()))
+            .collect()
     }
 
     /// The cut induced by `S_csn`, if complete.
     pub fn cut_of(&self, csn: u64) -> Option<Cut> {
         let mut cut = Cut::empty(self.n);
         for pid in ProcessId::all(self.n) {
-            cut.set(pid, *self.ckpt_pos.get(&(pid, csn))?);
+            cut.set(pid, self.ckpt(pid, csn)?.pos);
         }
         Some(cut)
     }
@@ -245,14 +265,14 @@ impl GlobalObserver {
     pub fn vclock_consistent(&self, csn: u64) -> Option<bool> {
         let mut clocks = Vec::with_capacity(self.n);
         for pid in ProcessId::all(self.n) {
-            clocks.push(self.ckpt_clock.get(&(pid, csn))?.clone());
+            clocks.push(self.ckpt(pid, csn)?.clock.clone());
         }
         Some(pairwise_consistent(&clocks))
     }
 
     /// When `pid` finalized `csn` (reporting).
     pub fn finalize_time(&self, pid: ProcessId, csn: u64) -> Option<SimTime> {
-        self.ckpt_time.get(&(pid, csn)).copied()
+        self.ckpt(pid, csn).map(|r| r.time)
     }
 
     /// Total number of observed application messages.
@@ -275,14 +295,7 @@ impl GlobalObserver {
     /// The recorded checkpoint cut positions of one process, sorted by
     /// sequence number: `(csn, position)`.
     pub fn checkpoints_of(&self, pid: ProcessId) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self
-            .ckpt_pos
-            .iter()
-            .filter(|((p, _), _)| *p == pid)
-            .map(|((_, csn), pos)| (*csn, *pos))
-            .collect();
-        v.sort();
-        v
+        self.ckpts[pid.index()].iter().map(|r| (r.csn, r.pos)).collect()
     }
 }
 

@@ -400,6 +400,27 @@ mod tests {
     }
 
     #[test]
+    fn send_path_never_deep_clones_tent_set() {
+        // The per-send piggyback is a refcount bump of tentSet storage —
+        // the grid engine's hot-path guarantee, also pinned by the
+        // `piggyback_send` microbench.
+        let mut p = proc(0, 256);
+        let mut out = Outbox::new();
+        p.initiate_checkpoint(&mut out);
+        let before = TentSet::deep_copies();
+        let mut last = None;
+        for id in 1..=1000u64 {
+            last = Some(p.on_app_send(ProcessId(1), MsgId(id), payload(id)));
+        }
+        assert_eq!(TentSet::deep_copies(), before, "send path deep-cloned tentSet");
+        let pb = last.unwrap();
+        assert!(
+            TentSet::shares_storage(&pb.tent_set, p.tent_set()),
+            "piggyback must share the process's tentSet storage"
+        );
+    }
+
+    #[test]
     fn case1_normal_normal_is_noop() {
         let mut receiver = proc(1, 3);
         let sender = proc(0, 3);

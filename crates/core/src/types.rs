@@ -1,9 +1,21 @@
 //! Core protocol types: sequence numbers, process status and the tentative
 //! process set (paper §3.3).
 
+use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 use ocpt_sim::ProcessId;
+
+thread_local! {
+    /// Per-thread count of [`TentSet`] storage deep-copies (copy-on-write
+    /// faults). The message-send hot path must never bump this:
+    /// piggybacking a tentSet is a refcount clone, and only genuine
+    /// mutations of a *shared* set copy. Thread-local so a simulation
+    /// thread (runs are single-threaded) observes exactly its own copies,
+    /// however many grid workers run beside it.
+    static TENT_SET_DEEP_COPIES: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Checkpoint sequence number (the paper's `csn`). The initial checkpoint
 /// of every process has sequence number 0.
@@ -38,17 +50,45 @@ impl fmt::Display for Status {
 /// Represented as a bitset so the piggyback cost is `⌈N/8⌉` bytes — this is
 /// exactly what experiment E6 measures. Union (`merge`) is the only
 /// combining operation the algorithm needs.
+///
+/// Storage is a shared `Arc<[u64]>` with copy-on-write mutation: cloning a
+/// `TentSet` (which the protocol does on **every** application send, to
+/// build the piggyback) is a refcount bump, and the underlying words are
+/// copied only when a shared set is actually mutated — i.e. when a
+/// tentative checkpoint is taken or a merge learns new members.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct TentSet {
     n: u16,
-    bits: Vec<u64>,
+    bits: Arc<[u64]>,
 }
 
 impl TentSet {
     /// The empty set over `n` processes.
     pub fn empty(n: usize) -> Self {
         assert!(n >= 1 && n <= u16::MAX as usize, "bad process count");
-        TentSet { n: n as u16, bits: vec![0; n.div_ceil(64)] }
+        TentSet { n: n as u16, bits: vec![0u64; n.div_ceil(64)].into() }
+    }
+
+    /// Unique access to the word storage, copying it first if shared.
+    fn bits_mut(&mut self) -> &mut [u64] {
+        if Arc::get_mut(&mut self.bits).is_none() {
+            TENT_SET_DEEP_COPIES.with(|c| c.set(c.get() + 1));
+            self.bits = Arc::from(&*self.bits);
+        }
+        Arc::get_mut(&mut self.bits).expect("unique after copy-on-write")
+    }
+
+    /// True when both sets share the same physical storage (refcount
+    /// siblings). Diagnostic for the zero-copy piggyback invariant.
+    pub fn shares_storage(a: &TentSet, b: &TentSet) -> bool {
+        Arc::ptr_eq(&a.bits, &b.bits)
+    }
+
+    /// Copy-on-write deep copies performed on the calling thread so far
+    /// (all sets). Compare before/after a code region to assert it never
+    /// copies tentSet storage.
+    pub fn deep_copies() -> u64 {
+        TENT_SET_DEEP_COPIES.with(Cell::get)
     }
 
     /// The singleton `{pid}` over `n` processes.
@@ -67,7 +107,10 @@ impl TentSet {
     /// Insert a process.
     pub fn insert(&mut self, pid: ProcessId) {
         assert!(pid.0 < self.n, "pid out of range");
-        self.bits[pid.index() / 64] |= 1u64 << (pid.index() % 64);
+        if self.contains(pid) {
+            return; // Already present: no mutation, no copy-on-write fault.
+        }
+        self.bits_mut()[pid.index() / 64] |= 1u64 << (pid.index() % 64);
     }
 
     /// Membership test.
@@ -78,8 +121,17 @@ impl TentSet {
     /// In-place union (`tentSet_i = tentSet_i ∪ M.tentSet`).
     pub fn merge(&mut self, other: &TentSet) {
         assert_eq!(self.n, other.n, "tentSet universe mismatch");
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
-            *a |= b;
+        if Arc::ptr_eq(&self.bits, &other.bits) {
+            return; // Same storage: union is the identity.
+        }
+        // Copy-on-write only when the union actually adds members — once a
+        // round's knowledge saturates, merges stop allocating entirely.
+        let adds = self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != *b);
+        if !adds {
+            return;
+        }
+        for (a, b) in self.bits_mut().iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
         }
     }
 
@@ -137,8 +189,10 @@ impl TentSet {
         if data.len() != s.wire_bytes() {
             return None;
         }
+        // Freshly allocated storage is unique: no copy-on-write fault here.
+        let bits = s.bits_mut();
         for (i, &byte) in data.iter().enumerate() {
-            s.bits[i / 8] |= (byte as u64) << ((i % 8) * 8);
+            bits[i / 8] |= (byte as u64) << ((i % 8) * 8);
         }
         // Reject set bits beyond the universe.
         if s.iter().count() != s.len() {
@@ -269,5 +323,51 @@ mod tests {
         let mut a = TentSet::empty(3);
         let b = TentSet::empty(4);
         a.merge(&b);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutated() {
+        let a = TentSet::singleton(64, p(7));
+        let b = a.clone();
+        assert!(TentSet::shares_storage(&a, &b), "clone must be a refcount bump");
+        let before = TentSet::deep_copies();
+        let mut c = a.clone();
+        c.insert(p(8)); // First mutation of a shared set: one copy.
+        assert_eq!(TentSet::deep_copies(), before + 1);
+        assert!(!TentSet::shares_storage(&a, &c));
+        assert!(a.contains(p(7)) && !a.contains(p(8)), "original untouched");
+        assert!(c.contains(p(7)) && c.contains(p(8)));
+        // b was never mutated: still sharing.
+        assert!(TentSet::shares_storage(&a, &b));
+    }
+
+    #[test]
+    fn redundant_mutations_never_copy() {
+        let a = TentSet::singleton(64, p(3));
+        let mut b = a.clone();
+        let before = TentSet::deep_copies();
+        b.insert(p(3)); // Already present.
+        b.merge(&a); // Same storage.
+        let sub = TentSet::singleton(64, p(3));
+        b.merge(&sub); // Different storage, but adds nothing.
+        assert_eq!(TentSet::deep_copies(), before, "no-op mutations must not copy");
+        assert!(TentSet::shares_storage(&a, &b));
+    }
+
+    #[test]
+    fn equality_and_hash_are_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = TentSet::singleton(40, p(5));
+        let mut b = TentSet::empty(40);
+        b.insert(p(5));
+        assert!(!TentSet::shares_storage(&a, &b));
+        assert_eq!(a, b);
+        let hash = |s: &TentSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 }

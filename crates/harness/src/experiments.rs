@@ -1,5 +1,6 @@
 //! The reconstructed evaluation (DESIGN.md §4): one function per
-//! experiment, each returning the [`Table`] its `exp_*` binary prints.
+//! experiment, each declaring the [`RunGrid`] its `exp_*` binary executes
+//! and prints.
 //!
 //! The paper omitted its performance-evaluation section for space; these
 //! experiments test the paper's *claims* (§Abstract, §1, §3.5.1) on the
@@ -7,14 +8,22 @@
 //! are properties of the substrate parameters; the *shapes* — who
 //! contends, whose control traffic vanishes, who blocks, who dominoes —
 //! are the reproduction targets recorded in `EXPERIMENTS.md`.
+//!
+//! Every function returns a [`RunGrid`] rather than a finished table:
+//! cells are declared in row order and executed by the grid engine with
+//! whatever `--jobs`/`--replicates` the caller picks, and the output is
+//! bit-identical however many workers run it (see `grid`).
 
-use ocpt_metrics::{f2, f3, Table};
+use ocpt_metrics::Table;
 use ocpt_sim::{FaultPlan, ProcessId, SimDuration, SimTime};
 
-use crate::algo::{run_checked, Algo};
+use crate::algo::Algo;
 use crate::analysis::{coordinated_rollback, domino_rollback, verify_restored_states};
+use crate::grid::{ColFmt, GridOptions, RunGrid};
 use crate::runner::RunConfig;
 use crate::workload::WorkloadSpec;
+
+use ColFmt::{Int, F2, F3};
 
 /// Common experiment parameters.
 #[derive(Clone, Copy, Debug)]
@@ -61,8 +70,12 @@ impl ExpParams {
     }
 }
 
-fn ms(d: SimDuration) -> String {
-    f2(d.as_secs_f64() * 1e3)
+fn ms_label(d: SimDuration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn to_ms(d: SimDuration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 /// State size that keeps storage utilisation `n·state/(interval·BW)` at a
@@ -79,10 +92,17 @@ pub fn scaled_state_bytes(n: usize, interval: SimDuration) -> u64 {
 /// "prevents contention for network storage at the file server".
 /// Sweeps N over every algorithm; reports peak and mean concurrent
 /// writers, contended time and total stall.
-pub fn e1_contention(ns: &[usize], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e1_contention(ns: &[usize], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E1: stable-storage contention vs N (peak/mean concurrent writers, stall)",
-        &["algo", "n", "peak_writers", "mean_writers", "contended_ms", "stall_ms", "write_lat_ms"],
+        &["algo", "n"],
+        &[
+            ("peak_writers", Int),
+            ("mean_writers", F3),
+            ("contended_ms", F2),
+            ("stall_ms", F2),
+            ("write_lat_ms", F2),
+        ],
     );
     for &n in ns {
         for algo in Algo::comparison_set() {
@@ -91,35 +111,33 @@ pub fn e1_contention(ns: &[usize], base: ExpParams) -> Table {
                 state_bytes: scaled_state_bytes(n, base.ckpt_interval),
                 ..base
             };
-            let r = run_checked(&algo, p.config());
-            t.row(&[
-                r.algo.into(),
-                n.to_string(),
-                r.storage.peak_writers.to_string(),
-                f3(r.storage.mean_writers),
-                ms(r.storage.contended_time),
-                ms(r.storage.total_stall),
-                f2(r.storage.write_latency_mean * 1e3),
-            ]);
+            g.cell(&[algo.name().into(), n.to_string()], algo, p.config(), |r| {
+                vec![
+                    r.storage.peak_writers as f64,
+                    r.storage.mean_writers,
+                    to_ms(r.storage.contended_time),
+                    to_ms(r.storage.total_stall),
+                    r.storage.write_latency_mean * 1e3,
+                ]
+            });
         }
     }
-    t
+    g
 }
 
 /// **E2 — checkpointing overhead.** "reduces the checkpointing overhead":
 /// blocked application time (Koo–Toueg), forced pre-processing delay
 /// (CIC), storage stall, and checkpoint-round latency, per algorithm.
-pub fn e2_overhead(intervals: &[SimDuration], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e2_overhead(intervals: &[SimDuration], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E2: checkpointing overhead components per algorithm",
+        &["algo", "interval_ms"],
         &[
-            "algo",
-            "interval_ms",
-            "rounds",
-            "blocked_ms",
-            "forced_ms",
-            "stall_ms",
-            "round_latency_ms",
+            ("rounds", Int),
+            ("blocked_ms", F2),
+            ("forced_ms", F2),
+            ("stall_ms", F2),
+            ("round_latency_ms", F2),
         ],
     );
     for &iv in intervals {
@@ -129,29 +147,35 @@ pub fn e2_overhead(intervals: &[SimDuration], base: ExpParams) -> Table {
                 state_bytes: base.state_bytes.min(scaled_state_bytes(base.n, iv)),
                 ..base
             };
-            let r = run_checked(&algo, p.config());
-            t.row(&[
-                r.algo.into(),
-                ms(iv),
-                r.complete_rounds.to_string(),
-                ms(r.blocked_time),
-                ms(r.forced_delay),
-                ms(r.storage.total_stall),
-                f2(r.ckpt_latency.mean() * 1e3),
-            ]);
+            g.cell(&[algo.name().into(), ms_label(iv)], algo, p.config(), |r| {
+                vec![
+                    r.complete_rounds as f64,
+                    to_ms(r.blocked_time),
+                    to_ms(r.forced_delay),
+                    to_ms(r.storage.total_stall),
+                    r.ckpt_latency.mean() * 1e3,
+                ]
+            });
         }
     }
-    t
+    g
 }
 
 /// **E3 / A1 — control-message cost.** "limited amount of control
 /// messages are generated only when necessary": CK_BGN/CK_REQ/CK_END per
 /// completed round as the application message rate varies, for the
 /// optimized and naive control layers.
-pub fn e3_control_messages(gaps: &[SimDuration], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e3_control_messages(gaps: &[SimDuration], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E3/A1: OCPT control messages per completed round vs app message rate",
-        &["variant", "msg_gap_ms", "rounds", "bgn/rnd", "req/rnd", "end/rnd", "timer_exp/rnd"],
+        &["variant", "msg_gap_ms"],
+        &[
+            ("rounds", Int),
+            ("bgn/rnd", F2),
+            ("req/rnd", F2),
+            ("end/rnd", F2),
+            ("timer_exp/rnd", F2),
+        ],
     );
     for &gap in gaps {
         for algo in [Algo::ocpt(), Algo::ocpt_naive()] {
@@ -163,20 +187,19 @@ pub fn e3_control_messages(gaps: &[SimDuration], base: ExpParams) -> Table {
             // coordinator and CK_BGN is never needed).
             let mut cfg = p.config();
             cfg.stagger_initiation = false;
-            let r = run_checked(&algo, cfg);
-            let rounds = r.complete_rounds.max(1) as f64;
-            t.row(&[
-                r.algo.into(),
-                ms(gap),
-                r.complete_rounds.to_string(),
-                f2(r.counters.get("ctrl.bgn_sent") as f64 / rounds),
-                f2(r.counters.get("ctrl.req_sent") as f64 / rounds),
-                f2(r.counters.get("ctrl.end_sent") as f64 / rounds),
-                f2(r.counters.get("timer.expired") as f64 / rounds),
-            ]);
+            g.cell(&[algo.name().into(), ms_label(gap)], algo, cfg, |r| {
+                let rounds = r.complete_rounds.max(1) as f64;
+                vec![
+                    r.complete_rounds as f64,
+                    r.counters.get("ctrl.bgn_sent") as f64 / rounds,
+                    r.counters.get("ctrl.req_sent") as f64 / rounds,
+                    r.counters.get("ctrl.end_sent") as f64 / rounds,
+                    r.counters.get("timer.expired") as f64 / rounds,
+                ]
+            });
         }
     }
-    t
+    g
 }
 
 /// **E4 / A3 — convergence latency.** Theorem 1 made quantitative: time
@@ -186,106 +209,113 @@ pub fn e4_convergence(
     gaps: &[SimDuration],
     timeouts: &[SimDuration],
     base: ExpParams,
-) -> Table {
-    let mut t = Table::new(
+) -> RunGrid {
+    let mut g = RunGrid::new(
         "E4/A3: convergence latency vs app rate and timer",
-        &["msg_gap_ms", "timeout_ms", "rounds", "latency_mean_ms", "latency_max_ms", "timer_exp/rnd"],
+        &["msg_gap_ms", "timeout_ms"],
+        &[
+            ("rounds", Int),
+            ("latency_mean_ms", F2),
+            ("latency_max_ms", F2),
+            ("timer_exp/rnd", F2),
+        ],
     );
     for &gap in gaps {
         for &to in timeouts {
-            let mut cfg = ocpt_core::OcptConfig { convergence_timeout: to, ..Default::default() };
-            cfg.checkpoint_interval = base.ckpt_interval;
+            let mut ocfg = ocpt_core::OcptConfig { convergence_timeout: to, ..Default::default() };
+            ocfg.checkpoint_interval = base.ckpt_interval;
             let p = ExpParams { msg_gap: gap, ..base };
-            let r = run_checked(&Algo::Ocpt(cfg), p.config());
-            let rounds = r.complete_rounds.max(1) as f64;
-            t.row(&[
-                ms(gap),
-                ms(to),
-                r.complete_rounds.to_string(),
-                f2(r.ckpt_latency.mean() * 1e3),
-                f2(r.ckpt_latency.max() * 1e3),
-                f2(r.counters.get("timer.expired") as f64 / rounds),
-            ]);
+            g.cell(&[ms_label(gap), ms_label(to)], Algo::Ocpt(ocfg), p.config(), |r| {
+                let rounds = r.complete_rounds.max(1) as f64;
+                vec![
+                    r.complete_rounds as f64,
+                    r.ckpt_latency.mean() * 1e3,
+                    r.ckpt_latency.max() * 1e3,
+                    r.counters.get("timer.expired") as f64 / rounds,
+                ]
+            });
         }
     }
-    t
+    g
 }
 
 /// **E5 — selective-logging cost.** Bytes and messages logged per
 /// checkpoint vs an always-log-everything scheme (classic message
 /// logging), plus the volatile staging footprint.
-pub fn e5_logging(gaps: &[SimDuration], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e5_logging(gaps: &[SimDuration], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E5: selective message logging vs full logging",
+        &["msg_gap_ms"],
         &[
-            "msg_gap_ms",
-            "rounds",
-            "logged_msgs/rnd",
-            "logged_kb/rnd",
-            "full_log_kb/rnd",
-            "selective_share",
-            "staging_peak_mb",
+            ("rounds", Int),
+            ("logged_msgs/rnd", F2),
+            ("logged_kb/rnd", F2),
+            ("full_log_kb/rnd", F2),
+            ("selective_share", F3),
+            ("staging_peak_mb", F2),
         ],
     );
     for &gap in gaps {
         let p = ExpParams { msg_gap: gap, ..base };
-        let r = run_checked(&Algo::ocpt(), p.config());
-        let rounds = r.complete_rounds.max(1) as f64;
-        let logged_bytes = r.counters.get("log.flushed_bytes") as f64;
-        // Full logging would persist every message (payload + metadata),
-        // counted on both the sender and receiver side, as OCPT does
-        // within its windows.
-        let meta = ocpt_core::log::ENTRY_META_BYTES as f64;
-        let full =
-            2.0 * (r.app_payload_bytes as f64 + r.app_messages as f64 * meta);
-        t.row(&[
-            ms(gap),
-            r.complete_rounds.to_string(),
-            f2(r.counters.get("log.flushed_msgs") as f64 / rounds),
-            f2(logged_bytes / rounds / 1024.0),
-            f2(full / rounds / 1024.0),
-            f3(logged_bytes / full.max(1.0)),
-            f2(r.staging_peak as f64 / (1024.0 * 1024.0)),
-        ]);
+        g.cell(&[ms_label(gap)], Algo::ocpt(), p.config(), |r| {
+            let rounds = r.complete_rounds.max(1) as f64;
+            let logged_bytes = r.counters.get("log.flushed_bytes") as f64;
+            // Full logging would persist every message (payload + metadata),
+            // counted on both the sender and receiver side, as OCPT does
+            // within its windows.
+            let meta = ocpt_core::log::ENTRY_META_BYTES as f64;
+            let full = 2.0 * (r.app_payload_bytes as f64 + r.app_messages as f64 * meta);
+            vec![
+                r.complete_rounds as f64,
+                r.counters.get("log.flushed_msgs") as f64 / rounds,
+                logged_bytes / rounds / 1024.0,
+                full / rounds / 1024.0,
+                logged_bytes / full.max(1.0),
+                r.staging_peak as f64 / (1024.0 * 1024.0),
+            ]
+        });
     }
-    t
+    g
 }
 
 /// **E6 — piggyback overhead.** `tentSet` is `⌈N/8⌉` bytes: measured
 /// piggyback bytes per application message vs N, and the share of total
 /// traffic it represents.
-pub fn e6_piggyback(ns: &[usize], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e6_piggyback(ns: &[usize], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E6: piggyback overhead vs N",
-        &["n", "piggy_B/msg", "theory_B/msg", "piggy_share_of_traffic"],
+        &["n"],
+        &[("piggy_B/msg", F2), ("theory_B/msg", F2), ("piggy_share_of_traffic", F3)],
     );
     for &n in ns {
         let p = ExpParams { n, ..base };
-        let r = run_checked(&Algo::ocpt(), p.config());
-        let per_msg = r.piggyback_bytes as f64 / r.app_messages.max(1) as f64;
-        let theory = ocpt_core::Piggyback::wire_bytes_for(n) as f64;
-        let share = r.piggyback_bytes as f64
-            / (r.app_payload_bytes + r.piggyback_bytes + r.ctrl_bytes).max(1) as f64;
-        t.row(&[n.to_string(), f2(per_msg), f2(theory), f3(share)]);
+        g.cell(&[n.to_string()], Algo::ocpt(), p.config(), move |r| {
+            let per_msg = r.piggyback_bytes as f64 / r.app_messages.max(1) as f64;
+            let theory = ocpt_core::Piggyback::wire_bytes_for(n) as f64;
+            let share = r.piggyback_bytes as f64
+                / (r.app_payload_bytes + r.piggyback_bytes + r.ctrl_bytes).max(1) as f64;
+            vec![per_msg, theory, share]
+        });
     }
-    t
+    g
 }
 
 /// **E7 — recovery and the domino effect.** Crash one process mid-run;
 /// compare work lost under OCPT's coordinated rollback to `S_k` against
 /// uncoordinated checkpointing's rollback-propagation fixpoint. Also
-/// verifies OCPT's restored states byte-for-byte (CT + log replay).
-pub fn e7_recovery(base: ExpParams, crash_ms: u64) -> Table {
-    let mut t = Table::new(
+/// verifies OCPT's restored states byte-for-byte (CT + log replay);
+/// `restored_verified` is `-` for baselines that make no such promise.
+pub fn e7_recovery(base: ExpParams, crash_ms: u64) -> RunGrid {
+    let mut g = RunGrid::new(
         "E7: rollback after a crash (domino effect)",
+        &["algo"],
         &[
-            "algo",
-            "events_total",
-            "events_lost",
-            "procs_rolled_back",
-            "to_initial",
-            "cascade_rounds",
-            "restored_verified",
+            ("events_total", Int),
+            ("events_lost", Int),
+            ("procs_rolled_back", Int),
+            ("to_initial", Int),
+            ("cascade_rounds", Int),
+            ("restored_verified", Int),
         ],
     );
     let victim = ProcessId((base.n / 2) as u16);
@@ -298,55 +328,60 @@ pub fn e7_recovery(base: ExpParams, crash_ms: u64) -> Table {
         let mut cfg = base.config();
         cfg.faults = faults.clone();
         cfg.stop_on_crash = true;
-        let r = run_checked(&algo, cfg);
-        let obs = r.observer.as_ref().expect("observer required for E7");
-        let total: u64 = obs.positions().iter().sum();
-        let (report, verified) = match algo {
-            Algo::Ocpt(_) => {
+        let coordinated = matches!(algo, Algo::Ocpt(_));
+        g.cell(&[algo.name().into()], algo, cfg, move |r| {
+            let obs = r.observer.as_ref().expect("observer required for E7");
+            let total: u64 = obs.positions().iter().sum();
+            let (report, verified) = if coordinated {
                 let line = r.recovery_line;
-                let v = verify_restored_states(&r, line)
+                let v = verify_restored_states(r, line)
                     .unwrap_or_else(|e| panic!("restore verification failed: {e}"));
-                (coordinated_rollback(obs, line), v.to_string())
-            }
-            _ => (domino_rollback(obs, victim), "-".into()),
-        };
-        t.row(&[
-            r.algo.into(),
-            total.to_string(),
-            report.events_lost.to_string(),
-            report.processes_rolled_back.to_string(),
-            report.rolled_to_initial.to_string(),
-            report.cascade_rounds.to_string(),
-            verified,
-        ]);
+                (coordinated_rollback(obs, line), v as f64)
+            } else {
+                (domino_rollback(obs, victim), f64::NAN)
+            };
+            vec![
+                total as f64,
+                report.events_lost as f64,
+                report.processes_rolled_back as f64,
+                report.rolled_to_initial as f64,
+                report.cascade_rounds as f64,
+                verified,
+            ]
+        });
     }
-    t
+    g
 }
 
 /// **E8 — message response time.** "no checkpoint needs to be taken
 /// before processing any received message": forced pre-processing
 /// checkpoints and the delay they add, OCPT vs CIC.
-pub fn e8_response_time(gaps: &[SimDuration], base: ExpParams) -> Table {
-    let mut t = Table::new(
+pub fn e8_response_time(gaps: &[SimDuration], base: ExpParams) -> RunGrid {
+    let mut g = RunGrid::new(
         "E8: forced checkpoints before message processing (response-time penalty)",
-        &["algo", "msg_gap_ms", "delivered", "forced_ckpts", "forced_delay_ms", "avg_penalty_us/msg"],
+        &["algo", "msg_gap_ms"],
+        &[
+            ("delivered", Int),
+            ("forced_ckpts", Int),
+            ("forced_delay_ms", F2),
+            ("avg_penalty_us/msg", F2),
+        ],
     );
     for &gap in gaps {
         for algo in [Algo::ocpt(), Algo::Cic] {
             let p = ExpParams { msg_gap: gap, ..base };
-            let r = run_checked(&algo, p.config());
-            let delivered = r.counters.get("app.delivered").max(1);
-            t.row(&[
-                r.algo.into(),
-                ms(gap),
-                delivered.to_string(),
-                r.counters.get("ckpt.forced_before_processing").to_string(),
-                ms(r.forced_delay),
-                f2(r.forced_delay.as_secs_f64() * 1e6 / delivered as f64),
-            ]);
+            g.cell(&[algo.name().into(), ms_label(gap)], algo, p.config(), |r| {
+                let delivered = r.counters.get("app.delivered").max(1);
+                vec![
+                    delivered as f64,
+                    r.counters.get("ckpt.forced_before_processing") as f64,
+                    to_ms(r.forced_delay),
+                    r.forced_delay.as_secs_f64() * 1e6 / delivered as f64,
+                ]
+            });
         }
     }
-    t
+    g
 }
 
 /// **A2 — storage write placement ablation.** The paper's contention
@@ -354,19 +389,19 @@ pub fn e8_response_time(gaps: &[SimDuration], base: ExpParams) -> Table {
 /// decided: eager/immediate placements recreate synchronous clustering;
 /// jittered and pid-phased placements de-cluster it for free. The price
 /// is recovery-line lag, which the table reports alongside.
-pub fn a2_flush_policy(base: ExpParams) -> Table {
+pub fn a2_flush_policy(base: ExpParams) -> RunGrid {
     use ocpt_core::{FlushPolicy, WritePolicy};
-    let mut t = Table::new(
+    let mut g = RunGrid::new(
         "A2: OCPT write-placement ablation (tentative flush × finalize write)",
+        &["policy"],
         &[
-            "policy",
-            "peak_writers",
-            "contended_ms",
-            "stall_ms",
-            "round_latency_ms",
-            "recovery_line",
-            "rounds",
-            "staging_peak_mb",
+            ("peak_writers", Int),
+            ("contended_ms", F2),
+            ("stall_ms", F2),
+            ("round_latency_ms", F2),
+            ("recovery_line", Int),
+            ("rounds", Int),
+            ("staging_peak_mb", F2),
         ],
     );
     let window = SimDuration::from_millis(400.min(base.ckpt_interval.as_nanos() / 2_000_000));
@@ -377,24 +412,30 @@ pub fn a2_flush_policy(base: ExpParams) -> Table {
         ("lazy+phased", FlushPolicy::Lazy, WritePolicy::Phased { window }),
     ];
     for (name, flush, write) in policies {
-        let cfg = ocpt_core::OcptConfig {
+        let ocfg = ocpt_core::OcptConfig {
             flush_policy: flush,
             finalize_write: write,
             ..Default::default()
         };
-        let r = run_checked(&Algo::Ocpt(cfg), base.config());
-        t.row(&[
-            name.into(),
-            r.storage.peak_writers.to_string(),
-            ms(r.storage.contended_time),
-            ms(r.storage.total_stall),
-            f2(r.ckpt_latency.mean() * 1e3),
-            r.recovery_line.to_string(),
-            r.complete_rounds.to_string(),
-            f2(r.staging_peak as f64 / (1024.0 * 1024.0)),
-        ]);
+        g.cell(&[name.into()], Algo::Ocpt(ocfg), base.config(), |r| {
+            vec![
+                r.storage.peak_writers as f64,
+                to_ms(r.storage.contended_time),
+                to_ms(r.storage.total_stall),
+                r.ckpt_latency.mean() * 1e3,
+                r.recovery_line as f64,
+                r.complete_rounds as f64,
+                r.staging_peak as f64 / (1024.0 * 1024.0),
+            ]
+        });
     }
-    t
+    g
+}
+
+/// Serial convenience used by tests and examples: run a grid with one
+/// worker and one replicate.
+pub fn run_serial(grid: &RunGrid) -> Table {
+    grid.table(&GridOptions::serial())
 }
 
 #[cfg(test)]
@@ -414,60 +455,62 @@ mod tests {
 
     #[test]
     fn e1_produces_all_rows() {
-        let t = e1_contention(&[4], quick());
+        let t = run_serial(&e1_contention(&[4], quick()));
         assert_eq!(t.len(), 6);
     }
 
     #[test]
     fn e3_rows_for_both_variants() {
-        let t = e3_control_messages(&[SimDuration::from_millis(4)], quick());
+        let t = run_serial(&e3_control_messages(&[SimDuration::from_millis(4)], quick()));
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn e6_rows() {
-        let t = e6_piggyback(&[4, 8], quick());
+        let t = run_serial(&e6_piggyback(&[4, 8], quick()));
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn e7_rows() {
-        let t = e7_recovery(quick(), 600);
+        let t = run_serial(&e7_recovery(quick(), 600));
         assert_eq!(t.len(), 2);
+        // Uncoordinated makes no restore promise: its verified column is -.
+        assert!(t.to_csv().lines().last().unwrap().ends_with(",-"));
     }
 
     #[test]
     fn a2_rows() {
-        let t = a2_flush_policy(quick());
+        let t = run_serial(&a2_flush_policy(quick()));
         assert_eq!(t.len(), 4);
     }
 
     #[test]
     fn e2_rows() {
-        let t = e2_overhead(&[SimDuration::from_millis(250)], quick());
+        let t = run_serial(&e2_overhead(&[SimDuration::from_millis(250)], quick()));
         assert_eq!(t.len(), 6);
     }
 
     #[test]
     fn e4_rows() {
-        let t = e4_convergence(
+        let t = run_serial(&e4_convergence(
             &[SimDuration::from_millis(4)],
             &[SimDuration::from_millis(100), SimDuration::from_millis(300)],
             quick(),
-        );
+        ));
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn e5_rows() {
-        let t = e5_logging(&[SimDuration::from_millis(4)], quick());
+        let t = run_serial(&e5_logging(&[SimDuration::from_millis(4)], quick()));
         assert_eq!(t.len(), 1);
         assert!(t.to_csv().contains("selective_share"));
     }
 
     #[test]
     fn e8_rows() {
-        let t = e8_response_time(&[SimDuration::from_millis(4)], quick());
+        let t = run_serial(&e8_response_time(&[SimDuration::from_millis(4)], quick()));
         assert_eq!(t.len(), 2);
     }
 
@@ -479,5 +522,16 @@ mod tests {
             let rho = n as f64 * s as f64 / (iv.as_secs_f64() * 50.0 * 1024.0 * 1024.0);
             assert!((rho - 0.25).abs() < 0.01, "n={n}: rho={rho}");
         }
+    }
+
+    /// The acceptance property for the whole engine: an experiment grid
+    /// renders byte-identically under 1 worker and many.
+    #[test]
+    fn e1_parallel_matches_serial_byte_for_byte() {
+        let g = e1_contention(&[4], quick());
+        let serial = g.run(&GridOptions { jobs: 1, replicates: 1 });
+        let parallel = g.run(&GridOptions { jobs: 8, replicates: 1 });
+        assert_eq!(serial.table.render(), parallel.table.render());
+        assert_eq!(serial.table.to_csv(), parallel.table.to_csv());
     }
 }

@@ -1,0 +1,402 @@
+//! The experiment grid engine: expand a parameter sweep into independent
+//! cells, execute them across a thread pool, and aggregate the results
+//! back — in declaration order — into the [`Table`] the experiment prints.
+//!
+//! Every cell owns its whole simulation (scheduler, RNG streams, storage
+//! server, observer), so a cell's [`RunResult`] is bit-identical whether
+//! the grid runs serially or on N workers: parallelism only changes
+//! *which OS thread* a cell runs on, never what it computes. That is the
+//! property the `--jobs 1` vs `--jobs N` byte-identity tests pin.
+//!
+//! Replicates: a cell declared with `replicates = R > 1` (via
+//! [`GridOptions`]) is executed R times with derived seeds (replicate 0
+//! keeps the configured seed; replicate `k` uses
+//! `derive_seed(seed, GRID_REPLICATE_STREAM + k)`), and each metric column
+//! expands into `mean`/`min`/`max`/`sd` columns over the replicates.
+//!
+//! The pool is hand-rolled on `std::thread::scope` + an atomic work index
+//! (no external thread-pool dependency is available offline); workers pull
+//! the next `(cell, replicate)` job until the queue drains.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use ocpt_metrics::{f2, f3, Table};
+use ocpt_sim::derive_seed;
+
+use crate::algo::{run_checked, Algo};
+use crate::runner::{RunConfig, RunResult};
+
+/// Stream tag separating replicate seeds from every other derived stream.
+const GRID_REPLICATE_STREAM: u64 = 0x6772_6964; // "grid"
+
+/// How a metric column renders into table cells.
+///
+/// `NaN` renders as `"-"` under every format — experiments use it for
+/// metrics that do not apply to a cell (e.g. E7's `restored_verified`
+/// column for the uncoordinated baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColFmt {
+    /// Integer count (rendered without decimals).
+    Int,
+    /// Two decimal places.
+    F2,
+    /// Three decimal places.
+    F3,
+}
+
+impl ColFmt {
+    fn render(self, v: f64) -> String {
+        if v.is_nan() {
+            return "-".into();
+        }
+        match self {
+            ColFmt::Int => format!("{v:.0}"),
+            ColFmt::F2 => f2(v),
+            ColFmt::F3 => f3(v),
+        }
+    }
+
+    /// Render a mean/sd (fractional even for integer columns).
+    fn render_frac(self, v: f64) -> String {
+        if v.is_nan() {
+            return "-".into();
+        }
+        match self {
+            ColFmt::Int | ColFmt::F2 => f2(v),
+            ColFmt::F3 => f3(v),
+        }
+    }
+}
+
+/// Execution options for a grid: worker count and replicates per cell.
+#[derive(Clone, Copy, Debug)]
+pub struct GridOptions {
+    /// Worker threads (1 = run on the calling thread).
+    pub jobs: usize,
+    /// Seed-replicates per cell (1 = single run, plain columns).
+    pub replicates: usize,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions { jobs: 1, replicates: 1 }
+    }
+}
+
+impl GridOptions {
+    /// Serial, single-replicate execution (the pre-grid behaviour).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+}
+
+type MetricFn = Box<dyn Fn(&RunResult) -> Vec<f64> + Send + Sync>;
+
+/// One independent run of the grid: fixed labels, an algorithm, a full
+/// run configuration and the metric extractor.
+struct GridCell {
+    labels: Vec<String>,
+    algo: Algo,
+    cfg: RunConfig,
+    metrics: MetricFn,
+}
+
+/// What executing a grid produces: the rendered table plus the engine's
+/// self-measurement (wall-clock, total runs, simulator throughput).
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// The aggregated result table, rows in cell-declaration order.
+    pub table: Table,
+    /// Wall-clock seconds for the whole grid.
+    pub wall_secs: f64,
+    /// Total simulation runs executed (cells × replicates).
+    pub runs: usize,
+    /// Simulator events dispatched, summed over all runs.
+    pub sim_events: u64,
+}
+
+impl GridOutcome {
+    /// Aggregate simulator throughput: events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sim_events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A declared experiment grid: title, label columns, metric columns and
+/// the cells to run.
+pub struct RunGrid {
+    title: String,
+    label_headers: Vec<String>,
+    cols: Vec<(String, ColFmt)>,
+    cells: Vec<GridCell>,
+}
+
+impl RunGrid {
+    /// Declare a grid: table title, leading label columns (parameters)
+    /// and metric columns with their formats.
+    pub fn new(title: impl Into<String>, label_headers: &[&str], cols: &[(&str, ColFmt)]) -> Self {
+        RunGrid {
+            title: title.into(),
+            label_headers: label_headers.iter().map(|s| s.to_string()).collect(),
+            cols: cols.iter().map(|(n, f)| (n.to_string(), *f)).collect(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Declare one cell. `labels` must match the label headers; `metrics`
+    /// must return one value per metric column.
+    pub fn cell(
+        &mut self,
+        labels: &[String],
+        algo: Algo,
+        cfg: RunConfig,
+        metrics: impl Fn(&RunResult) -> Vec<f64> + Send + Sync + 'static,
+    ) {
+        assert_eq!(labels.len(), self.label_headers.len(), "label arity mismatch");
+        self.cells.push(GridCell {
+            labels: labels.to_vec(),
+            algo,
+            cfg,
+            metrics: Box::new(metrics),
+        });
+    }
+
+    /// Number of declared cells (= table rows).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The configuration a given `(cell, replicate)` actually runs —
+    /// exposed so tests can reproduce any grid run directly.
+    pub fn replicate_config(&self, cell: usize, rep: usize) -> RunConfig {
+        let mut cfg = self.cells[cell].cfg.clone();
+        if rep > 0 {
+            cfg.sim.seed = derive_seed(cfg.sim.seed, GRID_REPLICATE_STREAM + rep as u64);
+        }
+        cfg
+    }
+
+    /// Execute every `(cell, replicate)` job and return the raw metric
+    /// vectors, indexed `[cell][replicate][metric]`. This is the engine
+    /// core; [`Self::run`] aggregates it into a table.
+    pub fn cell_metrics(&self, opts: &GridOptions) -> (Vec<Vec<Vec<f64>>>, u64) {
+        let reps = opts.replicates.max(1);
+        let jobs: Vec<(usize, usize)> =
+            (0..self.cells.len()).flat_map(|c| (0..reps).map(move |r| (c, r))).collect();
+        // One slot per job; each worker fills only its own slots, so the
+        // aggregation below is race-free and order-independent.
+        let slots: Vec<OnceLock<(Vec<f64>, u64)>> =
+            jobs.iter().map(|_| OnceLock::new()).collect();
+        let run_job = |job: usize| {
+            let (c, r) = jobs[job];
+            let cell = &self.cells[c];
+            let result = run_checked(&cell.algo, self.replicate_config(c, r));
+            let vals = (cell.metrics)(&result);
+            assert_eq!(vals.len(), self.cols.len(), "metric arity mismatch in {}", self.title);
+            slots[job].set((vals, result.sim_events)).expect("job executed twice");
+        };
+        let workers = opts.jobs.max(1).min(jobs.len().max(1));
+        if workers <= 1 {
+            for job in 0..jobs.len() {
+                run_job(job);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs.len() {
+                            break;
+                        }
+                        run_job(job);
+                    });
+                }
+            });
+        }
+        let mut out: Vec<Vec<Vec<f64>>> = (0..self.cells.len()).map(|_| Vec::new()).collect();
+        let mut sim_events = 0u64;
+        for (job, slot) in jobs.iter().zip(slots) {
+            let (vals, events) = slot.into_inner().expect("job not executed");
+            out[job.0].push(vals);
+            sim_events += events;
+        }
+        (out, sim_events)
+    }
+
+    /// Execute the grid and aggregate into the result table.
+    pub fn run(&self, opts: &GridOptions) -> GridOutcome {
+        let wall_start = std::time::Instant::now();
+        let reps = opts.replicates.max(1);
+        let (per_cell, sim_events) = self.cell_metrics(opts);
+        let mut headers: Vec<&str> = self.label_headers.iter().map(String::as_str).collect();
+        let expanded: Vec<String> = if reps > 1 {
+            self.cols
+                .iter()
+                .flat_map(|(name, _)| {
+                    ["mean", "min", "max", "sd"].iter().map(move |s| format!("{name}_{s}"))
+                })
+                .collect()
+        } else {
+            self.cols.iter().map(|(name, _)| name.clone()).collect()
+        };
+        headers.extend(expanded.iter().map(String::as_str));
+        let mut table = Table::new(self.title.clone(), &headers);
+        for (cell, reps_vals) in self.cells.iter().zip(&per_cell) {
+            let mut row = cell.labels.clone();
+            for (m, (_, fmt)) in self.cols.iter().enumerate() {
+                let vals: Vec<f64> = reps_vals.iter().map(|r| r[m]).collect();
+                if reps > 1 {
+                    let (mean, min, max, sd) = aggregate(&vals);
+                    row.push(fmt.render_frac(mean));
+                    row.push(fmt.render(min));
+                    row.push(fmt.render(max));
+                    row.push(fmt.render_frac(sd));
+                } else {
+                    row.push(fmt.render(vals[0]));
+                }
+            }
+            table.row(&row);
+        }
+        GridOutcome {
+            table,
+            wall_secs: wall_start.elapsed().as_secs_f64(),
+            runs: self.cells.len() * reps,
+            sim_events,
+        }
+    }
+
+    /// Convenience: execute and return only the table.
+    pub fn table(&self, opts: &GridOptions) -> Table {
+        self.run(opts).table
+    }
+}
+
+/// Mean/min/max/population-sd over replicate values. Any NaN poisons the
+/// whole aggregate (the column renders `"-"`), which is what a metric
+/// that "does not apply" should do.
+fn aggregate(vals: &[f64]) -> (f64, f64, f64, f64) {
+    if vals.iter().any(|v| v.is_nan()) {
+        return (f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    }
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, min, max, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use ocpt_sim::SimDuration;
+
+    fn tiny_cfg(n: usize, seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::new(n, seed);
+        cfg.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(4));
+        cfg.checkpoint_interval = SimDuration::from_millis(250);
+        cfg.workload_duration = SimDuration::from_millis(600);
+        cfg.state_bytes = 128 * 1024;
+        cfg
+    }
+
+    fn demo_grid() -> RunGrid {
+        let mut g = RunGrid::new(
+            "demo",
+            &["algo", "n"],
+            &[("msgs", ColFmt::Int), ("rounds", ColFmt::Int), ("piggy_b", ColFmt::F2)],
+        );
+        for n in [3usize, 4] {
+            for algo in [Algo::ocpt(), Algo::KooToueg] {
+                g.cell(
+                    &[algo.name().to_string(), n.to_string()],
+                    algo.clone(),
+                    tiny_cfg(n, 7),
+                    |r| {
+                        vec![r.app_messages as f64, r.complete_rounds as f64, r.piggyback_bytes as f64]
+                    },
+                );
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn declaration_order_is_row_order() {
+        let g = demo_grid();
+        let t = g.table(&GridOptions::serial());
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].starts_with("ocpt,3"));
+        assert!(rows[1].starts_with("koo-toueg,3"));
+        assert!(rows[2].starts_with("ocpt,4"));
+        assert!(rows[3].starts_with("koo-toueg,4"));
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let g = demo_grid();
+        let serial = g.run(&GridOptions { jobs: 1, replicates: 1 });
+        let parallel = g.run(&GridOptions { jobs: 8, replicates: 1 });
+        assert_eq!(serial.table.render(), parallel.table.render());
+        assert_eq!(serial.table.to_csv(), parallel.table.to_csv());
+        assert_eq!(serial.sim_events, parallel.sim_events);
+        assert_eq!(serial.runs, 4);
+    }
+
+    #[test]
+    fn cell_runs_match_direct_execution() {
+        let g = demo_grid();
+        let (metrics, _) = g.cell_metrics(&GridOptions { jobs: 4, replicates: 2 });
+        // Every (cell, replicate) must equal a direct run_checked of the
+        // same derived configuration.
+        for (c, reps) in metrics.iter().enumerate() {
+            assert_eq!(reps.len(), 2);
+            for (r, vals) in reps.iter().enumerate() {
+                let direct = run_checked(&g.cells[c].algo, g.replicate_config(c, r));
+                let expect = (g.cells[c].metrics)(&direct);
+                assert_eq!(vals, &expect, "cell {c} replicate {r} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn replicates_expand_columns_and_derive_seeds() {
+        let g = demo_grid();
+        let t = g.table(&GridOptions { jobs: 2, replicates: 3 });
+        let header = t.to_csv().lines().next().unwrap().to_string();
+        assert!(header.contains("msgs_mean"));
+        assert!(header.contains("msgs_min"));
+        assert!(header.contains("msgs_max"));
+        assert!(header.contains("msgs_sd"));
+        // Replicate 0 keeps the configured seed; later replicates differ.
+        assert_eq!(g.replicate_config(0, 0).sim.seed, 7);
+        assert_ne!(g.replicate_config(0, 1).sim.seed, 7);
+        assert_ne!(g.replicate_config(0, 1).sim.seed, g.replicate_config(0, 2).sim.seed);
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        assert_eq!(ColFmt::Int.render(f64::NAN), "-");
+        assert_eq!(ColFmt::F2.render_frac(f64::NAN), "-");
+        let (m, lo, hi, sd) = aggregate(&[1.0, f64::NAN]);
+        assert!(m.is_nan() && lo.is_nan() && hi.is_nan() && sd.is_nan());
+    }
+
+    #[test]
+    fn outcome_reports_throughput() {
+        let g = demo_grid();
+        let out = g.run(&GridOptions::serial());
+        assert!(out.sim_events > 0);
+        assert!(out.wall_secs > 0.0);
+        assert!(out.events_per_sec() > 0.0);
+    }
+}

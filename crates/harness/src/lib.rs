@@ -12,6 +12,9 @@
 //! * [`algo`] — algorithm selection and checked dispatch;
 //! * [`analysis`] — offline recovery analysis: coordinated rollback,
 //!   domino-effect fixpoint, restored-state verification;
+//! * [`grid`] — the experiment grid engine: expand sweeps into
+//!   independent cells, run them across a thread pool, aggregate in
+//!   declaration order (bit-identical to serial execution);
 //! * [`experiments`] — one function per reconstructed experiment
 //!   (E1–E8, A1–A3 in `DESIGN.md`), each returning the table its `exp_*`
 //!   binary prints.
@@ -22,10 +25,12 @@
 pub mod algo;
 pub mod analysis;
 pub mod experiments;
+pub mod grid;
 pub mod runner;
 pub mod workload;
 
 pub use algo::{run, run_checked, Algo};
+pub use grid::{ColFmt, GridOptions, GridOutcome, RunGrid};
 pub use analysis::{coordinated_rollback, domino_rollback, verify_restored_states, RollbackReport};
 pub use runner::{RunConfig, RunResult, Runner, StorageReport};
 pub use workload::{Pattern, PayloadSpec, Timing, WorkloadSpec, WorkloadState};

@@ -205,9 +205,25 @@ pub struct RunResult {
     /// Fatal protocol error (impossible paper sub-case reached) — tests
     /// assert this is `None`.
     pub protocol_error: Option<String>,
+    /// Simulator events dispatched over the whole run.
+    pub sim_events: u64,
+    /// Events scheduled into the past and clamped to `now` (release-build
+    /// timing-model bug detector; always 0 in debug builds, which panic).
+    pub clamped_events: u64,
+    /// Wall-clock seconds the run took (self-measurement, not sim time).
+    pub wall_secs: f64,
 }
 
 impl RunResult {
+    /// Simulator throughput: events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sim_events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
     /// Check every complete global checkpoint for consistency against both
     /// oracles. Returns the number of checkpoints verified.
     pub fn verify_consistency(&self) -> Result<u64, String> {
@@ -340,6 +356,7 @@ impl<P: CheckpointProtocol> Runner<P> {
 
     /// Execute the whole run.
     pub fn run(mut self) -> RunResult {
+        let wall_start = std::time::Instant::now();
         let n = self.cfg.sim.n;
         // Faults.
         for f in self.cfg.faults.faults() {
@@ -417,7 +434,7 @@ impl<P: CheckpointProtocol> Runner<P> {
                 }
             }
         }
-        self.finish()
+        self.finish(wall_start)
     }
 
     fn on_send_tick(&mut self, now: SimTime, pid: ProcessId) {
@@ -869,7 +886,7 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
     }
 
-    fn finish(mut self) -> RunResult {
+    fn finish(mut self, wall_start: std::time::Instant) -> RunResult {
         // Let any still-active storage writes complete "after the end" so
         // durability accounting is complete.
         while self.server.in_flight() > 0 {
@@ -878,7 +895,12 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
         let makespan = self.sched.now();
         let n = self.cfg.sim.n;
+        let sim_events = self.sched.events_dispatched();
+        let clamped_events = self.sched.clamped_events();
         let mut counters = self.counters;
+        if clamped_events > 0 {
+            counters.add("sched.clamped_events", clamped_events);
+        }
         for p in &self.procs {
             counters.merge(p.stats());
         }
@@ -928,6 +950,9 @@ impl<P: CheckpointProtocol> Runner<P> {
             trace: self.trace,
             crash: self.crash,
             protocol_error: self.protocol_error,
+            sim_events,
+            clamped_events,
+            wall_secs: wall_start.elapsed().as_secs_f64(),
         }
     }
 }

@@ -95,6 +95,10 @@ fn horizon_stops_runaway_runs() {
 #[test]
 fn blocked_time_measured_for_koo_toueg_under_slow_storage() {
     let mut cfg = base(6, 6);
+    // Dense traffic guarantees sends land inside every blocking window
+    // (the window itself is control-RTT-bound, so only traffic density —
+    // not storage speed — decides how much blocking is observable).
+    cfg.workload = WorkloadSpec::uniform_mesh(SimDuration::from_micros(500));
     // Slow storage stretches phase 1, lengthening the blocking window.
     cfg.storage = ocpt_storage::StorageConfig {
         bandwidth_bps: 4.0 * 1024.0 * 1024.0,

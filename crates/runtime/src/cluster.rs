@@ -2,22 +2,22 @@
 //! inject workload, await finalizations, shut down cleanly.
 
 use std::collections::HashSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ocpt_causality::GlobalObserver;
 use ocpt_core::{Csn, OcptConfig};
 use ocpt_sim::ProcessId;
-use parking_lot::Mutex;
 
-use crate::node::{run_node, Command, NodeCtx, StatusEvent};
+use crate::node::{run_node, Command, NodeCtx, NodeInput, StatusEvent};
 use crate::storage::StableStore;
+use crate::sync::Mutex;
 
 /// A running cluster of OCPT nodes on OS threads.
 pub struct Cluster {
     n: usize,
-    cmd_tx: Vec<Sender<Command>>,
+    cmd_tx: Vec<Sender<NodeInput>>,
     status_rx: Receiver<StatusEvent>,
     store: Arc<StableStore>,
     observer: Arc<Mutex<GlobalObserver>>,
@@ -51,26 +51,25 @@ impl Cluster {
         cfg.validate().expect("invalid config");
         let store = Arc::new(StableStore::new());
         let observer = Arc::new(Mutex::new(GlobalObserver::new(n)));
-        let (status_tx, status_rx) = unbounded();
+        let (status_tx, status_rx) = channel();
         let mut inboxes_tx = Vec::with_capacity(n);
         let mut inboxes_rx = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             inboxes_tx.push(tx);
             inboxes_rx.push(rx);
         }
         let mut cmd_tx = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (i, inbox) in inboxes_rx.into_iter().enumerate() {
-            let (ctx_tx, ctx_rx) = unbounded();
-            cmd_tx.push(ctx_tx);
+            // Commands ride the same merged inbox as network bytes.
+            cmd_tx.push(inboxes_tx[i].clone());
             let ctx = NodeCtx {
                 pid: ProcessId(i as u16),
                 n,
                 cfg,
                 inbox,
                 peers: inboxes_tx.clone(),
-                commands: ctx_rx,
                 status: status_tx.clone(),
                 store: store.clone(),
                 observer: observer.clone(),
@@ -92,12 +91,14 @@ impl Cluster {
 
     /// Inject an application send.
     pub fn send_app(&self, src: ProcessId, dst: ProcessId, len: u32) {
-        self.cmd_tx[src.index()].send(Command::SendApp { dst, len }).expect("node alive");
+        self.cmd_tx[src.index()]
+            .send(NodeInput::Cmd(Command::SendApp { dst, len }))
+            .expect("node alive");
     }
 
     /// Ask a node to take its scheduled checkpoint now.
     pub fn checkpoint(&self, pid: ProcessId) {
-        self.cmd_tx[pid.index()].send(Command::Checkpoint).expect("node alive");
+        self.cmd_tx[pid.index()].send(NodeInput::Cmd(Command::Checkpoint)).expect("node alive");
     }
 
     /// Block until every node has finalized checkpoint `csn` (or error).
@@ -136,7 +137,7 @@ impl Cluster {
     /// Stop all nodes and join their threads.
     pub fn shutdown(self) {
         for tx in &self.cmd_tx {
-            let _ = tx.send(Command::Shutdown);
+            let _ = tx.send(NodeInput::Cmd(Command::Shutdown));
         }
         for h in self.handles {
             let _ = h.join();

@@ -3,8 +3,8 @@
 //! The simulator (`ocpt-harness`) proves properties deterministically; this
 //! crate shows the same sans-io state machine is not simulator-bound. Each
 //! process is an OS thread; envelopes travel as encoded bytes over
-//! crossbeam channels (so the `ocpt_core::wire` codec is exercised for
-//! real); the convergence timer is a wall-clock deadline; finalized
+//! `std::sync::mpsc` channels (so the `ocpt_core::wire` codec is exercised
+//! for real); the convergence timer is a wall-clock deadline; finalized
 //! checkpoints land in a shared [`StableStore`]; and a mutex-guarded
 //! [`ocpt_causality::GlobalObserver`] checks Theorem 2 against genuine
 //! thread interleavings.
@@ -28,7 +28,8 @@
 pub mod cluster;
 pub mod node;
 pub mod storage;
+pub mod sync;
 
 pub use cluster::{Cluster, ClusterError};
-pub use node::{Command, StatusEvent};
+pub use node::{Command, NodeInput, StatusEvent};
 pub use storage::{DurableCheckpoint, StableStore};

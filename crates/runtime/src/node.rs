@@ -6,21 +6,26 @@
 //! convergence timer is `recv_timeout` against `Instant`s, and the shared
 //! consistency observer is fed in true arrival order — so the test-suite's
 //! Theorem 2 check runs against genuine thread interleavings.
+//!
+//! Each node has a **single** `std::sync::mpsc` inbox carrying both peer
+//! network bytes and driver commands ([`NodeInput`]); merging the streams
+//! into one channel preserves arrival order without needing a
+//! multi-channel `select!`.
 
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
 use ocpt_causality::GlobalObserver;
 use ocpt_core::{
     decode_envelope, encode_envelope, Action, AppPayload, AppSnapshot, Csn, Envelope, OcptConfig,
     OcptProcess,
 };
 use ocpt_sim::{MsgId, ProcessId};
-use parking_lot::Mutex;
 
 use crate::storage::StableStore;
+use crate::sync::Mutex;
 
 /// Driver → node commands.
 #[derive(Clone, Debug)]
@@ -36,6 +41,15 @@ pub enum Command {
     Checkpoint,
     /// Stop the node thread.
     Shutdown,
+}
+
+/// Everything that can arrive on a node's (single, merged) inbox.
+#[derive(Clone, Debug)]
+pub enum NodeInput {
+    /// Encoded envelope bytes from a peer.
+    Net(ProcessId, Bytes),
+    /// A driver command.
+    Cmd(Command),
 }
 
 /// Node → driver status events.
@@ -74,12 +88,10 @@ pub struct NodeCtx {
     pub n: usize,
     /// Protocol configuration.
     pub cfg: OcptConfig,
-    /// Raw-bytes inbox.
-    pub inbox: Receiver<(ProcessId, Bytes)>,
-    /// Raw-bytes outboxes, indexed by destination.
-    pub peers: Vec<Sender<(ProcessId, Bytes)>>,
-    /// Command stream from the driver.
-    pub commands: Receiver<Command>,
+    /// Merged inbox: peer bytes and driver commands in arrival order.
+    pub inbox: Receiver<NodeInput>,
+    /// Peer inboxes, indexed by destination.
+    pub peers: Vec<Sender<NodeInput>>,
     /// Status stream to the driver.
     pub status: Sender<StatusEvent>,
     /// Shared stable storage.
@@ -90,7 +102,7 @@ pub struct NodeCtx {
 
 /// The node main loop. Runs until `Command::Shutdown`.
 pub fn run_node(ctx: NodeCtx) {
-    let NodeCtx { pid, n, cfg, inbox, peers, commands, status, store, observer } = ctx;
+    let NodeCtx { pid, n, cfg, inbox, peers, status, store, observer } = ctx;
     let mut proto = OcptProcess::new(pid, n, cfg);
     let mut app = AppSnapshot::initial(pid.0 as u64, cfg.state_bytes);
     let mut next_msg: u64 = 0;
@@ -125,7 +137,7 @@ pub fn run_node(ctx: NodeCtx) {
                 }
                 Action::SendCtrl { dst, cm } => {
                     let raw = encode_envelope(&Envelope::Ctrl(cm), n);
-                    let _ = peers[dst.index()].send((pid, raw));
+                    let _ = peers[dst.index()].send(NodeInput::Net(pid, raw));
                 }
                 Action::SetTimer { csn } => {
                     *conv_deadline =
@@ -139,18 +151,33 @@ pub fn run_node(ctx: NodeCtx) {
     };
 
     let mut trigger_back = 0u32;
-    loop {
+    'main: loop {
+        // Fire the convergence timer whenever its deadline has passed —
+        // checked both on timeout wakeups and between messages, so heavy
+        // traffic cannot starve it.
+        if let Some((at, csn)) = conv_deadline {
+            if Instant::now() >= at {
+                conv_deadline = None;
+                let mut out = Vec::new();
+                proto.on_timer(csn, &mut out);
+                handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
+            }
+        }
         let timeout = conv_deadline
             .map(|(at, _)| at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
-        crossbeam::channel::select! {
-            recv(inbox) -> raw => {
-                let Ok((src, raw)) = raw else { break };
+        let input = match inbox.recv_timeout(timeout) {
+            Ok(input) => input,
+            Err(RecvTimeoutError::Timeout) => continue 'main,
+            Err(RecvTimeoutError::Disconnected) => break 'main,
+        };
+        match input {
+            NodeInput::Net(src, raw) => {
                 let (env, _) = match decode_envelope(raw) {
                     Ok(v) => v,
                     Err(e) => {
                         let _ = status.send(StatusEvent::Error { pid, detail: e.to_string() });
-                        break;
+                        break 'main;
                     }
                 };
                 match env {
@@ -158,7 +185,7 @@ pub fn run_node(ctx: NodeCtx) {
                         let mut out = Vec::new();
                         if let Err(e) = proto.on_ctrl_receive(src, cm, &mut out) {
                             let _ = status.send(StatusEvent::Error { pid, detail: e.to_string() });
-                            break;
+                            break 'main;
                         }
                         handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
                     }
@@ -170,45 +197,31 @@ pub fn run_node(ctx: NodeCtx) {
                         let mut out = Vec::new();
                         if let Err(e) = proto.on_app_receive(src, msg_id, payload, &pb, &mut out) {
                             let _ = status.send(StatusEvent::Error { pid, detail: e.to_string() });
-                            break;
+                            break 'main;
                         }
                         handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
                     }
                 }
             }
-            recv(commands) -> cmd => {
-                match cmd {
-                    Ok(Command::SendApp { dst, len }) => {
-                        // Globally unique message id: node id in the high bits.
-                        let msg_id = MsgId(((pid.0 as u64) << 40) | next_msg);
-                        next_msg += 1;
-                        let payload = AppPayload { id: msg_id.0, len };
-                        // Record the send before the bytes can possibly be
-                        // received (observer lock orders it).
-                        observer.lock().on_send(pid, msg_id);
-                        app.apply_send(payload);
-                        let pb = proto.on_app_send(dst, msg_id, payload);
-                        let raw = encode_envelope(&Envelope::App { pb, payload }, n);
-                        let _ = peers[dst.index()].send((pid, raw));
-                    }
-                    Ok(Command::Checkpoint) => {
-                        let mut out = Vec::new();
-                        proto.initiate_checkpoint(&mut out);
-                        handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
-                    }
-                    Ok(Command::Shutdown) | Err(_) => break,
-                }
+            NodeInput::Cmd(Command::SendApp { dst, len }) => {
+                // Globally unique message id: node id in the high bits.
+                let msg_id = MsgId(((pid.0 as u64) << 40) | next_msg);
+                next_msg += 1;
+                let payload = AppPayload { id: msg_id.0, len };
+                // Record the send before the bytes can possibly be
+                // received (observer lock orders it).
+                observer.lock().on_send(pid, msg_id);
+                app.apply_send(payload);
+                let pb = proto.on_app_send(dst, msg_id, payload);
+                let raw = encode_envelope(&Envelope::App { pb, payload }, n);
+                let _ = peers[dst.index()].send(NodeInput::Net(pid, raw));
             }
-            default(timeout) => {
-                if let Some((at, csn)) = conv_deadline {
-                    if Instant::now() >= at {
-                        conv_deadline = None;
-                        let mut out = Vec::new();
-                        proto.on_timer(csn, &mut out);
-                        handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
-                    }
-                }
+            NodeInput::Cmd(Command::Checkpoint) => {
+                let mut out = Vec::new();
+                proto.initiate_checkpoint(&mut out);
+                handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
             }
+            NodeInput::Cmd(Command::Shutdown) => break 'main,
         }
     }
     let _ = status.send(StatusEvent::Stopped { pid, csn: proto.csn(), finalized });

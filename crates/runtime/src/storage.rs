@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use ocpt_core::Csn;
 use ocpt_sim::ProcessId;
-use parking_lot::Mutex;
+
+use crate::sync::Mutex;
 
 /// One durable checkpoint record.
 #[derive(Clone, Debug)]

@@ -42,7 +42,7 @@ pub use event::{Event, Scheduled};
 pub use fault::{Fault, FaultPlan};
 pub use id::{MsgId, ProcessId, StorageReqId, TimerId};
 pub use network::{DelayModel, Network, NetworkStats};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

@@ -5,9 +5,6 @@
 //! adding a consumer does not perturb the draws seen by existing consumers —
 //! essential for comparable parameter sweeps.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// SplitMix64 step, used to derive independent sub-seeds from a master seed.
@@ -28,15 +25,26 @@ pub fn derive_seed(master: u64, tag: u64) -> u64 {
 }
 
 /// A seeded RNG with distribution helpers used across the simulator.
+///
+/// Self-contained xoshiro256++ core (Blackman & Vigna), seeded by
+/// SplitMix64 expansion of the `u64` seed — no external dependency, and
+/// the stream for a given seed is stable across platforms and builds.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Create a derived sub-stream.
@@ -44,26 +52,50 @@ impl SimRng {
         SimRng::new(derive_seed(master, tag))
     }
 
+    /// Next raw 64-bit draw (xoshiro256++ step).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
     pub fn next_u64_below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
-        self.inner.gen_range(0..bound)
+        // Lemire widening-multiply mapping with rejection for exact
+        // uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            let lo = m as u64;
+            // Fast path: a low part >= bound can never be biased.
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
     pub fn next_usize_below(&mut self, bound: usize) -> usize {
         debug_assert!(bound > 0);
-        self.inner.gen_range(0..bound)
+        self.next_u64_below(bound as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.next_f64() < p
     }
 
     /// Exponentially distributed duration with the given mean.
@@ -74,7 +106,7 @@ impl SimRng {
             return SimDuration::ZERO;
         }
         // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
-        let u = self.inner.gen::<f64>().max(1e-12);
+        let u = self.next_f64().max(1e-12);
         mean.mul_f64(-u.ln())
     }
 
@@ -86,13 +118,23 @@ impl SimRng {
         }
         let lo = base.as_nanos().saturating_sub(spread.as_nanos());
         let hi = base.as_nanos().saturating_add(spread.as_nanos());
-        SimDuration::from_nanos(self.inner.gen_range(lo..=hi))
+        SimDuration::from_nanos(self.next_u64_inclusive(lo, hi))
     }
 
     /// Uniform duration in `[lo, hi]`.
     pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
         assert!(lo <= hi, "uniform_duration: lo > hi");
-        SimDuration::from_nanos(self.inner.gen_range(lo.as_nanos()..=hi.as_nanos()))
+        SimDuration::from_nanos(self.next_u64_inclusive(lo.as_nanos(), hi.as_nanos()))
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (both inclusive).
+    fn next_u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let width = hi - lo;
+        if width == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64_below(width + 1)
     }
 }
 

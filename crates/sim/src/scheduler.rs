@@ -21,6 +21,10 @@ pub struct Scheduler<M> {
     /// Timers that have been set and not yet fired or cancelled.
     live_timers: HashSet<TimerId>,
     popped: u64,
+    /// Past-scheduled events clamped to `now` (release builds only reach
+    /// here; debug builds panic first). Nonzero means a model bug that
+    /// release runs would otherwise silently absorb.
+    clamped: u64,
 }
 
 impl<M> Default for Scheduler<M> {
@@ -39,6 +43,7 @@ impl<M> Scheduler<M> {
             heap: BinaryHeap::new(),
             live_timers: HashSet::new(),
             popped: 0,
+            clamped: 0,
         }
     }
 
@@ -63,13 +68,26 @@ impl<M> Scheduler<M> {
     /// Schedule `event` at the absolute instant `at`.
     ///
     /// Scheduling in the past is a logic error and panics in debug builds;
-    /// in release builds the event is clamped to `now` (runs next).
+    /// in release builds the event is clamped to `now` (runs next) and the
+    /// clamp is counted — see [`Self::clamped_events`].
     pub fn schedule_at(&mut self, at: SimTime, event: Event<M>) {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Number of events that were scheduled into the past and clamped to
+    /// `now`. Always 0 in debug builds (the debug assertion fires first);
+    /// a nonzero value in release builds flags a timing-model bug that
+    /// would previously have been absorbed silently.
+    #[inline]
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
     }
 
     /// Schedule `event` after a relative delay.

@@ -54,7 +54,10 @@ pub mod prelude {
         Action, AppPayload, Csn, Envelope, FlushPolicy, MessageLog, OcptConfig, OcptProcess,
         Piggyback, Status, TentSet, WritePolicy,
     };
-    pub use ocpt_harness::{run, run_checked, Algo, RunConfig, RunResult, WorkloadSpec};
+    pub use ocpt_harness::{
+        run, run_checked, Algo, ColFmt, GridOptions, GridOutcome, RunConfig, RunGrid, RunResult,
+        WorkloadSpec,
+    };
     pub use ocpt_sim::{
         DelayModel, FaultPlan, MsgId, ProcessId, SimConfig, SimDuration, SimTime, Topology,
     };
