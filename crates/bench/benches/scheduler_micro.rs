@@ -1,0 +1,34 @@
+//! Scheduler microbenches: the timing wheel against the reference
+//! `BinaryHeap`, one Criterion benchmark per (workload, kind) pair over
+//! identical deterministic op sequences. The committed head-to-head
+//! numbers come from `exp_all --sched-json BENCH_sched.json`; this group
+//! gives per-workload timing distributions (and a CI smoke path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocpt_bench::sched_bench;
+use ocpt_sim::SchedulerKind;
+
+const KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::ReferenceHeap];
+
+fn scheduler_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_micro");
+    g.sample_size(10);
+    for kind in KINDS {
+        g.bench_with_input(BenchmarkId::new("churn", kind.name()), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(sched_bench::churn(k, 4_096, 100_000)));
+        });
+        g.bench_with_input(BenchmarkId::new("cancel_heavy", kind.name()), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(sched_bench::cancel_heavy(k, 32_768, 50_000)));
+        });
+        g.bench_with_input(BenchmarkId::new("crash_purge", kind.name()), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(sched_bench::crash_purge(k, 8_192, 20)));
+        });
+        g.bench_with_input(BenchmarkId::new("far_future", kind.name()), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(sched_bench::far_future(k, 100_000)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_micro);
+criterion_main!(benches);

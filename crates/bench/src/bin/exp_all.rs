@@ -5,14 +5,29 @@
 //! self-measurement (per-experiment and total speedup, events/sec) is
 //! written to the path as JSON. The printed tables come from the parallel
 //! pass; they are byte-identical to the serial pass by construction.
+//!
+//! With `--sched-json <path>`, the scheduler microbench suite (timing
+//! wheel vs reference `BinaryHeap`, identical op sequences) runs first
+//! and its head-to-head report is written to the path.
 
-use ocpt_bench::{bench_report_json, BenchEntry, ExpArgs};
+use ocpt_bench::{bench_report_json, sched_bench, sched_report_json, BenchEntry, ExpArgs};
 use ocpt_harness::experiments as exp;
 use ocpt_harness::{GridOptions, RunGrid};
 use ocpt_sim::SimDuration;
 
 fn main() {
     let args = ExpArgs::parse();
+    if let Some(path) = &args.sched_json {
+        let scale = if args.quick { 20 } else { 1 };
+        let rows = sched_bench::run_suite(scale);
+        let report = sched_report_json(&rows);
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote scheduler microbench to {path}");
+        eprint!("{report}");
+    }
     let p = args.params();
     let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32] };
     let gaps = [

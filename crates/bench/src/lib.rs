@@ -14,9 +14,45 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod sched_bench;
+
 use ocpt_harness::experiments::ExpParams;
 use ocpt_harness::{GridOptions, GridOutcome, RunGrid};
 use ocpt_sim::SimDuration;
+
+/// Host metadata stamped into every committed bench report, so claims
+/// like "speedup ≈ 1.0 on a single-core container" are machine-readable
+/// instead of prose footnotes.
+#[derive(Clone, Debug)]
+pub struct HostMeta {
+    /// Available parallelism (cores visible to this process).
+    pub cores: usize,
+    /// `rustc --version` of the toolchain that built the binary.
+    pub rustc: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+}
+
+impl HostMeta {
+    /// Detect the current host.
+    pub fn detect() -> Self {
+        HostMeta {
+            cores: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            rustc: env!("OCPT_RUSTC_VERSION").to_string(),
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+
+    /// The `"host": {...}` JSON fragment (no trailing comma/newline).
+    fn json_fragment(&self) -> String {
+        format!(
+            "\"host\": {{\"cores\": {}, \"rustc\": \"{}\", \"os\": \"{}\"}}",
+            self.cores,
+            self.rustc.replace('"', "'"),
+            self.os
+        )
+    }
+}
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Clone, Debug)]
@@ -33,6 +69,9 @@ pub struct ExpArgs {
     pub replicates: usize,
     /// `exp_all` only: write the serial-vs-parallel self-benchmark here.
     pub bench_json: Option<String>,
+    /// `exp_all` only: run the scheduler microbench suite (timing wheel
+    /// vs reference heap) and write its report here.
+    pub sched_json: Option<String>,
 }
 
 impl ExpArgs {
@@ -45,6 +84,7 @@ impl ExpArgs {
             jobs: 1,
             replicates: 1,
             bench_json: None,
+            sched_json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -76,6 +116,11 @@ impl ExpArgs {
                 "--bench-json" => {
                     args.bench_json = Some(
                         it.next().unwrap_or_else(|| usage("--bench-json needs a path")),
+                    );
+                }
+                "--sched-json" => {
+                    args.sched_json = Some(
+                        it.next().unwrap_or_else(|| usage("--sched-json needs a path")),
                     );
                 }
                 "--help" | "-h" => usage(""),
@@ -152,6 +197,35 @@ pub struct BenchEntry {
     pub sim_events: u64,
 }
 
+/// Render the scheduler microbench suite (timing wheel vs reference heap)
+/// as JSON — the committed `BENCH_sched.json`.
+pub fn sched_report_json(rows: &[sched_bench::SchedBenchRow]) -> String {
+    let host = HostMeta::detect();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", host.json_fragment()));
+    out.push_str("  \"baseline\": \"reference_heap (BinaryHeap, eager purges)\",\n");
+    out.push_str("  \"candidate\": \"wheel (hierarchical timing wheel, lazy cancellation)\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \
+             \"heap_secs\": {:.6}, \"wheel_secs\": {:.6}, \
+             \"heap_events_per_sec\": {:.1}, \"wheel_events_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}{sep}\n",
+            r.name,
+            r.events,
+            r.heap_secs,
+            r.wheel_secs,
+            r.heap_events_per_sec(),
+            r.wheel_events_per_sec(),
+            r.speedup(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Render the self-benchmark as JSON (hand-formatted: no serde offline).
 pub fn bench_report_json(jobs: usize, entries: &[BenchEntry]) -> String {
     let total_serial: f64 = entries.iter().map(|e| e.serial_secs).sum();
@@ -160,6 +234,7 @@ pub fn bench_report_json(jobs: usize, entries: &[BenchEntry]) -> String {
     let total_runs: usize = entries.iter().map(|e| e.runs).sum();
     let speedup = if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 };
     let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", HostMeta::detect().json_fragment()));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"total_runs\": {total_runs},\n"));
     out.push_str(&format!("  \"total_sim_events\": {total_events},\n"));
@@ -198,7 +273,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
-         [--replicates <r>] [--bench-json <path>]"
+         [--replicates <r>] [--bench-json <path>] [--sched-json <path>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -230,9 +305,47 @@ mod tests {
         assert!(j.contains("\"speedup\": 3.000"));
         assert!(j.contains("\"name\": \"e1\""));
         assert!(j.contains("\"total_runs\": 18"));
+        // Host metadata is machine-readable in the report.
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(j.contains("\"rustc\": \""));
         // Valid-ish JSON: balanced braces/brackets, no trailing comma.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn sched_json_shape() {
+        let rows = vec![
+            sched_bench::SchedBenchRow {
+                name: "cancel_heavy",
+                events: 10_000,
+                heap_secs: 0.4,
+                wheel_secs: 0.1,
+            },
+            sched_bench::SchedBenchRow {
+                name: "crash_purge",
+                events: 5_000,
+                heap_secs: 0.9,
+                wheel_secs: 0.3,
+            },
+        ];
+        let j = sched_report_json(&rows);
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(j.contains("\"baseline\": \"reference_heap"));
+        assert!(j.contains("\"name\": \"cancel_heavy\""));
+        assert!(j.contains("\"speedup\": 4.000"));
+        assert!(j.contains("\"speedup\": 3.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn host_meta_detects_something() {
+        let h = HostMeta::detect();
+        assert!(h.cores >= 1);
+        assert!(!h.rustc.is_empty());
+        assert!(!h.os.is_empty());
     }
 }

@@ -1,0 +1,206 @@
+//! Scheduler microbenchmark workloads: deterministic operation sequences
+//! driven against either event-queue implementation, timed head-to-head.
+//!
+//! Each workload targets one regime of the kernel:
+//!
+//! * `churn` — steady schedule/pop at a deep queue (the common case of a
+//!   healthy run);
+//! * `cancel_heavy` — a large live-timer population with constant
+//!   set/cancel turnover (protocol retransmission timers);
+//! * `crash_purge` — repeated `drop_events_for` over a deep queue (fault
+//!   injection: O(1) tombstone vs O(n log n) drain-and-rebuild);
+//! * `far_future` — a mix of near deliveries and far-future timers that
+//!   exercises the wheel's overflow heap and cascade path.
+//!
+//! The same op sequence (same derived RNG streams) runs on both kinds, so
+//! the dispatched-event counts match exactly and wall-clock is the only
+//! difference. Used by `exp_all --sched-json` (committed `BENCH_sched.json`)
+//! and by `benches/scheduler_micro.rs`.
+
+use ocpt_sim::scheduler::{Scheduler, SchedulerKind};
+use ocpt_sim::{Event, MsgId, ProcessId, SimDuration, SimRng};
+
+/// Process-space size for generated events.
+const N: u16 = 8;
+
+fn deliver(rng: &mut SimRng, i: u64) -> Event<u64> {
+    let src = ProcessId(rng.next_u64_below(N as u64) as u16);
+    let dst = ProcessId(rng.next_u64_below(N as u64) as u16);
+    Event::Deliver { src, dst, msg_id: MsgId(i), msg: i }
+}
+
+/// Steady-state schedule/pop churn at a queue depth of ~`depth`.
+/// Returns events dispatched.
+pub fn churn(kind: SchedulerKind, depth: u64, ops: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xC4E4, 0);
+    for i in 0..depth {
+        s.schedule_after(SimDuration::from_micros(rng.next_u64_below(5_000)), deliver(&mut rng, i));
+    }
+    for i in 0..ops {
+        let (_, _) = s.pop().expect("queue stays primed");
+        s.schedule_after(SimDuration::from_micros(rng.next_u64_below(5_000)), deliver(&mut rng, depth + i));
+    }
+    s.events_dispatched()
+}
+
+/// A live population of ~`depth` timers with constant set/cancel turnover:
+/// each step sets one timer, cancels one survivor, and pops one event.
+pub fn cancel_heavy(kind: SchedulerKind, depth: u64, ops: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xCA7C, 0);
+    let mut live = Vec::with_capacity(depth as usize * 2);
+    for _ in 0..depth * 2 {
+        let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+        let d = SimDuration::from_micros(1 + rng.next_u64_below(10_000));
+        live.push(s.set_timer(pid, d, 0));
+    }
+    for _ in 0..ops {
+        let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+        let d = SimDuration::from_micros(1 + rng.next_u64_below(10_000));
+        live.push(s.set_timer(pid, d, 0));
+        // Cancel a random mid-queue survivor: the heap still carries the
+        // corpse to the top before skipping it; the wheel discards it in
+        // passing.
+        let idx = rng.next_usize_below(live.len());
+        s.cancel_timer(live.swap_remove(idx));
+        s.pop();
+    }
+    s.events_dispatched()
+}
+
+/// Repeated fail-stop purges over a deep queue: refill `per_round` events
+/// spread across all processes, crash one, pop a few, repeat.
+pub fn crash_purge(kind: SchedulerKind, per_round: u64, rounds: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xC4A5, 0);
+    let mut i = 0u64;
+    for _ in 0..rounds {
+        for _ in 0..per_round {
+            s.schedule_after(
+                SimDuration::from_micros(1 + rng.next_u64_below(20_000)),
+                deliver(&mut rng, i),
+            );
+            i += 1;
+        }
+        let victim = ProcessId(rng.next_u64_below(N as u64) as u16);
+        s.drop_events_for(victim);
+        for _ in 0..per_round / 16 {
+            s.pop();
+        }
+    }
+    s.events_dispatched() + s.messages_lost_at_crash()
+}
+
+/// Near deliveries mixed with far-future timers (seconds to minutes out —
+/// the wheel's overflow horizon), popping as it goes.
+pub fn far_future(kind: SchedulerKind, ops: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xFA4F, 0);
+    for i in 0..ops {
+        s.schedule_after(SimDuration::from_micros(rng.next_u64_below(2_000)), deliver(&mut rng, i));
+        if i % 4 == 0 {
+            let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+            let far = SimDuration::from_millis(1_000 + rng.next_u64_below(200_000));
+            s.set_timer(pid, far, i);
+        }
+        if i % 2 == 0 {
+            s.pop();
+        }
+    }
+    while s.pop().is_some() {}
+    s.events_dispatched()
+}
+
+/// One workload's head-to-head measurement.
+#[derive(Clone, Debug)]
+pub struct SchedBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Events dispatched (identical on both kinds by construction).
+    pub events: u64,
+    /// Wall-clock seconds on the reference `BinaryHeap`.
+    pub heap_secs: f64,
+    /// Wall-clock seconds on the timing wheel.
+    pub wheel_secs: f64,
+}
+
+impl SchedBenchRow {
+    /// Throughput on the reference heap.
+    pub fn heap_events_per_sec(&self) -> f64 {
+        if self.heap_secs > 0.0 { self.events as f64 / self.heap_secs } else { 0.0 }
+    }
+
+    /// Throughput on the timing wheel.
+    pub fn wheel_events_per_sec(&self) -> f64 {
+        if self.wheel_secs > 0.0 { self.events as f64 / self.wheel_secs } else { 0.0 }
+    }
+
+    /// Wheel speedup over the heap (>1 = wheel faster).
+    pub fn speedup(&self) -> f64 {
+        if self.wheel_secs > 0.0 { self.heap_secs / self.wheel_secs } else { 0.0 }
+    }
+}
+
+/// The standard microbench suite at full scale (as committed in
+/// `BENCH_sched.json`). `scale` divides the op counts for smoke runs.
+///
+/// Depths target the deep-queue regime the wheel exists for (the grid
+/// sweeps the tentpole motivates run far more pending events than a toy
+/// queue); each (workload, kind) pair is timed several times interleaved
+/// and the minimum wall time is reported — the standard microbench guard
+/// against scheduling noise on a busy shared host.
+pub fn run_suite(scale: u64) -> Vec<SchedBenchRow> {
+    let scale = scale.max(1);
+    let reps = 3;
+    let time = |f: &dyn Fn(SchedulerKind) -> u64, kind| {
+        let t0 = std::time::Instant::now();
+        let events = f(kind);
+        (events, t0.elapsed().as_secs_f64())
+    };
+    let workloads: Vec<(&'static str, Box<dyn Fn(SchedulerKind) -> u64>)> = vec![
+        ("churn", Box::new(move |k| churn(k, 4_096, 2_000_000 / scale))),
+        ("cancel_heavy", Box::new(move |k| cancel_heavy(k, 131_072, 1_000_000 / scale))),
+        ("crash_purge", Box::new(move |k| crash_purge(k, 16_384, (300 / scale).max(2)))),
+        ("far_future", Box::new(move |k| far_future(k, 1_000_000 / scale))),
+    ];
+    workloads
+        .into_iter()
+        .map(|(name, f)| {
+            let (mut heap_secs, mut wheel_secs) = (f64::INFINITY, f64::INFINITY);
+            let (mut he, mut we) = (0, 0);
+            for _ in 0..reps {
+                let (e, t) = time(f.as_ref(), SchedulerKind::ReferenceHeap);
+                he = e;
+                heap_secs = heap_secs.min(t);
+                let (e, t) = time(f.as_ref(), SchedulerKind::Wheel);
+                we = e;
+                wheel_secs = wheel_secs.min(t);
+            }
+            assert_eq!(he, we, "{name}: kinds dispatched different event counts");
+            SchedBenchRow { name, events: we, heap_secs, wheel_secs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both kinds must process the exact same op sequence: the dispatched
+    /// counts agree for every workload (run_suite asserts it internally).
+    #[test]
+    fn workloads_dispatch_identically_across_kinds() {
+        for k in [SchedulerKind::Wheel, SchedulerKind::ReferenceHeap] {
+            assert!(churn(k, 64, 500) > 0);
+            assert!(cancel_heavy(k, 64, 500) > 0);
+            assert!(crash_purge(k, 128, 4) > 0);
+            assert!(far_future(k, 500) > 0);
+        }
+        let rows = run_suite(1_000);
+        assert_eq!(rows.len(), 4);
+        for r in rows {
+            assert!(r.events > 0, "{}: no events", r.name);
+        }
+    }
+}

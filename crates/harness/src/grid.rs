@@ -171,6 +171,16 @@ impl RunGrid {
         self.cells.len()
     }
 
+    /// Rebind every declared cell to the given scheduler implementation
+    /// (used by the byte-identity regression tests to run the same grid on
+    /// the timing wheel and on the reference heap).
+    pub fn with_scheduler(mut self, kind: ocpt_sim::SchedulerKind) -> Self {
+        for cell in &mut self.cells {
+            cell.cfg.scheduler = kind;
+        }
+        self
+    }
+
     /// The configuration a given `(cell, replicate)` actually runs —
     /// exposed so tests can reproduce any grid run directly.
     pub fn replicate_config(&self, cell: usize, rep: usize) -> RunConfig {

@@ -14,8 +14,8 @@ use ocpt_causality::GlobalObserver;
 use ocpt_core::AppSnapshot;
 use ocpt_metrics::{Counters, Summary};
 use ocpt_sim::{
-    Event, FaultPlan, MsgId, Network, ProcessId, Scheduler, SimConfig, SimDuration, SimRng,
-    SimTime, StorageReqId, TimerId, Trace, TraceKind,
+    Event, FaultPlan, MsgId, Network, ProcessId, Scheduler, SchedulerKind, SimConfig, SimDuration,
+    SimRng, SimTime, StorageReqId, TimerId, Trace, TraceKind,
 };
 use ocpt_storage::{CheckpointStore, StorageConfig, StorageServer, StoredCheckpoint};
 
@@ -65,6 +65,10 @@ pub struct RunConfig {
     /// Feed the consistency observer (costs memory proportional to the
     /// message count; on for tests, off for the largest benches).
     pub observe: bool,
+    /// Which event-queue implementation drives the run (the timing wheel
+    /// by default; the reference heap exists for differential testing —
+    /// both produce byte-identical runs).
+    pub scheduler: SchedulerKind,
 }
 
 impl RunConfig {
@@ -88,6 +92,7 @@ impl RunConfig {
             gc_old_checkpoints: false,
             trace: false,
             observe: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -210,6 +215,9 @@ pub struct RunResult {
     /// Events scheduled into the past and clamped to `now` (release-build
     /// timing-model bug detector; always 0 in debug builds, which panic).
     pub clamped_events: u64,
+    /// In-flight message deliveries discarded because their destination
+    /// crashed (fail-stop) before they arrived.
+    pub messages_lost_at_crash: u64,
     /// Wall-clock seconds the run took (self-measurement, not sim time).
     pub wall_secs: f64,
 }
@@ -314,7 +322,7 @@ impl<P: CheckpointProtocol> Runner<P> {
                 .collect(),
             cut_states: HashMap::new(),
             crashed: vec![false; n],
-            sched: Scheduler::new(),
+            sched: Scheduler::with_kind(cfg.scheduler),
             net: Network::new(n, cfg.sim.delay, fifo, seed),
             server: StorageServer::new(cfg.storage),
             store: CheckpointStore::new(n),
@@ -897,9 +905,13 @@ impl<P: CheckpointProtocol> Runner<P> {
         let n = self.cfg.sim.n;
         let sim_events = self.sched.events_dispatched();
         let clamped_events = self.sched.clamped_events();
+        let messages_lost_at_crash = self.sched.messages_lost_at_crash();
         let mut counters = self.counters;
         if clamped_events > 0 {
             counters.add("sched.clamped_events", clamped_events);
+        }
+        if messages_lost_at_crash > 0 {
+            counters.add("sched.messages_lost_at_crash", messages_lost_at_crash);
         }
         for p in &self.procs {
             counters.merge(p.stats());
@@ -952,6 +964,7 @@ impl<P: CheckpointProtocol> Runner<P> {
             protocol_error: self.protocol_error,
             sim_events,
             clamped_events,
+            messages_lost_at_crash,
             wall_secs: wall_start.elapsed().as_secs_f64(),
         }
     }

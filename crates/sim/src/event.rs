@@ -58,6 +58,13 @@ pub enum Event<M> {
 }
 
 impl<M> Event<M> {
+    /// True for fault-plan events (`Crash`/`Recover`). Faults are driven
+    /// by the injected plan and survive every purge — crashes and
+    /// rollbacks never cancel them.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Event::Crash { .. } | Event::Recover { .. })
+    }
+
     /// The process this event is primarily addressed to.
     pub fn target(&self) -> ProcessId {
         match self {

@@ -10,8 +10,10 @@
 //! * no shared memory, no global clock — the virtual clock here exists only
 //!   in the simulator, never visible to protocol logic.
 //!
-//! The kernel is deliberately small: a virtual clock + event heap
-//! ([`Scheduler`]), a delay-sampling [`Network`], seeded randomness
+//! The kernel is deliberately small: a virtual clock + event queue
+//! ([`Scheduler`] — a hierarchical timing wheel, with the original binary
+//! heap retained as a differential oracle), a delay-sampling [`Network`],
+//! seeded randomness
 //! ([`SimRng`]), failure injection ([`FaultPlan`]) and tracing ([`Trace`]).
 //! Protocol state machines live in `ocpt-core`/`ocpt-baselines`; the glue
 //! that drives them over this kernel lives in `ocpt-harness`.
@@ -19,7 +21,7 @@
 //! ## Determinism
 //!
 //! A run is a pure function of its [`SimConfig`] (including the seed) and
-//! the driving logic. Ties in the event heap break by insertion order and
+//! the driving logic. Ties in the event queue break by insertion order and
 //! all random draws come from named SplitMix64-derived sub-streams, so
 //! adding instrumentation never perturbs an experiment.
 
@@ -43,7 +45,7 @@ pub use fault::{Fault, FaultPlan};
 pub use id::{MsgId, ProcessId, StorageReqId, TimerId};
 pub use network::{DelayModel, Network, NetworkStats};
 pub use rng::{derive_seed, SimRng};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,8 +1,16 @@
-//! The discrete-event scheduler: a virtual clock plus an event heap.
+//! The reference event queue: a `BinaryHeap` with eager purges.
 //!
-//! Determinism contract: with equal seeds and equal sequences of `schedule`
-//! calls, `pop` returns the exact same sequence of events. Ties at the same
-//! instant are broken by insertion order.
+//! This is the kernel's original scheduler, kept as the behavioural
+//! oracle for the timing-wheel implementation in [`super::wheel`]: it is
+//! simple enough to be obviously correct, and the differential property
+//! test (`tests/scheduler_differential.rs` in this crate) drives both
+//! implementations through randomized operation sequences asserting
+//! identical event streams and counters.
+//!
+//! Complexity: `schedule_at`/`pop` are O(log n); `drop_events_for` and
+//! `clear_except_faults` drain and rebuild the whole heap — O(n log n)
+//! per crash or rollback — which is exactly the cost profile the wheel
+//! replaces with O(1) tombstones.
 
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -11,9 +19,9 @@ use crate::event::{Event, Scheduled};
 use crate::id::{ProcessId, TimerId};
 use crate::time::{SimDuration, SimTime};
 
-/// Virtual clock and pending-event queue.
+/// Virtual clock and pending-event queue over a binary heap.
 #[derive(Debug)]
-pub struct Scheduler<M> {
+pub struct HeapScheduler<M> {
     now: SimTime,
     seq: u64,
     next_timer: u64,
@@ -25,18 +33,21 @@ pub struct Scheduler<M> {
     /// here; debug builds panic first). Nonzero means a model bug that
     /// release runs would otherwise silently absorb.
     clamped: u64,
+    /// Message deliveries discarded by [`Self::drop_events_for`] — the
+    /// fail-stop model's in-flight messages to a crashed process.
+    messages_lost: u64,
 }
 
-impl<M> Default for Scheduler<M> {
+impl<M> Default for HeapScheduler<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> Scheduler<M> {
+impl<M> HeapScheduler<M> {
     /// A scheduler at time zero with no pending events.
     pub fn new() -> Self {
-        Scheduler {
+        HeapScheduler {
             now: SimTime::ZERO,
             seq: 0,
             next_timer: 0,
@@ -44,6 +55,7 @@ impl<M> Scheduler<M> {
             live_timers: HashSet::new(),
             popped: 0,
             clamped: 0,
+            messages_lost: 0,
         }
     }
 
@@ -59,7 +71,8 @@ impl<M> Scheduler<M> {
         self.popped
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled-but-unfired timers are
+    /// counted until their stale firing is skipped).
     #[inline]
     pub fn pending(&self) -> usize {
         self.heap.len()
@@ -88,6 +101,14 @@ impl<M> Scheduler<M> {
     #[inline]
     pub fn clamped_events(&self) -> u64 {
         self.clamped
+    }
+
+    /// Message deliveries that were pending for a process when
+    /// [`Self::drop_events_for`] discarded them — in-flight messages lost
+    /// to a fail-stop crash.
+    #[inline]
+    pub fn messages_lost_at_crash(&self) -> u64 {
+        self.messages_lost
     }
 
     /// Schedule `event` after a relative delay.
@@ -158,7 +179,7 @@ impl<M> Scheduler<M> {
         let drained: Vec<Scheduled<M>> = std::mem::take(&mut self.heap).into_vec();
         self.live_timers.clear();
         for s in drained {
-            if matches!(s.event, Event::Crash { .. } | Event::Recover { .. }) {
+            if s.event.is_fault() {
                 self.heap.push(s);
             }
         }
@@ -167,130 +188,26 @@ impl<M> Scheduler<M> {
     /// Drop every pending event addressed to `pid` (used at crash time so a
     /// dead process receives nothing until recovery re-arms it).
     ///
-    /// Message deliveries *to* a crashed process are silently lost, matching
-    /// the fail-stop model; in-flight messages *from* it were already sent.
+    /// Message deliveries *to* a crashed process are lost, matching the
+    /// fail-stop model (counted — see [`Self::messages_lost_at_crash`]);
+    /// in-flight messages *from* it were already sent.
     pub fn drop_events_for(&mut self, pid: ProcessId) {
         let drained: Vec<Scheduled<M>> = std::mem::take(&mut self.heap).into_vec();
         for s in drained {
             let addressed = s.event.target() == pid;
-            let keep = match &s.event {
-                // Faults are driven by the fault plan, never dropped.
-                Event::Crash { .. } | Event::Recover { .. } => true,
-                _ => !addressed,
-            };
+            // Faults are driven by the fault plan, never dropped.
+            let keep = s.event.is_fault() || !addressed;
             if keep {
                 self.heap.push(s);
-            } else if let Event::Timer { id, .. } = &s.event {
-                self.live_timers.remove(id);
+            } else {
+                match &s.event {
+                    Event::Deliver { .. } => self.messages_lost += 1,
+                    Event::Timer { id, .. } => {
+                        self.live_timers.remove(id);
+                    }
+                    _ => {}
+                }
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::id::MsgId;
-
-    fn tick(pid: u16, kind: u64) -> Event<u32> {
-        Event::Tick { pid: ProcessId(pid), kind }
-    }
-
-    #[test]
-    fn pops_in_time_order_with_fifo_ties() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(10), tick(0, 0));
-        s.schedule_at(SimTime::from_nanos(5), tick(0, 1));
-        s.schedule_at(SimTime::from_nanos(10), tick(0, 2));
-        let kinds: Vec<u64> = std::iter::from_fn(|| s.pop())
-            .map(|(_, e)| match e {
-                Event::Tick { kind, .. } => kind,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(kinds, vec![1, 0, 2]);
-        assert_eq!(s.now(), SimTime::from_nanos(10));
-        assert_eq!(s.events_dispatched(), 3);
-    }
-
-    #[test]
-    fn cancelled_timers_are_skipped() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        let t1 = s.set_timer(ProcessId(0), SimDuration::from_nanos(5), 100);
-        let t2 = s.set_timer(ProcessId(0), SimDuration::from_nanos(10), 200);
-        assert!(s.timer_live(t1));
-        s.cancel_timer(t1);
-        assert!(!s.timer_live(t1));
-        let (_, e) = s.pop().expect("one timer should fire");
-        match e {
-            Event::Timer { id, tag, .. } => {
-                assert_eq!(id, t2);
-                assert_eq!(tag, 200);
-            }
-            _ => panic!("unexpected event"),
-        }
-        assert!(s.pop().is_none());
-    }
-
-    #[test]
-    fn timer_fires_once() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        let t = s.set_timer(ProcessId(1), SimDuration::from_nanos(1), 7);
-        assert!(s.pop().is_some());
-        assert!(!s.timer_live(t));
-        // Cancelling after fire is a no-op.
-        s.cancel_timer(t);
-        assert!(s.pop().is_none());
-    }
-
-    #[test]
-    fn peek_does_not_advance() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(42), tick(0, 0));
-        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(42)));
-        assert_eq!(s.now(), SimTime::ZERO);
-    }
-
-    #[test]
-    fn drop_events_for_removes_only_targets() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(
-            SimTime::from_nanos(5),
-            Event::Deliver { src: ProcessId(0), dst: ProcessId(1), msg_id: MsgId(0), msg: 9 },
-        );
-        s.schedule_at(SimTime::from_nanos(6), tick(1, 0));
-        s.schedule_at(SimTime::from_nanos(7), tick(2, 0));
-        s.schedule_at(SimTime::from_nanos(8), Event::Recover { pid: ProcessId(1) });
-        s.drop_events_for(ProcessId(1));
-        let mut remaining = Vec::new();
-        while let Some((_, e)) = s.pop() {
-            remaining.push(e.target());
-        }
-        assert_eq!(remaining, vec![ProcessId(2), ProcessId(1)]); // tick P2, recover P1
-    }
-
-    #[test]
-    fn clear_except_faults_keeps_only_faults() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(5), tick(0, 0));
-        let t = s.set_timer(ProcessId(1), SimDuration::from_nanos(3), 9);
-        s.schedule_at(SimTime::from_nanos(7), Event::Crash { pid: ProcessId(2) });
-        s.schedule_at(SimTime::from_nanos(9), Event::Recover { pid: ProcessId(2) });
-        s.clear_except_faults();
-        assert!(!s.timer_live(t));
-        let kinds: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert!(matches!(kinds[0], Event::Crash { .. }));
-        assert!(matches!(kinds[1], Event::Recover { .. }));
-        assert_eq!(kinds.len(), 2);
-    }
-
-    #[test]
-    #[should_panic]
-    #[cfg(debug_assertions)]
-    fn scheduling_in_the_past_panics_in_debug() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(10), tick(0, 0));
-        s.pop();
-        s.schedule_at(SimTime::from_nanos(5), tick(0, 1));
     }
 }

@@ -1,0 +1,593 @@
+//! The production event queue: a hierarchical timing wheel with lazy
+//! cancellation.
+//!
+//! ## Layout
+//!
+//! Six levels of 64 slots each, sliced out of the nanosecond timestamp
+//! six bits at a time: level `ℓ` slot `s` holds events whose time agrees
+//! with the wheel cursor on every bit above `6·(ℓ+1)` and has `s` in bits
+//! `[6ℓ, 6·(ℓ+1))`. Level 0 slots are therefore a single nanosecond wide
+//! and level 5 slots cover ~1.1 s; together the wheel spans events up to
+//! `2^36` ns (~68.7 s) of *bit distance* from the cursor. Anything
+//! farther — or across a `2^36`-aligned boundary — waits in an overflow
+//! min-heap and migrates into the wheel when the cursor reaches its
+//! 68-second window.
+//!
+//! `schedule_at` is one shift/XOR to pick a level plus a `Vec` push;
+//! `pop` drains the earliest level-0 slot into a small FIFO batch. An
+//! event cascades down at most `LEVELS − 1` times before firing, so both
+//! operations are O(1) amortised regardless of the pending population —
+//! the binary-heap oracle ([`super::reference`]) pays O(log n) per
+//! operation and O(n log n) per purge instead.
+//!
+//! ## Determinism contract
+//!
+//! Identical to the reference: events fire in `(time, seq)` order, where
+//! `seq` is insertion order. Within one level-0 slot every event shares
+//! the same nanosecond, so sorting the slot by `seq` at drain time — the
+//! only sort in the structure — restores exact FIFO tie-breaking no
+//! matter how the events cascaded in.
+//!
+//! ## Lazy cancellation
+//!
+//! [`Self::drop_events_for`] and [`Self::clear_except_faults`] do not
+//! walk the pending population. Each records a *watermark* (the current
+//! insertion `seq`); a non-fault event is dead iff it was inserted below
+//! the relevant watermark, and dead events are discarded when the wheel
+//! reaches them. Exact pending/lost counts are maintained eagerly via
+//! O(#processes) per-target counters, so [`Self::pending`] and
+//! [`Self::messages_lost_at_crash`] agree with the eager oracle at every
+//! step even though the memory is reclaimed late.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::event::{Event, Scheduled};
+use crate::id::{ProcessId, TimerId};
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic multiplicative hasher for the timer map. `TimerId`s are
+/// dense sequential `u64`s, so SipHash (and its per-map random seeding)
+/// buys nothing here and dominates the set/cancel/fire hot path; one
+/// multiply by a 64-bit golden-ratio constant plus a xor-shift spreads
+/// the counter bits across the whole word.
+#[derive(Clone, Copy, Debug, Default)]
+struct TimerIdHasher(u64);
+
+impl Hasher for TimerIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback (FNV-1a) — not used by `TimerId`'s derived Hash.
+        let mut h = self.0 ^ 0xCBF2_9CE4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type TimerMap = HashMap<TimerId, (ProcessId, u64), BuildHasherDefault<TimerIdHasher>>;
+
+/// Bits per wheel level (64 slots).
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// Total bits the wheel resolves; events with a larger bit distance from
+/// the cursor live in the overflow heap.
+const WHEEL_BITS: u32 = BITS * LEVELS as u32;
+/// Levels whose slots are drained directly into the pop batch (one small
+/// contiguous sort) instead of cascading event-by-event. Level 2 spans
+/// 4 µs per slot — small enough that the sort beats per-event hops, and
+/// rare enough for newcomers to land below the parked cursor (they fall
+/// back to the `early` bucket, which `settle` merges by `(at, seq)`).
+const DRAIN_LEVELS: usize = 2;
+
+/// Virtual clock and pending-event queue over a hierarchical timing wheel.
+#[derive(Debug)]
+pub struct WheelScheduler<M> {
+    now: SimTime,
+    /// Wheel position in nanoseconds. Always `>= now` and `<=` every
+    /// pending event in the wheel, batch and overflow; only events in
+    /// `early` may precede it (see [`Self::place`]).
+    cursor: u64,
+    seq: u64,
+    next_timer: u64,
+    popped: u64,
+    clamped: u64,
+
+    /// `LEVELS × SLOTS` buckets of unordered events.
+    slots: Vec<Vec<Scheduled<M>>>,
+    /// Emptied slot buffers, recycled so cascades and drains never free
+    /// and re-allocate (the hot path is allocation-free at steady state).
+    spare: Vec<Vec<Scheduled<M>>>,
+    /// One occupancy bit per slot, per level.
+    occupied: [u64; LEVELS],
+    /// The drained earliest level-0 slot: all entries share one
+    /// nanosecond, sorted by `seq`.
+    batch: VecDeque<Scheduled<M>>,
+    /// Events scheduled below the cursor (possible only between a
+    /// `peek_time` and the pop it predicts). `Scheduled`'s reversed `Ord`
+    /// makes both heaps min-first.
+    early: BinaryHeap<Scheduled<M>>,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<Scheduled<M>>,
+
+    /// Live timers with their owner and the `seq` of their firing event
+    /// (needed to evaluate the owner's drop watermark).
+    timers: TimerMap,
+    /// Non-fault events inserted below this are dead (rollback flush).
+    clear_mark: u64,
+    /// Non-fault events targeting pid `p` inserted below `drop_marks[p]`
+    /// are dead (fail-stop crash).
+    drop_marks: Vec<u64>,
+
+    /// Exact pending count (matches the oracle's `heap.len()`).
+    live: u64,
+    /// Pending fault events (never tombstoned).
+    fault_live: u64,
+    /// Pending non-fault events per target process.
+    nonfault_by_target: Vec<u64>,
+    /// Pending `Deliver` events per destination process.
+    deliver_by_target: Vec<u64>,
+    messages_lost: u64,
+}
+
+impl<M> Default for WheelScheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> WheelScheduler<M> {
+    /// A scheduler at time zero with no pending events.
+    pub fn new() -> Self {
+        WheelScheduler {
+            now: SimTime::ZERO,
+            cursor: 0,
+            seq: 0,
+            next_timer: 0,
+            popped: 0,
+            clamped: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            occupied: [0; LEVELS],
+            batch: VecDeque::new(),
+            early: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            timers: TimerMap::default(),
+            clear_mark: 0,
+            drop_marks: Vec::new(),
+            live: 0,
+            fault_live: 0,
+            nonfault_by_target: Vec::new(),
+            deliver_by_target: Vec::new(),
+            messages_lost: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (cancelled-but-unfired timers are
+    /// counted until their stale firing is skipped, exactly like the
+    /// reference heap; tombstoned events are already excluded).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.live as usize
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event is clamped to `now` (runs next) and the
+    /// clamp is counted — see [`Self::clamped_events`].
+    pub fn schedule_at(&mut self, at: SimTime, event: Event<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        if at < self.now {
+            self.clamped += 1;
+        }
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        if event.is_fault() {
+            self.fault_live += 1;
+        } else {
+            let t = event.target().index();
+            self.grow_targets(t);
+            self.nonfault_by_target[t] += 1;
+            if matches!(event, Event::Deliver { .. }) {
+                self.deliver_by_target[t] += 1;
+            }
+        }
+        self.live += 1;
+        self.place(Scheduled { at, seq, event });
+    }
+
+    /// Number of events that were scheduled into the past and clamped to
+    /// `now`. Always 0 in debug builds (the debug assertion fires first);
+    /// a nonzero value in release builds flags a timing-model bug that
+    /// would previously have been absorbed silently.
+    #[inline]
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Message deliveries that were pending for a process when
+    /// [`Self::drop_events_for`] tombstoned them — in-flight messages lost
+    /// to a fail-stop crash.
+    #[inline]
+    pub fn messages_lost_at_crash(&self) -> u64 {
+        self.messages_lost
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: Event<M>) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Register a timer owned by `pid`, firing after `delay` with the given
+    /// owner tag. Returns the id to use for cancellation.
+    pub fn set_timer(&mut self, pid: ProcessId, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        // `self.seq` is the seq the firing event is about to receive.
+        self.timers.insert(id, (pid, self.seq));
+        self.schedule_after(delay, Event::Timer { pid, id, tag });
+        id
+    }
+
+    /// Cancel a previously set timer. Cancelling an already-fired or
+    /// already-cancelled timer is a harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.timers.remove(&id);
+    }
+
+    /// True if the timer is still pending (set, not fired, not cancelled,
+    /// and its owner not crashed since it was set).
+    pub fn timer_live(&self, id: TimerId) -> bool {
+        match self.timers.get(&id) {
+            Some(&(pid, seq)) => seq >= self.drop_mark(pid.index()),
+            None => false,
+        }
+    }
+
+    /// Pop the next due event, advancing the clock to its instant.
+    ///
+    /// Cancelled timers and tombstoned events are skipped transparently.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.settle()?;
+        let s = if self.next_is_early() {
+            self.early.pop().expect("settle leaves a live front")
+        } else {
+            self.batch.pop_front().expect("settle leaves a live front")
+        };
+        self.live -= 1;
+        if s.event.is_fault() {
+            self.fault_live -= 1;
+        } else {
+            let t = s.event.target().index();
+            self.nonfault_by_target[t] -= 1;
+            match &s.event {
+                Event::Deliver { .. } => {
+                    self.deliver_by_target[t] -= 1;
+                }
+                Event::Timer { id, .. } => {
+                    self.timers.remove(id);
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Peek at the due time of the next live event without advancing the
+    /// clock. (The wheel cursor may advance internally; `now` does not.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle()
+    }
+
+    /// Drop every pending event except injected faults (used at recovery
+    /// time: rollback flushes the channels, cancels all timers and ticks,
+    /// and the recovery routine re-arms the world afresh).
+    ///
+    /// O(#processes): records a watermark; dead events are discarded as
+    /// the wheel reaches them.
+    pub fn clear_except_faults(&mut self) {
+        self.clear_mark = self.seq;
+        self.timers.clear();
+        self.live = self.fault_live;
+        self.nonfault_by_target.iter_mut().for_each(|c| *c = 0);
+        self.deliver_by_target.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Drop every pending event addressed to `pid` (used at crash time so a
+    /// dead process receives nothing until recovery re-arms it).
+    ///
+    /// Message deliveries *to* a crashed process are lost, matching the
+    /// fail-stop model (counted — see [`Self::messages_lost_at_crash`]);
+    /// in-flight messages *from* it were already sent.
+    ///
+    /// O(1): records a per-pid watermark; dead events are discarded as the
+    /// wheel reaches them.
+    pub fn drop_events_for(&mut self, pid: ProcessId) {
+        let t = pid.index();
+        self.grow_targets(t);
+        if self.drop_marks.len() <= t {
+            self.drop_marks.resize(t + 1, 0);
+        }
+        self.drop_marks[t] = self.seq;
+        self.messages_lost += self.deliver_by_target[t];
+        self.live -= self.nonfault_by_target[t];
+        self.nonfault_by_target[t] = 0;
+        self.deliver_by_target[t] = 0;
+    }
+
+    // ---------- internals ----------
+
+    #[inline]
+    fn grow_targets(&mut self, t: usize) {
+        if self.nonfault_by_target.len() <= t {
+            self.nonfault_by_target.resize(t + 1, 0);
+            self.deliver_by_target.resize(t + 1, 0);
+        }
+    }
+
+    #[inline]
+    fn drop_mark(&self, t: usize) -> u64 {
+        self.drop_marks.get(t).copied().unwrap_or(0)
+    }
+
+    /// Take a slot's contents, leaving a recycled (empty, pre-sized)
+    /// buffer in its place. Pair with `self.spare.push(v)` after draining.
+    #[inline]
+    fn take_slot(&mut self, idx: usize) -> Vec<Scheduled<M>> {
+        let fresh = self.spare.pop().unwrap_or_default();
+        std::mem::replace(&mut self.slots[idx], fresh)
+    }
+
+    /// True if the event was tombstoned by a clear/drop watermark.
+    #[inline]
+    fn tombstoned(&self, s: &Scheduled<M>) -> bool {
+        !s.event.is_fault()
+            && (s.seq < self.clear_mark || s.seq < self.drop_mark(s.event.target().index()))
+    }
+
+    /// Tombstoned, or a cancelled timer's stale firing.
+    #[inline]
+    fn is_dead(&self, s: &Scheduled<M>) -> bool {
+        if self.tombstoned(s) {
+            return true;
+        }
+        if let Event::Timer { id, .. } = &s.event {
+            return !self.timers.contains_key(id);
+        }
+        false
+    }
+
+    /// Account for a dead entry leaving the structure. Tombstoned events
+    /// were already subtracted from the counters when the watermark was
+    /// recorded; a cancelled timer's stale firing is subtracted here, when
+    /// it is physically skipped — exactly when the oracle pops it.
+    fn discard(&mut self, s: Scheduled<M>) {
+        if self.tombstoned(&s) {
+            if let Event::Timer { id, .. } = &s.event {
+                self.timers.remove(id);
+            }
+        } else {
+            debug_assert!(matches!(s.event, Event::Timer { .. }), "only timers cancel");
+            self.live -= 1;
+            self.nonfault_by_target[s.event.target().index()] -= 1;
+        }
+    }
+
+    /// Bucket an event by its bit distance from the cursor. Callers
+    /// guarantee `s.at >= now`; times below the cursor (possible only
+    /// after `peek_time` advanced it) go to the `early` heap.
+    fn place(&mut self, s: Scheduled<M>) {
+        let at = s.at.as_nanos();
+        if at < self.cursor {
+            self.early.push(s);
+            return;
+        }
+        let diff = at ^ self.cursor;
+        if diff >> WHEEL_BITS != 0 {
+            self.overflow.push(s);
+            return;
+        }
+        let level = if diff == 0 { 0 } else { ((63 - diff.leading_zeros()) / BITS) as usize };
+        let slot = ((at >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(s);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// True if the next due event sits in `early` rather than `batch`.
+    /// The batch spans a whole drained window (up to 64 ns), so the two
+    /// merge by `(at, seq)` — neither side uniformly precedes the other.
+    #[inline]
+    fn next_is_early(&self) -> bool {
+        match (self.early.peek(), self.batch.front()) {
+            (Some(e), Some(b)) => (e.at, e.seq) < (b.at, b.seq),
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// Advance until the earliest *live* pending event sits at the front
+    /// of `early` or `batch`, discarding dead entries along the way.
+    /// Returns its due time, or `None` when fully drained.
+    fn settle(&mut self) -> Option<SimTime> {
+        loop {
+            if self.early.is_empty() && self.batch.is_empty() {
+                if !self.refill_batch() {
+                    return None;
+                }
+                continue;
+            }
+            if self.next_is_early() {
+                let s = self.early.peek().expect("checked");
+                if self.is_dead(s) {
+                    let s = self.early.pop().expect("peeked");
+                    self.discard(s);
+                    continue;
+                }
+                return Some(s.at);
+            }
+            let s = self.batch.front().expect("checked");
+            if self.is_dead(s) {
+                let s = self.batch.pop_front().expect("peeked");
+                self.discard(s);
+                continue;
+            }
+            return Some(s.at);
+        }
+    }
+
+    /// Drain the earliest occupied level-0 slot into `batch`, cascading
+    /// coarser slots and migrating overflow as needed. Returns false when
+    /// the wheel and overflow are physically empty.
+    fn refill_batch(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty() && self.early.is_empty());
+        loop {
+            // Level 0: every occupied slot is a single nanosecond at or
+            // after the cursor within its 64 ns window.
+            let mask0 = !0u64 << (self.cursor & (SLOTS as u64 - 1));
+            debug_assert_eq!(self.occupied[0] & !mask0, 0, "level-0 slot in the past");
+            let bm0 = self.occupied[0] & mask0;
+            if bm0 != 0 {
+                let slot = bm0.trailing_zeros() as usize;
+                self.occupied[0] &= !(1u64 << slot);
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | slot as u64;
+                let mut v = self.take_slot(slot);
+                for s in v.drain(..) {
+                    // Tombstoned corpses were already subtracted from the
+                    // counters at watermark time; reclaim them here rather
+                    // than sorting and re-inspecting them downstream.
+                    // (Cancelled-but-untombstoned timers must flow on: the
+                    // oracle only skips those at the queue front.)
+                    if self.tombstoned(&s) {
+                        if let Event::Timer { id, .. } = &s.event {
+                            self.timers.remove(id);
+                        }
+                    } else {
+                        self.batch.push_back(s);
+                    }
+                }
+                self.spare.push(v);
+                // The only ordering work in the wheel: one nanosecond's
+                // ties, FIFO by insertion seq. The batch was empty on
+                // entry, so this sorts exactly the drained slot.
+                self.batch.make_contiguous().sort_unstable_by_key(|s| s.seq);
+                if self.batch.is_empty() {
+                    continue;
+                }
+                return true;
+            }
+            // Cascade the earliest occupied coarse slot down one level.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                let shift = BITS * level as u32;
+                let cur_slot = (self.cursor >> shift) & (SLOTS as u64 - 1);
+                let mask = !0u64 << cur_slot;
+                debug_assert_eq!(self.occupied[level] & !mask, 0, "coarse slot in the past");
+                let bm = self.occupied[level] & mask;
+                if bm == 0 {
+                    continue;
+                }
+                let slot = bm.trailing_zeros() as usize;
+                self.occupied[level] &= !(1u64 << slot);
+                // Jump the cursor to the slot's start (time between the
+                // old cursor and here is provably empty), then re-bucket
+                // the slot's events — each lands strictly below `level`.
+                let below_parent = (1u64 << (shift + BITS)) - 1;
+                let slot_start = (self.cursor & !below_parent) | ((slot as u64) << shift);
+                self.cursor = self.cursor.max(slot_start);
+                if level <= DRAIN_LEVELS {
+                    // Fine slots (64 ns at level 1, 4 µs at level 2) are
+                    // drained straight into the batch instead of being
+                    // re-bucketed one level at a time: one contiguous
+                    // `(at, seq)` sort of a small window is cheaper than
+                    // a cascade hop per event. Parking the cursor on the
+                    // window's last nanosecond keeps the placement
+                    // invariant: a newcomer can only land inside the
+                    // window at exactly `cursor` (level-0 slot 63) or
+                    // below it (the early bucket), and `settle` merges
+                    // both against the batch by `(at, seq)`.
+                    self.cursor = self.cursor.max(slot_start | ((1u64 << shift) - 1));
+                    let mut v = self.take_slot(level * SLOTS + slot);
+                    for s in v.drain(..) {
+                        if self.tombstoned(&s) {
+                            if let Event::Timer { id, .. } = &s.event {
+                                self.timers.remove(id);
+                            }
+                        } else {
+                            self.batch.push_back(s);
+                        }
+                    }
+                    self.spare.push(v);
+                    if self.batch.is_empty() {
+                        cascaded = true;
+                        break;
+                    }
+                    self.batch.make_contiguous().sort_unstable_by_key(|s| (s.at, s.seq));
+                    return true;
+                }
+                let mut v = self.take_slot(level * SLOTS + slot);
+                for s in v.drain(..) {
+                    if self.tombstoned(&s) {
+                        if let Event::Timer { id, .. } = &s.event {
+                            self.timers.remove(id);
+                        }
+                    } else {
+                        self.place(s);
+                    }
+                }
+                self.spare.push(v);
+                cascaded = true;
+                break;
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheel empty: jump to the overflow horizon and migrate every
+            // event within the new 2^36 ns window.
+            if let Some(top) = self.overflow.peek() {
+                self.cursor = top.at.as_nanos();
+                while let Some(top) = self.overflow.peek() {
+                    if (top.at.as_nanos() ^ self.cursor) >> WHEEL_BITS != 0 {
+                        break;
+                    }
+                    let s = self.overflow.pop().expect("peeked");
+                    self.place(s);
+                }
+                continue;
+            }
+            debug_assert_eq!(self.live, 0, "live events but empty structure");
+            return false;
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub mod prelude {
         WorkloadSpec,
     };
     pub use ocpt_sim::{
-        DelayModel, FaultPlan, MsgId, ProcessId, SimConfig, SimDuration, SimTime, Topology,
+        DelayModel, FaultPlan, MsgId, ProcessId, SchedulerKind, SimConfig, SimDuration, SimTime,
+        Topology,
     };
 }

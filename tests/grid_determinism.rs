@@ -67,6 +67,52 @@ fn grid_cells_equal_direct_runs() {
 }
 
 #[test]
+fn wheel_scheduler_output_is_byte_identical_to_reference_heap() {
+    // The timing-wheel kernel is a pure performance substitution: the
+    // exact experiment output — rendered table, CSV and total event count
+    // — must match the original BinaryHeap scheduler bit for bit. (The
+    // per-operation equivalence proof is the differential property test
+    // in `crates/sim/tests/scheduler_differential.rs`; this pins the
+    // end-to-end composition through the full driver.)
+    let opts = GridOptions { jobs: 2, replicates: 1 };
+    let wheel = sweep_grid().with_scheduler(SchedulerKind::Wheel).run(&opts);
+    let heap = sweep_grid().with_scheduler(SchedulerKind::ReferenceHeap).run(&opts);
+    assert_eq!(wheel.table.render(), heap.table.render(), "rendered tables differ");
+    assert_eq!(wheel.table.to_csv(), heap.table.to_csv(), "CSV output differs");
+    assert_eq!(wheel.sim_events, heap.sim_events, "event streams diverged");
+}
+
+#[test]
+fn wheel_scheduler_matches_reference_heap_under_faults() {
+    // Crash purges (`drop_events_for`) and rollback flushes
+    // (`clear_except_faults`) are where the two kernels differ most —
+    // lazy tombstones vs eager drains — so pin a faulty run end to end,
+    // including the new lost-message counter.
+    let mut cfg = RunConfig::new(4, 23);
+    cfg.workload_duration = SimDuration::from_millis(900);
+    cfg.checkpoint_interval = SimDuration::from_millis(200);
+    cfg.state_bytes = 128 * 1024;
+    cfg.stop_on_crash = false;
+    cfg.faults = FaultPlan::single(
+        ProcessId(2),
+        SimTime::ZERO + SimDuration::from_millis(500),
+        SimDuration::from_millis(40),
+    );
+    let mut wheel_cfg = cfg.clone();
+    wheel_cfg.scheduler = SchedulerKind::Wheel;
+    let mut heap_cfg = cfg;
+    heap_cfg.scheduler = SchedulerKind::ReferenceHeap;
+    let w = run_checked(&Algo::ocpt(), wheel_cfg);
+    let h = run_checked(&Algo::ocpt(), heap_cfg);
+    assert_eq!(w.sim_events, h.sim_events, "event streams diverged");
+    assert_eq!(w.makespan, h.makespan);
+    assert_eq!(w.app_messages, h.app_messages);
+    assert_eq!(w.ctrl_messages, h.ctrl_messages);
+    assert_eq!(w.messages_lost_at_crash, h.messages_lost_at_crash);
+    assert_eq!(w.recovery_line, h.recovery_line);
+}
+
+#[test]
 fn replicate_seeds_are_stable_and_distinct() {
     let g = sweep_grid();
     let g2 = sweep_grid();
