@@ -251,12 +251,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 20,
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
     }
 
     /// Benchmark a closure at top level.

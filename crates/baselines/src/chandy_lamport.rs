@@ -74,7 +74,12 @@ impl ChandyLamport {
     }
 
     /// Record local state for snapshot `seq` and flood markers.
-    fn record_local(&mut self, seq: u64, skip_marker_from: Option<ProcessId>, out: &mut Vec<ProtoAction<ClEnv>>) {
+    fn record_local(
+        &mut self,
+        seq: u64,
+        skip_marker_from: Option<ProcessId>,
+        out: &mut Vec<ProtoAction<ClEnv>>,
+    ) {
         self.seq = seq;
         self.recording = true;
         self.channel_bytes = 0;
@@ -147,14 +152,13 @@ impl CheckpointProtocol for ChandyLamport {
                         ));
                     }
                     self.record_local(seq, Some(src), out);
-                } else if seq == self.seq && self.recording
-                    && self.awaiting[src.index()] {
-                        self.awaiting[src.index()] = false;
-                        self.awaiting_count -= 1;
-                        if self.awaiting_count == 0 {
-                            self.complete(out);
-                        }
+                } else if seq == self.seq && self.recording && self.awaiting[src.index()] {
+                    self.awaiting[src.index()] = false;
+                    self.awaiting_count -= 1;
+                    if self.awaiting_count == 0 {
+                        self.complete(out);
                     }
+                }
                 // Stale markers (seq < self.seq) are ignored.
                 Ok(None)
             }
@@ -252,8 +256,7 @@ mod tests {
             .unwrap();
         assert_eq!(d, Some(pl(1, 64)));
         // App message from P0 (marker already received) → not recorded.
-        cl.on_arrival(ProcessId(0), MsgId(2), ClEnv::App { payload: pl(2, 32) }, &mut out)
-            .unwrap();
+        cl.on_arrival(ProcessId(0), MsgId(2), ClEnv::App { payload: pl(2, 32) }, &mut out).unwrap();
         out.clear();
         cl.on_arrival(ProcessId(2), MsgId(3), ClEnv::Marker { seq: 1 }, &mut out).unwrap();
         let extra = out

@@ -234,9 +234,10 @@ mod tests {
 
     #[test]
     fn app_messages_pass_through() {
-        let mut p = KooToueg::new(ProcessId(1), 2, );
+        let mut p = KooToueg::new(ProcessId(1), 2);
         let mut out = Vec::new();
-        let d = p.on_arrival(ProcessId(0), MsgId(0), KtEnv::App { payload: pl(9) }, &mut out).unwrap();
+        let d =
+            p.on_arrival(ProcessId(0), MsgId(0), KtEnv::App { payload: pl(9) }, &mut out).unwrap();
         assert_eq!(d, Some(pl(9)));
         assert!(out.is_empty());
     }
@@ -257,7 +258,9 @@ mod tests {
         let mut p = KooToueg::new(ProcessId(1), 3);
         let mut out = Vec::new();
         // Round skip.
-        assert!(p.on_arrival(ProcessId(0), MsgId(0), KtEnv::TakeTentative { seq: 2 }, &mut out).is_err());
+        assert!(p
+            .on_arrival(ProcessId(0), MsgId(0), KtEnv::TakeTentative { seq: 2 }, &mut out)
+            .is_err());
         // Ack at a non-coordinator.
         assert!(p.on_arrival(ProcessId(2), MsgId(1), KtEnv::Ack { seq: 0 }, &mut out).is_err());
         // Commit for wrong round.

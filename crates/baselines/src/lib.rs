@@ -30,4 +30,4 @@ pub use cic::{Cic, CicEnv};
 pub use koo_toueg::{KooToueg, KtEnv};
 pub use ocpt_adapter::OcptAdapter;
 pub use staggered::{StagEnv, Staggered};
-pub use uncoordinated::{Uncoordinated, UncoordEnv};
+pub use uncoordinated::{UncoordEnv, Uncoordinated};

@@ -74,7 +74,12 @@ impl OcptAdapter {
 
     /// Issue the storage writes of a finalized checkpoint: the tentative
     /// state (unless an early flush already covered it) and the frozen log.
-    fn emit_finalize_writes(&mut self, csn: u64, log: MessageLog, out: &mut Vec<ProtoAction<Envelope>>) {
+    fn emit_finalize_writes(
+        &mut self,
+        csn: u64,
+        log: MessageLog,
+        out: &mut Vec<ProtoAction<Envelope>>,
+    ) {
         if self.state_flushed_for != Some(csn) {
             self.state_flushed_for = Some(csn);
             out.push(ProtoAction::FlushState { seq: csn });
@@ -95,8 +100,7 @@ impl OcptAdapter {
                         }
                         FlushPolicy::Lazy => {}
                         FlushPolicy::Jittered { max_delay } => {
-                            let delay =
-                                self.rng.uniform_duration(SimDuration::ZERO, max_delay);
+                            let delay = self.rng.uniform_duration(SimDuration::ZERO, max_delay);
                             self.flush_timer_for = Some(csn);
                             out.push(ProtoAction::SetTimer { tag: flush_tag(csn), delay });
                         }
@@ -179,9 +183,7 @@ impl CheckpointProtocol for OcptAdapter {
         match env {
             Envelope::Ctrl(cm) => {
                 let mut core_out = Vec::new();
-                self.inner
-                    .on_ctrl_receive(src, cm, &mut core_out)
-                    .map_err(|e| e.to_string())?;
+                self.inner.on_ctrl_receive(src, cm, &mut core_out).map_err(|e| e.to_string())?;
                 self.translate(core_out, out);
                 Ok(None)
             }
@@ -342,7 +344,8 @@ mod tests {
 
     #[test]
     fn jittered_policy_sets_flush_timer_then_flushes() {
-        let mut a = adapter(2, 4, FlushPolicy::Jittered { max_delay: SimDuration::from_millis(10) });
+        let mut a =
+            adapter(2, 4, FlushPolicy::Jittered { max_delay: SimDuration::from_millis(10) });
         let mut out = Vec::new();
         a.initiate(&mut out);
         let tag = out
@@ -369,11 +372,7 @@ mod tests {
         let mut out = Vec::new();
         a1.initiate(&mut out);
         out.clear();
-        let pb = Piggyback {
-            csn: 1,
-            stat: Status::Normal,
-            tent_set: ocpt_core::TentSet::empty(3),
-        };
+        let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: ocpt_core::TentSet::empty(3) };
         let env = Envelope::App { pb, payload: pl() };
         a1.on_arrival(ProcessId(0), MsgId(7), env, &mut out).unwrap();
         a1.after_delivery(ProcessId(0), MsgId(7), pl(), &mut out).unwrap();
@@ -460,10 +459,9 @@ mod tests {
         out.clear();
         // Convergence timer fires → CK_BGN to P0.
         a.on_timer(conv_tag(1), &mut out);
-        assert!(out.iter().any(|x| matches!(
-            x,
-            ProtoAction::Send { dst: ProcessId(0), env: Envelope::Ctrl(_) }
-        )));
+        assert!(out
+            .iter()
+            .any(|x| matches!(x, ProtoAction::Send { dst: ProcessId(0), env: Envelope::Ctrl(_) })));
     }
 
     #[test]

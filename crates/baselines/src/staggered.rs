@@ -82,7 +82,12 @@ impl Staggered {
         }
     }
 
-    fn record_logical(&mut self, seq: u64, skip_from: Option<ProcessId>, out: &mut Vec<ProtoAction<StagEnv>>) {
+    fn record_logical(
+        &mut self,
+        seq: u64,
+        skip_from: Option<ProcessId>,
+        out: &mut Vec<ProtoAction<StagEnv>>,
+    ) {
         self.seq = seq;
         self.logical_taken = true;
         self.recording = true;
@@ -116,7 +121,11 @@ impl Staggered {
         self.stats.inc("ckpt.physical_write");
         out.push(ProtoAction::FlushState { seq: self.seq });
         if self.channel_bytes > 0 {
-            out.push(ProtoAction::FlushExtra { seq: self.seq, bytes: self.channel_bytes, log: None });
+            out.push(ProtoAction::FlushExtra {
+                seq: self.seq,
+                bytes: self.channel_bytes,
+                log: None,
+            });
         }
     }
 }
@@ -163,7 +172,10 @@ impl CheckpointProtocol for Staggered {
                 self.stats.inc("ctrl.marker_received");
                 if seq > self.seq {
                     if seq != self.seq + 1 {
-                        return Err(format!("{}: marker skips to {seq} from {}", self.id, self.seq));
+                        return Err(format!(
+                            "{}: marker skips to {seq} from {}",
+                            self.id, self.seq
+                        ));
                     }
                     self.record_logical(seq, Some(src), out);
                 } else if seq == self.seq && self.recording && self.awaiting[src.index()] {
@@ -268,7 +280,9 @@ mod tests {
         // Nothing forwarded yet.
         s.on_storage_done(1, &mut out);
         assert!(out.contains(&ProtoAction::Complete { seq: 1 }));
-        assert!(out.contains(&ProtoAction::Send { dst: ProcessId(1), env: StagEnv::Token { seq: 1 } }));
+        assert!(
+            out.contains(&ProtoAction::Send { dst: ProcessId(1), env: StagEnv::Token { seq: 1 } })
+        );
     }
 
     #[test]
@@ -283,7 +297,9 @@ mod tests {
         assert!(out.contains(&ProtoAction::FlushState { seq: 1 }));
         out.clear();
         s.on_storage_done(1, &mut out);
-        assert!(out.contains(&ProtoAction::Send { dst: ProcessId(2), env: StagEnv::Token { seq: 1 } }));
+        assert!(
+            out.contains(&ProtoAction::Send { dst: ProcessId(2), env: StagEnv::Token { seq: 1 } })
+        );
     }
 
     #[test]
@@ -315,16 +331,16 @@ mod tests {
         s.on_arrival(ProcessId(2), MsgId(1), StagEnv::App { payload: pl(40) }, &mut out).unwrap();
         out.clear();
         s.on_arrival(ProcessId(0), MsgId(2), StagEnv::Token { seq: 1 }, &mut out).unwrap();
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, ProtoAction::FlushExtra { bytes: 40, .. })));
+        assert!(out.iter().any(|a| matches!(a, ProtoAction::FlushExtra { bytes: 40, .. })));
     }
 
     #[test]
     fn app_passthrough_and_metadata() {
         let mut s = Staggered::new(ProcessId(1), 3);
         let mut out = Vec::new();
-        let d = s.on_arrival(ProcessId(0), MsgId(0), StagEnv::App { payload: pl(7) }, &mut out).unwrap();
+        let d = s
+            .on_arrival(ProcessId(0), MsgId(0), StagEnv::App { payload: pl(7) }, &mut out)
+            .unwrap();
         assert_eq!(d, Some(pl(7)));
         assert!(s.needs_fifo());
         assert_eq!(s.name(), "staggered");

@@ -59,11 +59,7 @@ fn bench_piggyback_sharing(c: &mut Criterion) {
                 ))
             });
             let pb = p.on_app_send(ProcessId(1), MsgId(id + 1), AppPayload { id, len: 256 });
-            assert_eq!(
-                TentSet::deep_copies(),
-                before,
-                "n={n}: send path deep-cloned the tentSet"
-            );
+            assert_eq!(TentSet::deep_copies(), before, "n={n}: send path deep-cloned the tentSet");
             assert!(
                 TentSet::shares_storage(&pb.tent_set, p.tent_set()),
                 "n={n}: piggyback does not share tentSet storage"

@@ -30,11 +30,8 @@ fn main() {
     }
     let p = args.params();
     let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32] };
-    let gaps = [
-        SimDuration::from_millis(2),
-        SimDuration::from_millis(20),
-        SimDuration::from_millis(200),
-    ];
+    let gaps =
+        [SimDuration::from_millis(2), SimDuration::from_millis(20), SimDuration::from_millis(200)];
     let timeouts = [SimDuration::from_millis(125), SimDuration::from_millis(500)];
     let intervals = [SimDuration::from_millis(250), SimDuration::from_millis(1000)];
     let grids: Vec<(&str, RunGrid)> = vec![

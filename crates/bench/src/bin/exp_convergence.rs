@@ -12,7 +12,11 @@ fn main() {
         )
     } else {
         (
-            vec![SimDuration::from_millis(2), SimDuration::from_millis(20), SimDuration::from_millis(200)],
+            vec![
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(200),
+            ],
             vec![
                 SimDuration::from_millis(50),
                 SimDuration::from_millis(125),

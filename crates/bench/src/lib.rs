@@ -114,14 +114,12 @@ impl ExpArgs {
                     args.replicates = r;
                 }
                 "--bench-json" => {
-                    args.bench_json = Some(
-                        it.next().unwrap_or_else(|| usage("--bench-json needs a path")),
-                    );
+                    args.bench_json =
+                        Some(it.next().unwrap_or_else(|| usage("--bench-json needs a path")));
                 }
                 "--sched-json" => {
-                    args.sched_json = Some(
-                        it.next().unwrap_or_else(|| usage("--sched-json needs a path")),
-                    );
+                    args.sched_json =
+                        Some(it.next().unwrap_or_else(|| usage("--sched-json needs a path")));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),

@@ -39,7 +39,10 @@ pub fn churn(kind: SchedulerKind, depth: u64, ops: u64) -> u64 {
     }
     for i in 0..ops {
         let (_, _) = s.pop().expect("queue stays primed");
-        s.schedule_after(SimDuration::from_micros(rng.next_u64_below(5_000)), deliver(&mut rng, depth + i));
+        s.schedule_after(
+            SimDuration::from_micros(rng.next_u64_below(5_000)),
+            deliver(&mut rng, depth + i),
+        );
     }
     s.events_dispatched()
 }
@@ -128,17 +131,29 @@ pub struct SchedBenchRow {
 impl SchedBenchRow {
     /// Throughput on the reference heap.
     pub fn heap_events_per_sec(&self) -> f64 {
-        if self.heap_secs > 0.0 { self.events as f64 / self.heap_secs } else { 0.0 }
+        if self.heap_secs > 0.0 {
+            self.events as f64 / self.heap_secs
+        } else {
+            0.0
+        }
     }
 
     /// Throughput on the timing wheel.
     pub fn wheel_events_per_sec(&self) -> f64 {
-        if self.wheel_secs > 0.0 { self.events as f64 / self.wheel_secs } else { 0.0 }
+        if self.wheel_secs > 0.0 {
+            self.events as f64 / self.wheel_secs
+        } else {
+            0.0
+        }
     }
 
     /// Wheel speedup over the heap (>1 = wheel faster).
     pub fn speedup(&self) -> f64 {
-        if self.wheel_secs > 0.0 { self.heap_secs / self.wheel_secs } else { 0.0 }
+        if self.wheel_secs > 0.0 {
+            self.heap_secs / self.wheel_secs
+        } else {
+            0.0
+        }
     }
 }
 

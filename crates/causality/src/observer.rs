@@ -7,7 +7,7 @@
 //! paper's Theorem 2 ("finalized checkpoints with equal sequence number form
 //! a consistent global checkpoint") into a machine-checked property.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ocpt_sim::{MsgId, ProcessId, SimTime};
 
@@ -98,7 +98,11 @@ pub struct GlobalObserver {
     /// Clock of each process *before* its most recent event — needed for
     /// checkpoint cuts that step one event back (OCPT's excluded trigger).
     prev_clocks: Vec<VClock>,
-    msgs: HashMap<MsgId, MsgRecord>,
+    /// Message records keyed by id. A `BTreeMap` so that every iteration
+    /// (`judge_cut`, `messages`) walks in `MsgId` order — the reports this
+    /// observer produces feed byte-identity-pinned output, so iteration
+    /// order must be a function of the run, never of hash state.
+    msgs: BTreeMap<MsgId, MsgRecord>,
     /// Finalized checkpoints per process, sorted by `csn`.
     ckpts: Vec<Vec<CkptRecord>>,
 }
@@ -111,7 +115,7 @@ impl GlobalObserver {
             next_idx: vec![0; n],
             clocks: (0..n).map(|_| VClock::zero(n)).collect(),
             prev_clocks: (0..n).map(|_| VClock::zero(n)).collect(),
-            msgs: HashMap::new(),
+            msgs: BTreeMap::new(),
             ckpts: vec![Vec::new(); n],
         }
     }
@@ -170,7 +174,7 @@ impl GlobalObserver {
         // The oracle clock of a checkpoint at position `pos`: we tick the
         // local component so two checkpoints at identical positions on
         // different processes stay concurrent, matching the "checkpoint is
-        // a local event" convention of §2.2.
+        // a local event" convention. [OCPT §2.2]
         let cur = self.next_idx[pid.index()];
         debug_assert!(pos == cur || pos + 1 == cur, "cut must be at or one before the present");
         let mut clock = if pos == cur {
@@ -245,8 +249,10 @@ impl GlobalObserver {
                 }
             }
         }
-        orphans.sort_by_key(|o| o.msg);
-        in_transit.sort_by_key(|t| t.msg);
+        // `msgs` iterates in key order, so both lists are already sorted
+        // by message id.
+        debug_assert!(orphans.windows(2).all(|w| w[0].msg < w[1].msg));
+        debug_assert!(in_transit.windows(2).all(|w| w[0].msg < w[1].msg));
         CutReport { csn, orphans, in_transit }
     }
 
@@ -283,13 +289,8 @@ impl GlobalObserver {
     /// All messages with their endpoints (receive endpoint `None` while in
     /// flight), sorted by id. Used by the rollback/domino analysis.
     pub fn messages(&self) -> Vec<(MsgId, EventPos, Option<EventPos>)> {
-        let mut v: Vec<(MsgId, EventPos, Option<EventPos>)> = self
-            .msgs
-            .iter()
-            .filter_map(|(id, r)| r.send.map(|s| (*id, s, r.recv)))
-            .collect();
-        v.sort_by_key(|(id, _, _)| *id);
-        v
+        // Key-ordered map: the result is sorted by id without a sort pass.
+        self.msgs.iter().filter_map(|(id, r)| r.send.map(|s| (*id, s, r.recv))).collect()
     }
 
     /// The recorded checkpoint cut positions of one process, sorted by

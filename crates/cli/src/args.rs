@@ -47,9 +47,7 @@ impl Args {
             if bool_flags.contains(&key) {
                 out.flags.push(key.to_string());
             } else {
-                let v = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                let v = it.next().ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
                 out.opts.insert(key.to_string(), v);
             }
         }
@@ -70,9 +68,7 @@ impl Args {
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.opts.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
         }
     }
 }

@@ -17,8 +17,8 @@ pub mod args;
 
 use ocpt_core::OcptConfig;
 use ocpt_harness::{
-    coordinated_rollback, domino_rollback, run, verify_restored_states, Algo, RunConfig,
-    RunResult, WorkloadSpec,
+    coordinated_rollback, domino_rollback, run, verify_restored_states, Algo, RunConfig, RunResult,
+    WorkloadSpec,
 };
 use ocpt_metrics::{f2, Table};
 use ocpt_sim::{FaultPlan, ProcessId, SimDuration, SimTime, Topology};
@@ -97,9 +97,8 @@ fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
     cfg.checkpoint_interval = SimDuration::from_millis(interval_ms);
     cfg.workload_duration = SimDuration::from_millis(duration_ms);
     cfg.state_bytes = state_kb * 1024;
-    cfg.sim = cfg
-        .sim
-        .with_horizon(SimDuration::from_millis(duration_ms) + SimDuration::from_secs(30));
+    cfg.sim =
+        cfg.sim.with_horizon(SimDuration::from_millis(duration_ms) + SimDuration::from_secs(30));
     cfg.trace = args.flag("trace") || args.flag("diagram") || args.get("svg").is_some();
     Ok(cfg)
 }
@@ -125,7 +124,11 @@ fn report(r: &RunResult) -> String {
     let _ = writeln!(s, "blocked time       {}", r.blocked_time);
     let _ = writeln!(s, "forced delay       {}", r.forced_delay);
     if let Some(obs) = &r.observer {
-        let _ = writeln!(s, "consistency        {} complete round(s) judged", obs.complete_csns().len());
+        let _ = writeln!(
+            s,
+            "consistency        {} complete round(s) judged",
+            obs.complete_csns().len()
+        );
     }
     match &r.protocol_error {
         Some(e) => {
@@ -212,9 +215,18 @@ fn cmd_recover(args: &Args) -> Result<String, ArgError> {
     }
     if args.flag("live") {
         let _ = writeln!(out, "[ocpt] rode through the crash of {victim} at t={crash_ms}ms");
-        let _ = writeln!(out, "[ocpt] recoveries performed : {}", r.counters.get("recovery.performed"));
-        let _ = writeln!(out, "[ocpt] in-transit re-sent   : {}", r.counters.get("recovery.resent_msgs"));
-        let _ = writeln!(out, "[ocpt] events re-executed   : {}", r.counters.get("recovery.events_lost"));
+        let _ =
+            writeln!(out, "[ocpt] recoveries performed : {}", r.counters.get("recovery.performed"));
+        let _ = writeln!(
+            out,
+            "[ocpt] in-transit re-sent   : {}",
+            r.counters.get("recovery.resent_msgs")
+        );
+        let _ = writeln!(
+            out,
+            "[ocpt] events re-executed   : {}",
+            r.counters.get("recovery.events_lost")
+        );
         let _ = writeln!(out, "[ocpt] rounds completed     : {}", r.complete_rounds);
     } else {
         let obs = r.observer.as_ref().expect("observer on");
@@ -251,13 +263,37 @@ fn cmd_recover(args: &Args) -> Result<String, ArgError> {
 
 fn cmd_algos() -> String {
     let mut t = Table::new("available algorithms", &["name", "class", "notes"]);
-    t.row(&["ocpt".into(), "quasi-synchronous (the paper)".into(), "optimized control layer, phased writes".into()]);
-    t.row(&["ocpt-naive".into(), "quasi-synchronous".into(), "no CK_BGN suppression / REQ skipping / END broadcast".into()]);
-    t.row(&["ocpt-basic".into(), "quasi-synchronous".into(), "Fig. 3 only — may not converge".into()]);
-    t.row(&["chandy-lamport".into(), "synchronous snapshot".into(), "needs FIFO; clustered writes".into()]);
-    t.row(&["koo-toueg".into(), "blocking synchronous".into(), "blocks sends between phases".into()]);
+    t.row(&[
+        "ocpt".into(),
+        "quasi-synchronous (the paper)".into(),
+        "optimized control layer, phased writes".into(),
+    ]);
+    t.row(&[
+        "ocpt-naive".into(),
+        "quasi-synchronous".into(),
+        "no CK_BGN suppression / REQ skipping / END broadcast".into(),
+    ]);
+    t.row(&[
+        "ocpt-basic".into(),
+        "quasi-synchronous".into(),
+        "Fig. 3 only — may not converge".into(),
+    ]);
+    t.row(&[
+        "chandy-lamport".into(),
+        "synchronous snapshot".into(),
+        "needs FIFO; clustered writes".into(),
+    ]);
+    t.row(&[
+        "koo-toueg".into(),
+        "blocking synchronous".into(),
+        "blocks sends between phases".into(),
+    ]);
     t.row(&["staggered".into(), "synchronous, staggered".into(), "token-serialised writes".into()]);
-    t.row(&["cic".into(), "communication-induced".into(), "forced checkpoints before processing".into()]);
+    t.row(&[
+        "cic".into(),
+        "communication-induced".into(),
+        "forced checkpoints before processing".into(),
+    ]);
     t.row(&["uncoordinated".into(), "asynchronous".into(), "domino effect at recovery".into()]);
     t.render()
 }
@@ -286,7 +322,15 @@ mod tests {
     #[test]
     fn run_small() {
         let out = run_cli(&[
-            "run", "--n", "3", "--duration-ms", "400", "--interval-ms", "150", "--state-kb", "64",
+            "run",
+            "--n",
+            "3",
+            "--duration-ms",
+            "400",
+            "--interval-ms",
+            "150",
+            "--state-kb",
+            "64",
         ])
         .unwrap();
         assert!(out.contains("algorithm          ocpt"));
@@ -297,8 +341,17 @@ mod tests {
     fn run_each_algo_smoke() {
         for algo in ["chandy-lamport", "koo-toueg", "staggered", "cic", "uncoordinated"] {
             let out = run_cli(&[
-                "run", "--algo", algo, "--n", "3", "--duration-ms", "300", "--interval-ms",
-                "120", "--state-kb", "64",
+                "run",
+                "--algo",
+                algo,
+                "--n",
+                "3",
+                "--duration-ms",
+                "300",
+                "--interval-ms",
+                "120",
+                "--state-kb",
+                "64",
             ])
             .unwrap();
             assert!(out.contains(algo), "{out}");
@@ -308,8 +361,16 @@ mod tests {
     #[test]
     fn compare_renders_table() {
         let out = run_cli(&[
-            "compare", "--n", "3", "--duration-ms", "300", "--interval-ms", "120", "--state-kb",
-            "64", "--csv",
+            "compare",
+            "--n",
+            "3",
+            "--duration-ms",
+            "300",
+            "--interval-ms",
+            "120",
+            "--state-kb",
+            "64",
+            "--csv",
         ])
         .unwrap();
         assert!(out.contains("== comparison"));
@@ -320,15 +381,32 @@ mod tests {
     #[test]
     fn recover_offline_and_live() {
         let out = run_cli(&[
-            "recover", "--n", "4", "--crash-ms", "500", "--duration-ms", "900", "--interval-ms",
-            "150", "--state-kb", "64",
+            "recover",
+            "--n",
+            "4",
+            "--crash-ms",
+            "500",
+            "--duration-ms",
+            "900",
+            "--interval-ms",
+            "150",
+            "--state-kb",
+            "64",
         ])
         .unwrap();
         assert!(out.contains("rollback to S_"));
         assert!(out.contains("uncoordinated"));
         let out = run_cli(&[
-            "recover", "--n", "4", "--crash-ms", "500", "--interval-ms", "150", "--state-kb",
-            "64", "--live",
+            "recover",
+            "--n",
+            "4",
+            "--crash-ms",
+            "500",
+            "--interval-ms",
+            "150",
+            "--state-kb",
+            "64",
+            "--live",
         ])
         .unwrap();
         assert!(out.contains("rode through"));
@@ -344,8 +422,16 @@ mod tests {
     #[test]
     fn diagram_flag() {
         let out = run_cli(&[
-            "run", "--n", "3", "--duration-ms", "200", "--interval-ms", "100", "--state-kb",
-            "64", "--diagram",
+            "run",
+            "--n",
+            "3",
+            "--duration-ms",
+            "200",
+            "--interval-ms",
+            "100",
+            "--state-kb",
+            "64",
+            "--diagram",
         ])
         .unwrap();
         assert!(out.contains("legend:"));

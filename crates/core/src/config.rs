@@ -131,11 +131,9 @@ impl OcptConfig {
             return Err("convergence_timeout must be positive".into());
         }
         if self.optimize_ck_bgn && !self.p0_broadcast_on_finalize {
-            return Err(
-                "optimize_ck_bgn requires p0_broadcast_on_finalize (suppressed \
+            return Err("optimize_ck_bgn requires p0_broadcast_on_finalize (suppressed \
                  processes can starve otherwise; see paper §3.5.1 case 1)"
-                    .into(),
-            );
+                .into());
         }
         Ok(())
     }

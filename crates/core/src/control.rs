@@ -41,7 +41,8 @@ impl OcptProcess {
             self.forward_ck_req(out);
         } else {
             if self.config().optimize_ck_bgn {
-                // §3.5.1 case 1: if some P_j with j < i is known tentative,
+                // [OCPT §3.5.1] case 1 (CK_BGN suppression): if some P_j
+                // with j < i is known tentative,
                 // that process (or a smaller one) will notify P_0.
                 if let Some(min) = self.tent_set().min() {
                     if min < self.id() {
@@ -81,6 +82,8 @@ impl OcptProcess {
     /// If the chosen hop is `P_0` and we *are* `P_0`, the ring is complete:
     /// broadcast `CK_END` and finalize.
     pub(crate) fn forward_ck_req(&mut self, out: &mut Outbox) {
+        // [OCPT §3.5.1] case 2 (CK_REQ skipping): route the ring token past
+        // processes already known tentative.
         let csn = self.csn();
         let dst = if self.status() == Status::Normal {
             ProcessId::P0
@@ -252,10 +255,7 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_timer(1, &mut out);
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]);
     }
 
     #[test]
@@ -280,7 +280,7 @@ mod tests {
             tent_set: crate::types::TentSet::singleton(4, p(1)),
         };
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
         q.on_timer(1, &mut out);
         assert!(ctrl_sends(&out).is_empty(), "CK_BGN must be suppressed");
@@ -298,7 +298,7 @@ mod tests {
             tent_set: crate::types::TentSet::singleton(4, p(1)),
         };
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
         q.on_timer(1, &mut out);
         assert_eq!(ctrl_sends(&out).len(), 1);
@@ -312,10 +312,7 @@ mod tests {
         out.clear();
         q.on_timer(1, &mut out);
         // P0 knows only itself tentative → token goes to P1.
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
     }
 
     #[test]
@@ -328,14 +325,11 @@ mod tests {
         ts.insert(p(2));
         let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
         q.on_timer(1, &mut out);
         // Token skips P1, P2 and lands on P3.
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
     }
 
     #[test]
@@ -347,13 +341,10 @@ mod tests {
         ts.insert(p(2));
         let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
         q.on_timer(1, &mut out);
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
     }
 
     #[test]
@@ -362,14 +353,11 @@ mod tests {
         let mut q = proc(2, 4);
         let mut out = Outbox::new();
         q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.csn(), 1);
         assert_eq!(q.status(), Status::Tentative);
         // Forwards to P3 (knows only itself).
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
         // No timer armed: this CM would cancel it immediately.
         assert!(!out.contains(&Action::SetTimer { csn: 1 }));
     }
@@ -382,7 +370,7 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 2 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.csn(), 2);
         assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
         assert!(out.iter().any(|a| matches!(a, Action::TakeTentative { csn: 2 })));
@@ -393,11 +381,8 @@ mod tests {
         let mut q = proc(3, 4);
         let mut out = Outbox::new();
         q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+            .expect("scripted Fig. 4/5 replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
     }
 
     #[test]
@@ -407,7 +392,7 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         let sends = ctrl_sends(&out);
         let ends: Vec<_> = sends.iter().filter(|(_, cm)| cm.kind == CtrlKind::CkEnd).collect();
         assert_eq!(ends.len(), 3); // P1, P2, P3
@@ -416,7 +401,7 @@ mod tests {
         // A second token return must not re-broadcast.
         out.clear();
         q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert!(ctrl_sends(&out).is_empty());
     }
 
@@ -427,13 +412,13 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.status(), Status::Normal);
         assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
         // Duplicate CK_END is harmless.
         out.clear();
         q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert!(out.is_empty());
     }
 
@@ -444,7 +429,7 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert!(out.contains(&Action::CancelTimer));
     }
 
@@ -460,11 +445,11 @@ mod tests {
         ts.insert(p(2));
         let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.status(), Status::Normal);
         out.clear();
         q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         let ends = ctrl_sends(&out);
         assert_eq!(ends.len(), 2);
         assert!(ends.iter().all(|(_, cm)| cm.kind == CtrlKind::CkEnd));
@@ -477,11 +462,11 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         out.clear();
         q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(ctrl_sends(&out).len(), 1);
         out.clear();
         q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert!(ctrl_sends(&out).is_empty(), "second CK_BGN must not fork the ring");
     }
 
@@ -499,7 +484,7 @@ mod tests {
         };
         out.clear();
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.status(), Status::Normal);
         let sends = ctrl_sends(&out);
         assert_eq!(sends, vec![(p(1), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 })]);
@@ -512,7 +497,7 @@ mod tests {
         q.initiate_checkpoint(&mut out); // csn 1
         out.clear();
         q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 0 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert!(out.is_empty());
         let e = q
             .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 5 }, &mut out)
@@ -537,7 +522,9 @@ mod tests {
         procs[1].initiate_checkpoint(&mut out);
         out.clear();
         let pb = procs[1].on_app_send(p(2), MsgId(2), pl);
-        procs[2].on_app_receive(p(1), MsgId(2), pl, &pb, &mut out).unwrap();
+        procs[2]
+            .on_app_receive(p(1), MsgId(2), pl, &pb, &mut out)
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(procs[2].status(), Status::Tentative);
         out.clear();
 
@@ -545,7 +532,9 @@ mod tests {
         // the knowledge the paper's narrative relies on when P1 later
         // skips P2 in the CK_REQ ring.
         let pb = procs[2].on_app_send(p(1), MsgId(3), pl);
-        procs[1].on_app_receive(p(2), MsgId(3), pl, &pb, &mut out).unwrap();
+        procs[1]
+            .on_app_receive(p(2), MsgId(3), pl, &pb, &mut out)
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(procs[1].tent_set().len(), 2); // {P1, P2}
         out.clear();
 
@@ -556,50 +545,38 @@ mod tests {
 
         // P1's timer fires → CK_BGN to P0.
         procs[1].on_timer(1, &mut out);
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]);
         out.clear();
 
         // P0 receives CK_BGN(1): one ahead → takes CT_{0,1}, forwards
         // CK_REQ to P1 (it knows only itself).
         procs[0]
             .on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(procs[0].status(), Status::Tentative);
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
         out.clear();
 
         // P1 receives CK_REQ(1): knows P2 is tentative → skips to P3.
         procs[1]
             .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+            .expect("scripted Fig. 4/5 replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
         out.clear();
 
         // P3 receives CK_REQ(1): one ahead → takes CT_{3,1}, returns token
         // to P0.
         procs[3]
             .on_ctrl_receive(p(1), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(procs[3].status(), Status::Tentative);
-        assert_eq!(
-            ctrl_sends(&out),
-            vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]
-        );
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
         out.clear();
 
         // P0 gets the token back: finalizes C_{0,1} and broadcasts CK_END.
         procs[0]
             .on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(procs[0].status(), Status::Normal);
         let ends = ctrl_sends(&out);
         assert_eq!(ends.iter().filter(|(_, cm)| cm.kind == CtrlKind::CkEnd).count(), 3);
@@ -609,7 +586,7 @@ mod tests {
         for i in [1usize, 2, 3] {
             procs[i]
                 .on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
-                .unwrap();
+                .expect("scripted Fig. 4/5 replay step must be accepted");
             assert_eq!(procs[i].status(), Status::Normal, "P{i} finalized");
             assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
             out.clear();
@@ -629,14 +606,14 @@ mod tests {
         q.on_app_send(p(3), MsgId(10), AppPayload { id: 1, len: 8 });
         out.clear();
         q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         let log = out
             .iter()
             .find_map(|a| match a {
                 Action::Finalize { log, .. } => Some(log.clone()),
                 _ => None,
             })
-            .unwrap();
+            .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(log.len(), 1);
         assert_ne!(log, MessageLog::new());
     }

@@ -39,7 +39,7 @@
 //! out.clear();
 //! // ...and P1, on receipt, takes its own tentative checkpoint; with
 //! // N = 2 it immediately knows everyone has, so it finalizes.
-//! p1.on_app_receive(ProcessId(0), MsgId(0), payload, &pb, &mut out).unwrap();
+//! p1.on_app_receive(ProcessId(0), MsgId(0), payload, &pb, &mut out).expect("accepted");
 //! assert!(out.iter().any(|a| matches!(a, Action::Finalize { csn: 1, .. })));
 //! ```
 

@@ -51,6 +51,8 @@ impl LogEntry {
 }
 
 /// The in-memory message log of one unfinalized tentative checkpoint.
+// [OCPT §3.3] logSet_i — the selective-log half of C_{i,k} = CT_{i,k} ∪
+// logSet_{i,k}; populated only between taking CT and finalizing it.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MessageLog {
     entries: Vec<LogEntry>,
@@ -224,7 +226,7 @@ mod tests {
         l.push(entry(Direction::Received, 3, 7, 33));
         let enc = l.encode();
         assert_eq!(enc.len() as u64, 4 + l.flush_bytes());
-        let dec = MessageLog::decode(enc).unwrap();
+        let dec = MessageLog::decode(enc).expect("log round-trip must decode");
         assert_eq!(dec, l);
     }
 
@@ -244,7 +246,7 @@ mod tests {
     #[test]
     fn empty_log_round_trips() {
         let l = MessageLog::new();
-        let dec = MessageLog::decode(l.encode()).unwrap();
+        let dec = MessageLog::decode(l.encode()).expect("log round-trip must decode");
         assert!(dec.is_empty());
     }
 

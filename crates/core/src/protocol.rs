@@ -31,6 +31,8 @@ use crate::types::{Csn, Status, TentSet};
 use crate::wire::AppPayload;
 
 /// The per-process OCPT protocol state machine.
+// [OCPT §3.3] csn_i, stat_i, tentSet_i, logSet_i — the paper's per-process
+// data structures, held verbatim by this struct.
 #[derive(Clone, Debug)]
 pub struct OcptProcess {
     id: ProcessId,
@@ -133,7 +135,7 @@ impl OcptProcess {
         &self.cfg
     }
 
-    // ---- §3.4.1 initiation ----
+    // ---- [OCPT §3.4.1] initiation ----
 
     /// Attempt a scheduled basic checkpoint. Returns `true` if a tentative
     /// checkpoint was taken; a `Tentative` process skips (it "is allowed to
@@ -166,7 +168,8 @@ impl OcptProcess {
         }
     }
 
-    // ---- §3.4.2 sending ----
+    // ---- [OCPT §3.4.2] sending: piggyback (csn, stat, tentSet); log the
+    // sent message while Tentative ----
 
     /// Called for every outgoing application message. Returns the
     /// piggyback to attach; logs the sent message while `Tentative`.
@@ -179,7 +182,8 @@ impl OcptProcess {
         Piggyback { csn: self.csn, stat: self.status, tent_set: self.tent_set.clone() }
     }
 
-    // ---- §3.4.3 receiving ----
+    // ---- [OCPT §3.4.3] receiving: process the message first, then the
+    // case analysis (1)–(4) ----
 
     /// Called for every incoming application message, *after* the driver
     /// has processed it application-wise ("it processes the message first
@@ -301,6 +305,8 @@ impl OcptProcess {
     }
 
     /// §3.4.4: finalize if `tentSet_i = allPSet`.
+    // [OCPT §3.4.4] finalization predicate: tentSet_i = allPSet, or word
+    // from an already-finalized / already-advanced sender.
     pub(crate) fn maybe_finalize_full(&mut self, out: &mut Outbox) {
         if self.status == Status::Tentative && self.tent_set.is_full() {
             self.finalize(out);
@@ -413,7 +419,7 @@ mod tests {
             last = Some(p.on_app_send(ProcessId(1), MsgId(id), payload(id)));
         }
         assert_eq!(TentSet::deep_copies(), before, "send path deep-cloned tentSet");
-        let pb = last.unwrap();
+        let pb = last.expect("a piggybacked send was captured above");
         assert!(
             TentSet::shares_storage(&pb.tent_set, p.tent_set()),
             "piggyback must share the process's tentSet storage"
@@ -428,7 +434,7 @@ mod tests {
         let pb = pb_of(&sender);
         receiver
             .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
         assert_eq!(receiver.status(), Status::Normal);
         assert!(receiver.log().is_empty());
@@ -444,7 +450,7 @@ mod tests {
         out.clear();
         receiver
             .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(receiver.csn(), 1);
         assert_eq!(receiver.status(), Status::Tentative);
         // tentSet = {P0} ∪ {P1}.
@@ -467,7 +473,7 @@ mod tests {
         out.clear();
         receiver
             .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(receiver.status(), Status::Normal);
         assert_eq!(
             out,
@@ -491,7 +497,7 @@ mod tests {
         let mut out = Outbox::new();
         receiver
             .on_app_receive(ProcessId(0), MsgId(9), payload(9), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
         assert_eq!(receiver.status(), Status::Normal);
     }
@@ -508,7 +514,7 @@ mod tests {
         ts.insert(ProcessId(0));
         let pb = Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
         p.on_app_receive(ProcessId(1), MsgId(5), payload(5), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         // tentSet now full → finalize, and M (id 5) is INCLUDED in the log.
         assert_eq!(p.status(), Status::Normal);
         let fin = out.iter().find_map(|a| match a {
@@ -534,7 +540,7 @@ mod tests {
             tent_set: TentSet::singleton(n, ProcessId(1)),
         };
         p.on_app_receive(ProcessId(1), MsgId(5), payload(5), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.status(), Status::Tentative);
         assert!(out.is_empty());
         assert_eq!(p.log().len(), 1);
@@ -553,7 +559,7 @@ mod tests {
         // P0 has finalized csn 1 (status normal, csn 1).
         let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
         p.on_app_receive(ProcessId(0), MsgId(8), payload(8), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.status(), Status::Normal);
         let (_, log) = out
             .iter()
@@ -578,7 +584,7 @@ mod tests {
         out.clear();
         let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
         p.on_app_receive(ProcessId(0), MsgId(9), payload(9), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
         assert_eq!(p.status(), Status::Tentative);
         assert_eq!(p.log().len(), 1); // M stays in the log
@@ -599,13 +605,16 @@ mod tests {
             tent_set: TentSet::singleton(n, ProcessId(2)),
         };
         p.on_app_receive(ProcessId(2), MsgId(4), payload(4), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         // Finalized csn 1 excluding M4, then took tentative csn 2.
         assert_eq!(p.csn(), 2);
         assert_eq!(p.status(), Status::Tentative);
         let kinds: Vec<&Action> = out.iter().collect();
         match (&kinds[0], &kinds[1]) {
-            (Action::Finalize { csn: 1, log, excluded: Some(_) }, Action::TakeTentative { csn: 2 }) => {
+            (
+                Action::Finalize { csn: 1, log, excluded: Some(_) },
+                Action::TakeTentative { csn: 2 },
+            ) => {
                 assert_eq!(log.len(), 1);
                 assert_eq!(log.entries()[0].msg_id, MsgId(3));
             }
@@ -631,7 +640,7 @@ mod tests {
             tent_set: TentSet::singleton(n, ProcessId(0)),
         };
         p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
         assert_eq!(p.log().len(), 1);
         assert_eq!(p.tent_set().len(), 1); // NOT merged for stale csn
@@ -649,9 +658,7 @@ mod tests {
             stat: Status::Tentative,
             tent_set: TentSet::singleton(n, ProcessId(0)),
         };
-        let e = p
-            .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap_err();
+        let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::AppCsnJump { subcase: "2d", .. }));
 
         // (3c): sender normal ahead of tentative us.
@@ -659,9 +666,7 @@ mod tests {
         let mut out = Outbox::new();
         p.initiate_checkpoint(&mut out);
         let pb = Piggyback { csn: 2, stat: Status::Normal, tent_set: TentSet::empty(n) };
-        let e = p
-            .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap_err();
+        let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::FinalizedAhead { .. }));
 
         // (4c): we normal, sender tentative two ahead.
@@ -672,18 +677,14 @@ mod tests {
             stat: Status::Tentative,
             tent_set: TentSet::singleton(n, ProcessId(0)),
         };
-        let e = p
-            .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap_err();
+        let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::AppCsnJump { subcase: "4c", .. }));
 
         // Case (1) analogue: both normal, sender ahead.
         let mut p = proc(1, n);
         let mut out = Outbox::new();
         let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
-        let e = p
-            .on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
-            .unwrap_err();
+        let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::FinalizedAhead { .. }));
     }
 
@@ -698,7 +699,7 @@ mod tests {
         ts.insert(ProcessId(0));
         let pb = Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
         p.on_app_receive(ProcessId(1), MsgId(2), payload(2), &pb, &mut out)
-            .unwrap();
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.stats().get("ckpt.finalized"), 1);
         assert_eq!(p.stats().get("log.flushed_msgs"), 2); // sent M1 + recv M2
         assert!(p.stats().get("log.flushed_bytes") > 0);
@@ -718,7 +719,8 @@ mod tests {
 
         // M1: P3 -> P2 before any checkpoint: plain case (1).
         let pb = p[3].on_app_send(ProcessId(2), MsgId(1), pl);
-        p[2].on_app_receive(ProcessId(3), MsgId(1), pl, &pb, &mut out).unwrap();
+        p[2].on_app_receive(ProcessId(3), MsgId(1), pl, &pb, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
 
         // P0 initiates: CT_{0,1}.
@@ -727,21 +729,24 @@ mod tests {
 
         // M2: P0 -> P1. P1 takes CT_{1,1}.
         let pb = p[0].on_app_send(ProcessId(1), MsgId(2), pl);
-        p[1].on_app_receive(ProcessId(0), MsgId(2), pl, &pb, &mut out).unwrap();
+        p[1].on_app_receive(ProcessId(0), MsgId(2), pl, &pb, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[1].status(), Status::Tentative);
         assert_eq!(p[1].tent_set().len(), 2); // {P0,P1}
         out.clear();
 
         // M4: P1 -> P2. P2 takes CT_{2,1} and learns {P0,P1,P2}.
         let pb = p[1].on_app_send(ProcessId(2), MsgId(4), pl);
-        p[2].on_app_receive(ProcessId(1), MsgId(4), pl, &pb, &mut out).unwrap();
+        p[2].on_app_receive(ProcessId(1), MsgId(4), pl, &pb, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[2].status(), Status::Tentative);
         assert_eq!(p[2].tent_set().len(), 3);
         out.clear();
 
         // M3: P1 -> P3. P3 takes CT_{3,1} and learns {P0,P1,P3}.
         let pb = p[1].on_app_send(ProcessId(3), MsgId(3), pl);
-        p[3].on_app_receive(ProcessId(1), MsgId(3), pl, &pb, &mut out).unwrap();
+        p[3].on_app_receive(ProcessId(1), MsgId(3), pl, &pb, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[3].status(), Status::Tentative);
         assert_eq!(p[3].tent_set().len(), 3);
         out.clear();
@@ -754,7 +759,8 @@ mod tests {
         // M5: P3 -> P2. P2 learns P3 took it → full set → finalizes with
         // log {M5, M6-sent, M4? no: M4 was received before CT_{2,1}}.
         let pb5 = p[3].on_app_send(ProcessId(2), MsgId(5), pl);
-        p[2].on_app_receive(ProcessId(3), MsgId(5), pl, &pb5, &mut out).unwrap();
+        p[2].on_app_receive(ProcessId(3), MsgId(5), pl, &pb5, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[2].status(), Status::Normal);
         let (csn, log) = out
             .iter()
@@ -774,7 +780,8 @@ mod tests {
         // excluding M7.
         let pb7 = p[2].on_app_send(ProcessId(1), MsgId(7), pl);
         assert_eq!(pb7.stat, Status::Normal);
-        p[1].on_app_receive(ProcessId(2), MsgId(7), pl, &pb7, &mut out).unwrap();
+        p[1].on_app_receive(ProcessId(2), MsgId(7), pl, &pb7, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[1].status(), Status::Normal);
         let (_, log1) = out
             .iter()
@@ -788,7 +795,8 @@ mod tests {
 
         // M8: P1 (normal) -> P3: P3 finalizes excluding M8.
         let pb8 = p[1].on_app_send(ProcessId(3), MsgId(8), pl);
-        p[3].on_app_receive(ProcessId(1), MsgId(8), pl, &pb8, &mut out).unwrap();
+        p[3].on_app_receive(ProcessId(1), MsgId(8), pl, &pb8, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[3].status(), Status::Normal);
         let (_, log3) = out
             .iter()
@@ -802,7 +810,8 @@ mod tests {
 
         // M9: P3 (normal) -> P0: P0 finalizes excluding M9.
         let pb9 = p[3].on_app_send(ProcessId(0), MsgId(9), pl);
-        p[0].on_app_receive(ProcessId(3), MsgId(9), pl, &pb9, &mut out).unwrap();
+        p[0].on_app_receive(ProcessId(3), MsgId(9), pl, &pb9, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p[0].status(), Status::Normal);
         let (_, log0) = out
             .iter()
@@ -816,7 +825,8 @@ mod tests {
 
         // M6 finally arrives at P3, which has already finalized csn 1:
         // sub-case (4a), processed with no checkpoint action.
-        p[3].on_app_receive(ProcessId(2), MsgId(6), pl, &pb6, &mut out).unwrap();
+        p[3].on_app_receive(ProcessId(2), MsgId(6), pl, &pb6, &mut out)
+            .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
         assert_eq!(p[3].status(), Status::Normal);
 

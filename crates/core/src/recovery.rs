@@ -66,7 +66,11 @@ pub fn replay(mut snapshot: AppSnapshot, log: &MessageLog) -> AppSnapshot {
 }
 
 /// Plan recovery of one process from its durable blobs.
-pub fn plan_recovery(csn: Csn, state_blob: Bytes, log_blob: Bytes) -> Result<RecoveryPlan, RecoveryError> {
+pub fn plan_recovery(
+    csn: Csn,
+    state_blob: Bytes,
+    log_blob: Bytes,
+) -> Result<RecoveryPlan, RecoveryError> {
     let snapshot = AppSnapshot::decode(state_blob).ok_or(RecoveryError::BadState)?;
     let log = MessageLog::decode(log_blob).ok_or(RecoveryError::BadLog)?;
     let restored = replay(snapshot, &log);
@@ -153,7 +157,8 @@ mod tests {
             msg_id: MsgId(11),
             payload: pl(11),
         });
-        let plan = plan_recovery(4, snap.encode(), log.encode()).unwrap();
+        let plan = plan_recovery(4, snap.encode(), log.encode())
+            .expect("recovery plan must build from valid blobs");
         assert_eq!(plan.csn, 4);
         assert_eq!(plan.replayed.len(), 1);
         assert_eq!(plan.resendable.len(), 1);

@@ -141,7 +141,7 @@ mod tests {
     fn encode_decode_round_trip() {
         let mut s = AppSnapshot::initial(9, 4096);
         s.apply_send(pl(1, 2));
-        let d = AppSnapshot::decode(s.encode()).unwrap();
+        let d = AppSnapshot::decode(s.encode()).expect("snapshot round-trip must decode");
         assert_eq!(d, s);
         assert!(AppSnapshot::decode(Bytes::from_static(&[0u8; 23])).is_none());
     }

@@ -286,14 +286,14 @@ mod tests {
         }
         let bytes = s.to_bytes();
         assert_eq!(bytes.len(), s.wire_bytes());
-        let d = TentSet::from_bytes(77, &bytes).unwrap();
+        let d = TentSet::from_bytes(77, &bytes).expect("tentSet round-trip must decode");
         assert_eq!(d, s);
     }
 
     #[test]
     fn from_bytes_rejects_bad_input() {
         assert!(TentSet::from_bytes(9, &[0xFF]).is_none()); // wrong length
-        // Bit 7 set for a universe of 7 → out-of-range bit.
+                                                            // Bit 7 set for a universe of 7 → out-of-range bit.
         assert!(TentSet::from_bytes(7, &[0x80]).is_none());
     }
 

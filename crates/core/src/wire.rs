@@ -238,7 +238,7 @@ mod tests {
         let env = sample_app(5);
         let enc = encode_envelope(&env, 5);
         assert_eq!(enc.len() as u64, env.wire_bytes(5));
-        let (dec, n) = decode_envelope(enc).unwrap();
+        let (dec, n) = decode_envelope(enc).expect("wire round-trip must decode");
         assert_eq!(dec, env);
         assert_eq!(n, 5);
     }
@@ -249,7 +249,7 @@ mod tests {
             let env = Envelope::Ctrl(CtrlMsg { kind, csn: 3 });
             let enc = encode_envelope(&env, 8);
             assert_eq!(enc.len() as u64, env.wire_bytes(8));
-            let (dec, _) = decode_envelope(enc).unwrap();
+            let (dec, _) = decode_envelope(enc).expect("wire round-trip must decode");
             assert_eq!(dec, env);
         }
     }
@@ -300,7 +300,8 @@ mod tests {
             pb: Piggyback { csn: 0, stat: Status::Normal, tent_set: TentSet::empty(2) },
             payload: AppPayload { id: 0, len: 0 },
         };
-        let (dec, _) = decode_envelope(encode_envelope(&env, 2)).unwrap();
+        let (dec, _) =
+            decode_envelope(encode_envelope(&env, 2)).expect("wire round-trip must decode");
         assert_eq!(dec, env);
     }
 }

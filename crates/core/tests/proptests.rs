@@ -122,7 +122,7 @@ proptest! {
         };
         let enc = encode_envelope(&env, n);
         prop_assert_eq!(enc.len() as u64, env.wire_bytes(n));
-        let (dec, dn) = decode_envelope(enc).unwrap();
+        let (dec, dn) = decode_envelope(enc).expect("wire round-trip must decode");
         prop_assert_eq!(dec, env);
         prop_assert_eq!(dn, n);
     }
@@ -271,8 +271,8 @@ proptest! {
                 }
             }
             // Lock-step invariant: csn values never drift by more than 1.
-            let min = procs.iter().map(|p| p.csn()).min().unwrap();
-            let max = procs.iter().map(|p| p.csn()).max().unwrap();
+            let min = procs.iter().map(|p| p.csn()).min().expect("nonempty process set");
+            let max = procs.iter().map(|p| p.csn()).max().expect("nonempty process set");
             prop_assert!(max - min <= 1, "csn drift: {min}..{max}");
         }
 
@@ -289,7 +289,7 @@ proptest! {
                 let actions: Vec<_> = std::mem::take(&mut out);
                 exec(actions, dst.index(), &mut ctrl_flight, &mut timers);
             } else if let Some(pid) = (0..n).find(|&i| timers[i].is_some()) {
-                let csn = timers[pid].take().unwrap();
+                let csn = timers[pid].take().expect("timer armed before firing");
                 procs[pid].on_timer(csn, &mut out);
                 let actions: Vec<_> = std::mem::take(&mut out);
                 exec(actions, pid, &mut ctrl_flight, &mut timers);

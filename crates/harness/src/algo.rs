@@ -76,11 +76,8 @@ pub fn run(algo: &Algo, cfg: RunConfig) -> RunResult {
     let state_bytes = cfg.state_bytes;
     match algo {
         Algo::Ocpt(ocfg) => {
-            let mut ocfg = OcptConfig {
-                state_bytes,
-                checkpoint_interval: cfg.checkpoint_interval,
-                ..*ocfg
-            };
+            let mut ocfg =
+                OcptConfig { state_bytes, checkpoint_interval: cfg.checkpoint_interval, ..*ocfg };
             // Size the deferred-write spread for this run: wide enough that
             // consecutive offsets exceed one write's service time (or the
             // cascade re-creates the contention it exists to avoid), but
@@ -89,8 +86,7 @@ pub fn run(algo: &Algo, cfg: RunConfig) -> RunResult {
             // explicit ablations.
             let write_s = state_bytes as f64 / cfg.storage.bandwidth_bps
                 + cfg.storage.per_request_overhead.as_secs_f64();
-            let needed =
-                ocpt_sim::SimDuration::from_secs_f64(write_s * cfg.sim.n as f64 * 1.25);
+            let needed = ocpt_sim::SimDuration::from_secs_f64(write_s * cfg.sim.n as f64 * 1.25);
             let half = cfg.checkpoint_interval.mul_f64(0.45);
             ocfg.finalize_write = match ocfg.finalize_write {
                 WritePolicy::Jittered { window } => {

@@ -115,7 +115,13 @@ fn summarize(current: &[u64], positions: Vec<u64>, cascade_rounds: u32) -> Rollb
     let processes_rolled_back = current.iter().zip(&positions).filter(|(c, p)| c > p).count();
     let rolled_to_initial =
         current.iter().zip(&positions).filter(|(c, p)| **p == 0 && **c > 0).count();
-    RollbackReport { positions, events_lost, processes_rolled_back, rolled_to_initial, cascade_rounds }
+    RollbackReport {
+        positions,
+        events_lost,
+        processes_rolled_back,
+        rolled_to_initial,
+        cascade_rounds,
+    }
 }
 
 /// Verify that every durable OCPT checkpoint on the recovery line restores
@@ -128,10 +134,8 @@ pub fn verify_restored_states(result: &RunResult, k: u64) -> Result<usize, Strin
     }
     let mut verified = 0;
     for pid in ProcessId::all(result.n) {
-        let ckpt = result
-            .store
-            .get(pid, k)
-            .ok_or_else(|| format!("{pid}: no durable checkpoint {k}"))?;
+        let ckpt =
+            result.store.get(pid, k).ok_or_else(|| format!("{pid}: no durable checkpoint {k}"))?;
         let plan = plan_recovery(k, ckpt.state.clone(), ckpt.log.clone())
             .map_err(|e| format!("{pid}: {e}"))?;
         let expected = result

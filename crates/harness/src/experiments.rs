@@ -106,11 +106,7 @@ pub fn e1_contention(ns: &[usize], base: ExpParams) -> RunGrid {
     );
     for &n in ns {
         for algo in Algo::comparison_set() {
-            let p = ExpParams {
-                n,
-                state_bytes: scaled_state_bytes(n, base.ckpt_interval),
-                ..base
-            };
+            let p = ExpParams { n, state_bytes: scaled_state_bytes(n, base.ckpt_interval), ..base };
             g.cell(&[algo.name().into(), n.to_string()], algo, p.config(), |r| {
                 vec![
                     r.storage.peak_writers as f64,
@@ -205,20 +201,11 @@ pub fn e3_control_messages(gaps: &[SimDuration], base: ExpParams) -> RunGrid {
 /// **E4 / A3 — convergence latency.** Theorem 1 made quantitative: time
 /// from a round's first tentative checkpoint to its last finalization, as
 /// the message rate and the convergence timeout vary.
-pub fn e4_convergence(
-    gaps: &[SimDuration],
-    timeouts: &[SimDuration],
-    base: ExpParams,
-) -> RunGrid {
+pub fn e4_convergence(gaps: &[SimDuration], timeouts: &[SimDuration], base: ExpParams) -> RunGrid {
     let mut g = RunGrid::new(
         "E4/A3: convergence latency vs app rate and timer",
         &["msg_gap_ms", "timeout_ms"],
-        &[
-            ("rounds", Int),
-            ("latency_mean_ms", F2),
-            ("latency_max_ms", F2),
-            ("timer_exp/rnd", F2),
-        ],
+        &[("rounds", Int), ("latency_mean_ms", F2), ("latency_max_ms", F2), ("timer_exp/rnd", F2)],
     );
     for &gap in gaps {
         for &to in timeouts {
@@ -319,11 +306,8 @@ pub fn e7_recovery(base: ExpParams, crash_ms: u64) -> RunGrid {
         ],
     );
     let victim = ProcessId((base.n / 2) as u16);
-    let faults = FaultPlan::single(
-        victim,
-        SimTime::from_millis(crash_ms),
-        SimDuration::from_millis(10),
-    );
+    let faults =
+        FaultPlan::single(victim, SimTime::from_millis(crash_ms), SimDuration::from_millis(10));
     for algo in [Algo::ocpt(), Algo::Uncoordinated] {
         let mut cfg = base.config();
         cfg.faults = faults.clone();

@@ -200,8 +200,7 @@ impl RunGrid {
             (0..self.cells.len()).flat_map(|c| (0..reps).map(move |r| (c, r))).collect();
         // One slot per job; each worker fills only its own slots, so the
         // aggregation below is race-free and order-independent.
-        let slots: Vec<OnceLock<(Vec<f64>, u64)>> =
-            jobs.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(Vec<f64>, u64)>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let run_job = |job: usize| {
             let (c, r) = jobs[job];
             let cell = &self.cells[c];
@@ -241,6 +240,7 @@ impl RunGrid {
 
     /// Execute the grid and aggregate into the result table.
     pub fn run(&self, opts: &GridOptions) -> GridOutcome {
+        // simlint: allow(wall-clock, "wall-clock self-measurement of the grid driver; never feeds simulation state")
         let wall_start = std::time::Instant::now();
         let reps = opts.replicates.max(1);
         let (per_cell, sim_events) = self.cell_metrics(opts);
@@ -330,7 +330,11 @@ mod tests {
                     algo.clone(),
                     tiny_cfg(n, 7),
                     |r| {
-                        vec![r.app_messages as f64, r.complete_rounds as f64, r.piggyback_bytes as f64]
+                        vec![
+                            r.app_messages as f64,
+                            r.complete_rounds as f64,
+                            r.piggyback_bytes as f64,
+                        ]
                     },
                 );
             }

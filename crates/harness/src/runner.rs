@@ -7,7 +7,7 @@
 //! the network, application state, the storage server and the omniscient
 //! consistency observer.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ocpt_baselines::api::{wire_cost, CheckpointProtocol, ProtoAction};
 use ocpt_causality::GlobalObserver;
@@ -201,7 +201,8 @@ pub struct RunResult {
     pub app_final: Vec<AppSnapshot>,
     /// Ground-truth application state at each checkpoint's cut,
     /// keyed by `(pid, seq)` — what a correct recovery must restore.
-    pub cut_states: HashMap<(u16, u64), AppSnapshot>,
+    /// Ordered map: consumers may iterate it straight into reports.
+    pub cut_states: BTreeMap<(u16, u64), AppSnapshot>,
     /// Live protocol instances' snapshot of checkpoint counts etc. is in
     /// `counters`; the trace is here when enabled.
     pub trace: Trace,
@@ -265,7 +266,7 @@ pub struct Runner<P: CheckpointProtocol> {
     prev_app: Vec<AppSnapshot>,
     /// App state at each checkpoint's consistency cut — the ground truth
     /// the recovery tests compare restored states against.
-    cut_states: HashMap<(u16, u64), AppSnapshot>,
+    cut_states: BTreeMap<(u16, u64), AppSnapshot>,
     crashed: Vec<bool>,
     sched: Scheduler<P::Env>,
     net: Network,
@@ -283,14 +284,20 @@ pub struct Runner<P: CheckpointProtocol> {
     /// requests is at the server; the rest wait here in FIFO order.
     write_queue: Vec<std::collections::VecDeque<PendingWrite>>,
     write_busy: Vec<bool>,
-    progress: HashMap<(u16, u64), CkptProgress>,
+    /// Per-checkpoint write progress. Iterated (`retain`) during recovery
+    /// rollback, so ordered — `timers`/`pending_writes` above stay hashed
+    /// because they are only ever point-accessed by key.
+    progress: BTreeMap<(u16, u64), CkptProgress>,
     counters: Counters,
     blocked_since: Vec<Option<SimTime>>,
     blocked_time: SimDuration,
     forced_delay: SimDuration,
-    first_snapshot_at: HashMap<u64, SimTime>,
-    last_complete_at: HashMap<u64, SimTime>,
-    complete_count: HashMap<u64, usize>,
+    /// Round-latency bookkeeping. `complete_count` is *iterated* in
+    /// `finish` and `ckpt_latency` folds floats in that order, so these
+    /// must be ordered maps for byte-identical reports.
+    first_snapshot_at: BTreeMap<u64, SimTime>,
+    last_complete_at: BTreeMap<u64, SimTime>,
+    complete_count: BTreeMap<u64, usize>,
     staged_now: u64,
     staging_peak: u64,
     app_payload_bytes: u64,
@@ -320,7 +327,7 @@ impl<P: CheckpointProtocol> Runner<P> {
             prev_app: ProcessId::all(n)
                 .map(|p| AppSnapshot::initial(p.0 as u64, cfg.state_bytes))
                 .collect(),
-            cut_states: HashMap::new(),
+            cut_states: BTreeMap::new(),
             crashed: vec![false; n],
             sched: Scheduler::with_kind(cfg.scheduler),
             net: Network::new(n, cfg.sim.delay, fifo, seed),
@@ -336,14 +343,14 @@ impl<P: CheckpointProtocol> Runner<P> {
             pending_writes: HashMap::new(),
             write_queue: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
             write_busy: vec![false; n],
-            progress: HashMap::new(),
+            progress: BTreeMap::new(),
             counters: Counters::new(),
             blocked_since: vec![None; n],
             blocked_time: SimDuration::ZERO,
             forced_delay: SimDuration::ZERO,
-            first_snapshot_at: HashMap::new(),
-            last_complete_at: HashMap::new(),
-            complete_count: HashMap::new(),
+            first_snapshot_at: BTreeMap::new(),
+            last_complete_at: BTreeMap::new(),
+            complete_count: BTreeMap::new(),
             staged_now: 0,
             staging_peak: 0,
             app_payload_bytes: 0,
@@ -364,6 +371,7 @@ impl<P: CheckpointProtocol> Runner<P> {
 
     /// Execute the whole run.
     pub fn run(mut self) -> RunResult {
+        // simlint: allow(wall-clock, "wall-clock self-measurement of the runner; never feeds simulation state")
         let wall_start = std::time::Instant::now();
         let n = self.cfg.sim.n;
         // Faults.
@@ -386,11 +394,10 @@ impl<P: CheckpointProtocol> Runner<P> {
                 } else {
                     SimDuration::ZERO
                 };
-                self.sched
-                    .schedule_after(self.cfg.checkpoint_interval + phase, Event::Tick {
-                        pid,
-                        kind: TICK_CKPT,
-                    });
+                self.sched.schedule_after(
+                    self.cfg.checkpoint_interval + phase,
+                    Event::Tick { pid, kind: TICK_CKPT },
+                );
             }
         }
 
@@ -460,8 +467,10 @@ impl<P: CheckpointProtocol> Runner<P> {
                 self.blocked_since[pid.index()] = Some(now);
             }
             self.counters.inc("app.send_deferred");
-            self.sched
-                .schedule_after(SimDuration::from_micros(200), Event::Tick { pid, kind: TICK_SEND });
+            self.sched.schedule_after(
+                SimDuration::from_micros(200),
+                Event::Tick { pid, kind: TICK_SEND },
+            );
             return;
         }
         if let Some(t0) = self.blocked_since[pid.index()].take() {
@@ -513,7 +522,14 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
     }
 
-    fn on_deliver(&mut self, now: SimTime, src: ProcessId, dst: ProcessId, msg_id: MsgId, env: P::Env) {
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        src: ProcessId,
+        dst: ProcessId,
+        msg_id: MsgId,
+        env: P::Env,
+    ) {
         if self.crashed[dst.index()] {
             self.counters.inc("net.dropped_to_crashed");
             return;
@@ -535,11 +551,9 @@ impl<P: CheckpointProtocol> Runner<P> {
             self.prev_app[dst.index()] = self.app[dst.index()];
             self.app[dst.index()].apply_recv(payload);
             self.counters.inc("app.delivered");
-            self.trace
-                .record(now, dst, TraceKind::AppRecv, format!("M{} <- {src}", msg_id.0));
+            self.trace.record(now, dst, TraceKind::AppRecv, format!("M{} <- {src}", msg_id.0));
             let mut out2 = Vec::new();
-            if let Err(e) =
-                self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out2)
+            if let Err(e) = self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out2)
             {
                 self.protocol_error = Some(e);
                 return;
@@ -557,7 +571,11 @@ impl<P: CheckpointProtocol> Runner<P> {
     /// finalized checkpoints with equal sequence number form a consistent
     /// global checkpoint (Theorem 2), so `S_line` is a correct restart
     /// point and rollback never cascades.
-    fn perform_system_recovery(&mut self, now: SimTime, recovered: ProcessId) -> Result<(), String> {
+    fn perform_system_recovery(
+        &mut self,
+        now: SimTime,
+        recovered: ProcessId,
+    ) -> Result<(), String> {
         let n = self.cfg.sim.n;
         let line = self.store.recovery_line();
         self.counters.inc("recovery.performed");
@@ -591,8 +609,7 @@ impl<P: CheckpointProtocol> Runner<P> {
                             .ok_or("corrupt durable log")?
                     };
                     for e in log.sent() {
-                        let crosses_line =
-                            report.in_transit.iter().any(|t| t.msg.0 == e.msg_id.0);
+                        let crosses_line = report.in_transit.iter().any(|t| t.msg.0 == e.msg_id.0);
                         if crosses_line {
                             v.push((pid, e.peer, e.payload));
                         }
@@ -609,6 +626,7 @@ impl<P: CheckpointProtocol> Runner<P> {
 
         // Flush channels, timers and ticks; keep only future faults.
         self.sched.clear_except_faults();
+        // simlint: allow(unordered-iter, "iterates the outer per-process Vec in index order; the inner hash maps are cleared, never iterated")
         for t in &mut self.timers {
             t.clear();
         }
@@ -638,7 +656,8 @@ impl<P: CheckpointProtocol> Runner<P> {
             } else {
                 AppSnapshot::initial(pid.0 as u64, self.cfg.state_bytes)
             };
-            lost_events += self.app[pid.index()].counter - restored.counter.min(self.app[pid.index()].counter);
+            lost_events +=
+                self.app[pid.index()].counter - restored.counter.min(self.app[pid.index()].counter);
             self.app[pid.index()] = restored;
             self.prev_app[pid.index()] = restored;
             self.crashed[pid.index()] = false;
@@ -674,8 +693,10 @@ impl<P: CheckpointProtocol> Runner<P> {
             let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
             self.sched.schedule_after(gap, Event::Tick { pid, kind: TICK_SEND });
             if self.cfg.checkpoint_interval != SimDuration::MAX {
-                self.sched
-                    .schedule_after(self.cfg.checkpoint_interval, Event::Tick { pid, kind: TICK_CKPT });
+                self.sched.schedule_after(
+                    self.cfg.checkpoint_interval,
+                    Event::Tick { pid, kind: TICK_CKPT },
+                );
             }
         }
         Ok(())
@@ -706,11 +727,8 @@ impl<P: CheckpointProtocol> Runner<P> {
                         let pos = obs.positions()[pid.index()] - back as u64;
                         obs.on_finalize(pid, seq, pos, now);
                     }
-                    let state = if back == 0 {
-                        self.app[pid.index()]
-                    } else {
-                        self.prev_app[pid.index()]
-                    };
+                    let state =
+                        if back == 0 { self.app[pid.index()] } else { self.prev_app[pid.index()] };
                     self.cut_states.insert((pid.0, seq), state);
                 }
                 ProtoAction::FlushState { seq } => {
@@ -863,8 +881,10 @@ impl<P: CheckpointProtocol> Runner<P> {
     fn schedule_storage_wakeup(&mut self, now: SimTime) {
         if let Some(t) = self.server.next_completion() {
             let at = (t + SimDuration::from_nanos(1)).max(now + SimDuration::from_nanos(1));
-            self.sched
-                .schedule_at(at, Event::StorageDone { pid: ProcessId::P0, req: StorageReqId(u64::MAX) });
+            self.sched.schedule_at(
+                at,
+                Event::StorageDone { pid: ProcessId::P0, req: StorageReqId(u64::MAX) },
+            );
         }
     }
 
@@ -894,6 +914,7 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
     }
 
+    // simlint: allow(wall-clock, "carries the runner's own wall-clock start; never feeds simulation state")
     fn finish(mut self, wall_start: std::time::Instant) -> RunResult {
         // Let any still-active storage writes complete "after the end" so
         // durability accounting is complete.

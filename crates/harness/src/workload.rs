@@ -161,9 +161,7 @@ impl WorkloadState {
     pub fn next_payload_len(&mut self, rng: &mut SimRng) -> u32 {
         match self.spec.payload {
             PayloadSpec::Fixed(l) => l,
-            PayloadSpec::Uniform(lo, hi) => {
-                lo + rng.next_u64_below((hi - lo + 1) as u64) as u32
-            }
+            PayloadSpec::Uniform(lo, hi) => lo + rng.next_u64_below((hi - lo + 1) as u64) as u32,
         }
     }
 }

@@ -114,10 +114,10 @@ fn fifo_forced_for_marker_algorithms() {
     // Chandy–Lamport on explicitly non-FIFO config must still run FIFO
     // (the runner honours needs_fifo), otherwise markers would error.
     let mut cfg = base(4, 7);
-    cfg.sim = cfg.sim.with_fifo(false).with_delay(DelayModel::Uniform(
-        SimDuration::from_micros(10),
-        SimDuration::from_millis(3),
-    ));
+    cfg.sim = cfg
+        .sim
+        .with_fifo(false)
+        .with_delay(DelayModel::Uniform(SimDuration::from_micros(10), SimDuration::from_millis(3)));
     let r = run_checked(&Algo::ChandyLamport, cfg);
     assert!(r.complete_rounds >= 1);
 }

@@ -112,12 +112,12 @@ pub fn run_node(ctx: NodeCtx) {
 
     // Executes protocol actions; returns false on fatal error.
     let handle_actions = |proto: &OcptProcess,
-                              actions: Vec<Action>,
-                              app: &AppSnapshot,
-                              pending_snapshot: &mut Option<AppSnapshot>,
-                              conv_deadline: &mut Option<(Instant, Csn)>,
-                              finalized: &mut u64,
-                              trigger_back: &mut u32| {
+                          actions: Vec<Action>,
+                          app: &AppSnapshot,
+                          pending_snapshot: &mut Option<AppSnapshot>,
+                          conv_deadline: &mut Option<(Instant, Csn)>,
+                          finalized: &mut u64,
+                          trigger_back: &mut u32| {
         for a in actions {
             match a {
                 Action::TakeTentative { .. } => {
@@ -160,7 +160,15 @@ pub fn run_node(ctx: NodeCtx) {
                 conv_deadline = None;
                 let mut out = Vec::new();
                 proto.on_timer(csn, &mut out);
-                handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
+                handle_actions(
+                    &proto,
+                    out,
+                    &app,
+                    &mut pending_snapshot,
+                    &mut conv_deadline,
+                    &mut finalized,
+                    &mut trigger_back,
+                );
             }
         }
         let timeout = conv_deadline
@@ -187,7 +195,15 @@ pub fn run_node(ctx: NodeCtx) {
                             let _ = status.send(StatusEvent::Error { pid, detail: e.to_string() });
                             break 'main;
                         }
-                        handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
+                        handle_actions(
+                            &proto,
+                            out,
+                            &app,
+                            &mut pending_snapshot,
+                            &mut conv_deadline,
+                            &mut finalized,
+                            &mut trigger_back,
+                        );
                     }
                     Envelope::App { pb, payload } => {
                         // Process first (paper §3.4.3), then the case analysis.
@@ -199,7 +215,15 @@ pub fn run_node(ctx: NodeCtx) {
                             let _ = status.send(StatusEvent::Error { pid, detail: e.to_string() });
                             break 'main;
                         }
-                        handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
+                        handle_actions(
+                            &proto,
+                            out,
+                            &app,
+                            &mut pending_snapshot,
+                            &mut conv_deadline,
+                            &mut finalized,
+                            &mut trigger_back,
+                        );
                     }
                 }
             }
@@ -219,7 +243,15 @@ pub fn run_node(ctx: NodeCtx) {
             NodeInput::Cmd(Command::Checkpoint) => {
                 let mut out = Vec::new();
                 proto.initiate_checkpoint(&mut out);
-                handle_actions(&proto, out, &app, &mut pending_snapshot, &mut conv_deadline, &mut finalized, &mut trigger_back);
+                handle_actions(
+                    &proto,
+                    out,
+                    &app,
+                    &mut pending_snapshot,
+                    &mut conv_deadline,
+                    &mut finalized,
+                    &mut trigger_back,
+                );
             }
             NodeInput::Cmd(Command::Shutdown) => break 'main,
         }

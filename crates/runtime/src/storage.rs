@@ -5,7 +5,7 @@
 //! moment `put` returns (the runtime exists to exercise the protocol under
 //! real concurrency; storage *timing* is the simulator's job).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use ocpt_core::Csn;
@@ -23,9 +23,13 @@ pub struct DurableCheckpoint {
 }
 
 /// The shared store.
+///
+/// Keyed `(pid, csn)` in an ordered map: `recovery_line` walks the keys,
+/// and the walk order must not depend on hash state even here — the
+/// threaded runtime's assertions compare against the simulator's output.
 #[derive(Debug, Default)]
 pub struct StableStore {
-    inner: Mutex<HashMap<(u16, Csn), DurableCheckpoint>>,
+    inner: Mutex<BTreeMap<(u16, Csn), DurableCheckpoint>>,
 }
 
 impl StableStore {
@@ -59,7 +63,7 @@ impl StableStore {
     /// Greatest `csn` durable on all `n` processes (0 if none).
     pub fn recovery_line(&self, n: usize) -> Csn {
         let g = self.inner.lock();
-        let mut per: HashMap<Csn, usize> = HashMap::new();
+        let mut per: BTreeMap<Csn, usize> = BTreeMap::new();
         for (_, csn) in g.keys() {
             *per.entry(*csn).or_insert(0) += 1;
         }

@@ -118,12 +118,8 @@ mod tests {
 
     #[test]
     fn target_resolution() {
-        let e: Event<()> = Event::Deliver {
-            src: ProcessId(1),
-            dst: ProcessId(2),
-            msg_id: MsgId(0),
-            msg: (),
-        };
+        let e: Event<()> =
+            Event::Deliver { src: ProcessId(1), dst: ProcessId(2), msg_id: MsgId(0), msg: () };
         assert_eq!(e.target(), ProcessId(2));
         let t: Event<()> = Event::Timer { pid: ProcessId(3), id: TimerId(0), tag: 9 };
         assert_eq!(t.target(), ProcessId(3));

@@ -87,7 +87,8 @@ mod tests {
 
     #[test]
     fn single_plan() {
-        let p = FaultPlan::single(ProcessId(1), SimTime::from_secs(1), SimDuration::from_millis(100));
+        let p =
+            FaultPlan::single(ProcessId(1), SimTime::from_secs(1), SimDuration::from_millis(100));
         assert_eq!(p.faults().len(), 1);
         assert!(p.validate(4).is_ok());
     }
@@ -101,15 +102,27 @@ mod tests {
     #[test]
     fn overlapping_faults_rejected() {
         let p = FaultPlan::none()
-            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: Some(SimDuration::from_secs(10)) })
-            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(5), down_for: Some(SimDuration::from_secs(1)) });
+            .with(Fault {
+                pid: ProcessId(0),
+                at: SimTime::from_secs(1),
+                down_for: Some(SimDuration::from_secs(10)),
+            })
+            .with(Fault {
+                pid: ProcessId(0),
+                at: SimTime::from_secs(5),
+                down_for: Some(SimDuration::from_secs(1)),
+            });
         assert!(p.validate(2).is_err());
     }
 
     #[test]
     fn non_overlapping_faults_accepted() {
         let p = FaultPlan::none()
-            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: Some(SimDuration::from_secs(1)) })
+            .with(Fault {
+                pid: ProcessId(0),
+                at: SimTime::from_secs(1),
+                down_for: Some(SimDuration::from_secs(1)),
+            })
             .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(3), down_for: None });
         assert!(p.validate(2).is_ok());
     }
@@ -118,7 +131,11 @@ mod tests {
     fn permanent_crash_overlaps_everything_after() {
         let p = FaultPlan::none()
             .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(1), down_for: None })
-            .with(Fault { pid: ProcessId(0), at: SimTime::from_secs(3), down_for: Some(SimDuration::ZERO) });
+            .with(Fault {
+                pid: ProcessId(0),
+                at: SimTime::from_secs(3),
+                down_for: Some(SimDuration::ZERO),
+            });
         assert!(p.validate(1).is_err());
     }
 }

@@ -35,10 +35,7 @@ impl DelayModel {
 
     /// A sensible LAN-ish default: 50µs floor + Exp(150µs).
     pub fn default_lan() -> Self {
-        DelayModel::Exp {
-            floor: SimDuration::from_micros(50),
-            mean: SimDuration::from_micros(150),
-        }
+        DelayModel::Exp { floor: SimDuration::from_micros(50), mean: SimDuration::from_micros(150) }
     }
 }
 

@@ -310,8 +310,7 @@ mod tests {
     fn far_future_events_pop_in_order() {
         // Spans every wheel level plus the overflow horizon (> 2^36 ns).
         for_both(|mut s| {
-            let times =
-                [1u64 << 40, 1, (1 << 36) + 3, 1 << 12, (1 << 40) + 1, 1 << 24, 0, 1 << 36];
+            let times = [1u64 << 40, 1, (1 << 36) + 3, 1 << 12, (1 << 40) + 1, 1 << 24, 0, 1 << 36];
             for (i, &t) in times.iter().enumerate() {
                 s.schedule_at(SimTime::from_nanos(t), tick(0, i as u64));
             }

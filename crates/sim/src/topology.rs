@@ -132,7 +132,8 @@ mod tests {
     #[test]
     fn every_topology_keeps_everyone_connected() {
         // Sanity: union of neighbor relations is connected (BFS reaches all).
-        for topo in [Topology::FullMesh, Topology::Ring, Topology::Star, Topology::Grid { cols: 4 }] {
+        for topo in [Topology::FullMesh, Topology::Ring, Topology::Star, Topology::Grid { cols: 4 }]
+        {
             let n = 12;
             let mut seen = vec![false; n];
             let mut stack = vec![0usize];

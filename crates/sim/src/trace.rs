@@ -91,7 +91,13 @@ impl Trace {
     }
 
     /// Record one occurrence (no-op when disabled).
-    pub fn record(&mut self, at: SimTime, pid: ProcessId, kind: TraceKind, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        detail: impl Into<String>,
+    ) {
         if self.enabled {
             self.events.push(TraceEvent { at, pid, kind, detail: detail.into() });
         }
@@ -203,7 +209,14 @@ impl Trace {
     pub fn render_log(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            let _ = writeln!(out, "{:>12}  {:<4} {:?} {}", e.at.to_string(), e.pid.to_string(), e.kind, e.detail);
+            let _ = writeln!(
+                out,
+                "{:>12}  {:<4} {:?} {}",
+                e.at.to_string(),
+                e.pid.to_string(),
+                e.kind,
+                e.detail
+            );
         }
         out
     }

@@ -1,0 +1,156 @@
+//! The ratcheting `.unwrap()` budget (rule `unwrap-budget`).
+//!
+//! `simlint.baseline` at the workspace root records the per-crate count
+//! of `.unwrap()` call sites. A crate rising above its recorded budget is
+//! a finding; a crate falling below it is *also* a finding (a stale,
+//! too-generous budget), fixed by regenerating with `--write-baseline`.
+//! The budget can therefore only ever ratchet down.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+
+/// The committed baseline file name, relative to the workspace root.
+pub const BASELINE_FILE: &str = "simlint.baseline";
+
+/// Parse the baseline: `<crate> <count>` lines, `#` comments. Returns
+/// crate → (budget, 1-based line) for diagnostics.
+pub fn parse(text: &str) -> BTreeMap<String, (usize, u32)> {
+    let mut out = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(count)) = (parts.next(), parts.next()) else { continue };
+        if let Ok(n) = count.parse::<usize>() {
+            out.insert(name.to_string(), (n, idx as u32 + 1));
+        }
+    }
+    out
+}
+
+/// Render a baseline from live counts.
+pub fn format(counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(
+        "# simlint unwrap() budget, per crate. The count may only ratchet down:\n\
+         # above budget fails the lint, below budget is a stale-baseline finding.\n\
+         # Regenerate with `cargo run -p simlint -- --write-baseline`.\n",
+    );
+    for (k, v) in counts {
+        s.push_str(k);
+        s.push(' ');
+        s.push_str(&v.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Compare live counts against the committed budget.
+pub fn compare(baseline: Option<&str>, counts: &BTreeMap<String, usize>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(text) = baseline else {
+        findings.push(Finding {
+            file: BASELINE_FILE.to_string(),
+            line: 1,
+            rule: "unwrap-budget",
+            message: "baseline file missing — generate it with `--write-baseline` and commit it"
+                .to_string(),
+        });
+        return findings;
+    };
+    let budget = parse(text);
+    for (name, &actual) in counts {
+        match budget.get(name) {
+            Some(&(allowed, line)) if actual > allowed => findings.push(Finding {
+                file: BASELINE_FILE.to_string(),
+                line,
+                rule: "unwrap-budget",
+                message: format!(
+                    "crate `{name}` has {actual} .unwrap() call(s), budget is {allowed} — \
+                     convert the new ones to .expect(\"<invariant>\")"
+                ),
+            }),
+            Some(&(allowed, line)) if actual < allowed => findings.push(Finding {
+                file: BASELINE_FILE.to_string(),
+                line,
+                rule: "unwrap-budget",
+                message: format!(
+                    "budget for `{name}` is stale ({allowed} recorded, {actual} actual) — \
+                     ratchet it down with `--write-baseline`"
+                ),
+            }),
+            Some(_) => {}
+            None if actual > 0 => findings.push(Finding {
+                file: BASELINE_FILE.to_string(),
+                line: 1,
+                rule: "unwrap-budget",
+                message: format!(
+                    "crate `{name}` has {actual} .unwrap() call(s) but no budget line — \
+                     regenerate with `--write-baseline`"
+                ),
+            }),
+            None => {}
+        }
+    }
+    for (name, &(allowed, line)) in &budget {
+        if !counts.contains_key(name) {
+            findings.push(Finding {
+                file: BASELINE_FILE.to_string(),
+                line,
+                rule: "unwrap-budget",
+                message: format!(
+                    "budget line for unknown crate `{name}` ({allowed}) — regenerate with \
+                     `--write-baseline`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn round_trip_parse_format() {
+        let c = counts(&[("core", 0), ("harness", 12)]);
+        let parsed = parse(&format(&c));
+        assert_eq!(parsed.get("core").map(|&(n, _)| n), Some(0));
+        assert_eq!(parsed.get("harness").map(|&(n, _)| n), Some(12));
+    }
+
+    #[test]
+    fn over_budget_fails_under_budget_is_stale() {
+        let base = format(&counts(&[("core", 2)]));
+        let over = compare(Some(&base), &counts(&[("core", 3)]));
+        assert_eq!(over.len(), 1);
+        assert!(over[0].message.contains("budget is 2"));
+        let under = compare(Some(&base), &counts(&[("core", 1)]));
+        assert_eq!(under.len(), 1);
+        assert!(under[0].message.contains("stale"));
+        let exact = compare(Some(&base), &counts(&[("core", 2)]));
+        assert!(exact.is_empty());
+    }
+
+    #[test]
+    fn missing_file_and_unknown_crates_are_findings() {
+        assert_eq!(compare(None, &counts(&[("core", 1)])).len(), 1);
+        let base = format(&counts(&[("ghost", 4)]));
+        let f = compare(Some(&base), &counts(&[]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn zero_count_crate_without_budget_line_is_fine() {
+        let base = format(&counts(&[]));
+        assert!(compare(Some(&base), &counts(&[("sim", 0)])).is_empty());
+    }
+}

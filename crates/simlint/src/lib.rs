@@ -1,0 +1,134 @@
+//! simlint — zero-dependency determinism & protocol-safety analyzer for
+//! the OCPT workspace.
+//!
+//! The simulation's headline claim is bit-identical replay from (config,
+//! seed). That property is global: one `Instant::now()` or one
+//! `HashMap` iteration anywhere inside the simulation boundary silently
+//! breaks it. simlint tokenizes every `.rs` file with its own small
+//! lexer (so rule tokens inside strings, comments and test modules never
+//! fire) and enforces:
+//!
+//! * **D1 `wall-clock`** — no `Instant`/`SystemTime`/`thread::sleep` in
+//!   deterministic crates;
+//! * **D2 `unordered-iter`** — no iteration of `HashMap`/`HashSet`
+//!   bindings (point access by key is fine);
+//! * **D3 `ambient-entropy`** — no `thread_rng`/`from_entropy`/
+//!   `RandomState`;
+//! * **D4 `forbid-unsafe` / `anchor`** — every crate root keeps
+//!   `#![forbid(unsafe_code)]`, and the protocol anchors cited in
+//!   DESIGN.md §7 stay in sync with the source;
+//! * **D5 `unwrap-budget`** — the per-crate `.unwrap()` count may only
+//!   ratchet down (committed in `simlint.baseline`).
+//!
+//! Escape hatch: `simlint: allow(<rule>, "<why>")` in a line comment
+//! excuses that line and the next; empty justifications and unused
+//! allows are findings themselves.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::{Finding, Report};
+pub use workspace::{find_root, Tier};
+
+/// Lint the workspace at `root`. When `write_baseline` is set, the
+/// unwrap budget is rewritten from live counts instead of being checked.
+pub fn run(root: &Path, write_baseline: bool) -> io::Result<Report> {
+    let files = workspace::collect_rs_files(root)?;
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+
+    // Per-file pass: D1–D3 + allow hygiene, plus the raw material for the
+    // cross-file rules.
+    let mut unwraps: BTreeMap<String, usize> = BTreeMap::new();
+    let mut source_anchors: Vec<(String, String, u32)> = Vec::new(); // (label, file, line)
+    let mut crate_roots: BTreeMap<String, (String, bool)> = BTreeMap::new(); // key -> (file, forbid)
+    for (rel, path) in &files {
+        let src = fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        let key = workspace::crate_key(rel);
+        let tier = workspace::tier_of(&key);
+        let checked = rules::check_source(rel, tier, &lexed, workspace::path_is_test(rel));
+        report.findings.extend(checked.findings);
+        *unwraps.entry(key.clone()).or_insert(0) += checked.unwraps;
+        for (label, line) in checked.anchors {
+            source_anchors.push((label, rel.clone(), line));
+        }
+        // D4a: the crate root is src/lib.rs, falling back to src/main.rs
+        // for binary-only crates.
+        let is_lib = rel == "src/lib.rs" || rel == &format!("crates/{key}/src/lib.rs");
+        let is_main = rel == "src/main.rs" || rel == &format!("crates/{key}/src/main.rs");
+        if is_lib || (is_main && !crate_roots.contains_key(&key)) {
+            crate_roots.insert(key, (rel.clone(), checked.has_forbid_unsafe));
+        }
+    }
+
+    // D4a: every crate root must carry the forbid.
+    for (key, (rel, has)) in &crate_roots {
+        if !has {
+            report.findings.push(Finding {
+                file: rel.clone(),
+                line: 1,
+                rule: "forbid-unsafe",
+                message: format!("crate `{key}` root is missing `#![forbid(unsafe_code)]`"),
+            });
+        }
+    }
+
+    // D4b: anchors cited in DESIGN.md and anchors present in source must
+    // agree, in both directions.
+    let design_path = root.join("DESIGN.md");
+    let design = fs::read_to_string(&design_path).unwrap_or_default();
+    let mut design_labels: Vec<(String, u32)> = Vec::new();
+    for (idx, line) in design.lines().enumerate() {
+        for label in rules::extract_anchor_labels(line) {
+            design_labels.push((label, idx as u32 + 1));
+        }
+    }
+    for (label, line) in &design_labels {
+        if !source_anchors.iter().any(|(l, _, _)| l == label) {
+            report.findings.push(Finding {
+                file: "DESIGN.md".to_string(),
+                line: *line,
+                rule: "anchor",
+                message: format!(
+                    "DESIGN.md cites protocol anchor {label} but no source comment carries it"
+                ),
+            });
+        }
+    }
+    for (label, file, line) in &source_anchors {
+        if !design_labels.iter().any(|(l, _)| l == label) {
+            report.findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "anchor",
+                message: format!(
+                    "source anchor {label} is not cited in DESIGN.md \u{a7}7 — add it to the \
+                     anchor table or drop the comment"
+                ),
+            });
+        }
+    }
+
+    // D5: the ratcheting unwrap budget.
+    report.unwraps = unwraps;
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    if write_baseline {
+        fs::write(&baseline_path, baseline::format(&report.unwraps))?;
+    } else {
+        let text = fs::read_to_string(&baseline_path).ok();
+        report.findings.extend(baseline::compare(text.as_deref(), &report.unwraps));
+    }
+
+    report.sort();
+    Ok(report)
+}

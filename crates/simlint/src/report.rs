@@ -1,0 +1,169 @@
+//! Findings and the human/machine report formats.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One diagnostic. `file` is root-relative with forward slashes so the
+/// output is stable across machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Root-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (e.g. `wall-clock`, `unordered-iter`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The full result of one lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Per-crate `.unwrap()` counts (all code, test mods included).
+    pub unwraps: BTreeMap<String, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passed every rule.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// `file:line: [rule] message` lines plus a summary footer.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            s,
+            "simlint: {} file(s) scanned, {} finding(s), {} unwrap(s) across {} crate(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.unwraps.values().sum::<usize>(),
+            self.unwraps.len()
+        );
+        s
+    }
+
+    /// Machine-readable report (hand-rolled: the workspace is offline and
+    /// simlint is dependency-free by construction).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"clean\": ");
+        s.push_str(if self.clean() { "true" } else { "false" });
+        let _ = write!(s, ",\n  \"files_scanned\": {},\n  \"findings\": [", self.files_scanned);
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                escape(&f.file),
+                f.line,
+                f.rule,
+                escape(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"unwraps\": {");
+        for (i, (k, v)) in self.unwraps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{}\": {}", escape(k), v);
+        }
+        if !self.unwraps.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    file: "b.rs".into(),
+                    line: 2,
+                    rule: "wall-clock",
+                    message: "x \"quoted\"".into(),
+                },
+                Finding { file: "a.rs".into(), line: 9, rule: "anchor", message: "y".into() },
+            ],
+            unwraps: BTreeMap::from([("core".to_string(), 3usize)]),
+            files_scanned: 2,
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_line() {
+        let r = sample();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[1].file, "b.rs");
+    }
+
+    #[test]
+    fn text_has_file_line_rule() {
+        let r = sample();
+        let t = r.to_text();
+        assert!(t.contains("a.rs:9: [anchor] y"));
+        assert!(t.contains("2 finding(s)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_complete() {
+        let r = sample();
+        let j = r.to_json();
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("x \\\"quoted\\\""));
+        assert!(j.contains("\"core\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.clean());
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,552 @@
+//! The rule set.
+//!
+//! | id                | tier          | what it catches                                   |
+//! |-------------------|---------------|---------------------------------------------------|
+//! | `wall-clock`      | deterministic | `Instant`, `SystemTime`, `thread::sleep`          |
+//! | `unordered-iter`  | deterministic | iterating a `HashMap`/`HashSet` binding           |
+//! | `ambient-entropy` | deterministic | `thread_rng`, `from_entropy`, `RandomState`       |
+//! | `forbid-unsafe`   | all           | crate root missing `#![forbid(unsafe_code)]`      |
+//! | `anchor`          | all           | `[OCPT` §x.y`]` anchors out of sync with DESIGN.md|
+//! | `unwrap-budget`   | all           | per-crate `.unwrap()` count above the baseline    |
+//! | `allow-*`         | all           | malformed / unjustified / unused escape hatches   |
+//!
+//! Escape hatch: a line (or the line directly below) can be excused with
+//! a comment of the form `simlint: allow(<rule>, "<why>")` — the `<why>`
+//! is mandatory and unused allows are themselves findings, so the hatch
+//! cannot rot silently.
+
+use crate::lexer::{Comment, Lexed, Tok, Token};
+use crate::report::Finding;
+use crate::workspace::Tier;
+
+/// Hash-typed container names whose iteration order is a function of
+/// `RandomState`, not of the run.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that observe iteration order when called on a hash container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers that pull entropy from the environment.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState"];
+
+/// Result of linting one file in isolation (cross-file rules — anchors,
+/// unwrap budget, forbid-unsafe — are assembled by the caller from the
+/// `unwraps` / `anchors` / `has_forbid_unsafe` fields).
+#[derive(Clone, Debug, Default)]
+pub struct SourceCheck {
+    /// D1–D3 and allow-hygiene findings for this file.
+    pub findings: Vec<Finding>,
+    /// Number of `.unwrap(` call sites (test code included — the budget
+    /// covers everything).
+    pub unwraps: usize,
+    /// Protocol anchors found in comments, as `(label, line)` where the
+    /// label is e.g. `3.4.1`.
+    pub anchors: Vec<(String, u32)>,
+    /// True when the token stream contains `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+/// One parsed escape-hatch comment.
+#[derive(Clone, Debug)]
+struct Allow {
+    rule: String,
+    why: String,
+    line: u32,
+    used: bool,
+}
+
+/// Lint one lexed file. `path_is_test` marks whole-file test contexts
+/// (integration tests, benches, examples); inline `#[cfg(test)]` regions
+/// come from the lexer.
+pub fn check_source(rel_path: &str, tier: Tier, lexed: &Lexed, path_is_test: bool) -> SourceCheck {
+    let mut out = SourceCheck {
+        unwraps: count_unwraps(&lexed.tokens),
+        anchors: extract_anchors_from_comments(&lexed.comments),
+        has_forbid_unsafe: has_forbid_unsafe(&lexed.tokens),
+        ..SourceCheck::default()
+    };
+
+    let (mut allows, mut findings) = parse_allows(rel_path, &lexed.comments);
+
+    if tier == Tier::Deterministic && !path_is_test {
+        let in_test = |line: u32| lexed.in_test_code(line);
+        let raw = deterministic_findings(rel_path, lexed);
+        for f in raw {
+            if in_test(f.line) {
+                continue;
+            }
+            if let Some(a) = allows
+                .iter_mut()
+                .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+            {
+                a.used = true;
+                continue;
+            }
+            findings.push(f);
+        }
+    }
+
+    for a in &allows {
+        if !a.used && !a.why.is_empty() {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: a.line,
+                rule: "allow-unused",
+                message: format!(
+                    "allow({}) suppresses nothing on this or the next line — remove it",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    out.findings = findings;
+    out
+}
+
+/// D1 + D2 + D3 for one file, before allow/test-region filtering.
+fn deterministic_findings(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mk = |line: u32, rule: &'static str, message: String| Finding {
+        file: rel_path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    // D1 wall-clock and D3 ambient entropy: single-identifier scans.
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(w) = &t.tok else { continue };
+        match w.as_str() {
+            "Instant" | "SystemTime" => out.push(mk(
+                t.line,
+                "wall-clock",
+                format!("`{w}` in deterministic code — simulated VirtualTime only"),
+            )),
+            "sleep" if path_prefix_is(toks, i, "thread") => out.push(mk(
+                t.line,
+                "wall-clock",
+                "`thread::sleep` in deterministic code — schedule a simulated timer".to_string(),
+            )),
+            w if ENTROPY_IDENTS.contains(&w) => out.push(mk(
+                t.line,
+                "ambient-entropy",
+                format!("`{w}` draws ambient entropy — derive all randomness from the run seed"),
+            )),
+            _ => {}
+        }
+    }
+
+    // D2: collect hash-typed binding names, then flag iterations of them.
+    let hash_names = collect_hash_names(toks);
+    if !hash_names.is_empty() {
+        for i in 0..toks.len() {
+            // name.method( … ) where method observes iteration order.
+            if let (
+                Tok::Ident(name),
+                Some(Tok::Punct('.')),
+                Some(Tok::Ident(m)),
+                Some(Tok::Punct('(')),
+            ) = (
+                &toks[i].tok,
+                toks.get(i + 1).map(|t| &t.tok),
+                toks.get(i + 2).map(|t| &t.tok),
+                toks.get(i + 3).map(|t| &t.tok),
+            ) {
+                if hash_names.contains(name) && ITER_METHODS.contains(&m.as_str()) {
+                    out.push(mk(
+                        toks[i + 2].line,
+                        "unordered-iter",
+                        format!(
+                            "`{name}.{m}()` iterates a hash container — order is a function of \
+                             RandomState, not of the run; use BTreeMap/BTreeSet or sort first"
+                        ),
+                    ));
+                }
+            }
+            // for … in [&[mut]] path::to::name {
+            if toks[i].tok == Tok::Ident("in".to_string()) && i > 0 {
+                if let Some((name, line)) = for_loop_hash_target(toks, i, &hash_names) {
+                    out.push(mk(
+                        line,
+                        "unordered-iter",
+                        format!(
+                            "`for … in {name}` iterates a hash container — order is a function \
+                             of RandomState, not of the run; use BTreeMap/BTreeSet or sort first"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// True when tokens `i-3..i` spell `prefix::` (e.g. `thread::sleep`).
+fn path_prefix_is(toks: &[Token], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && toks[i - 1].tok == Tok::Punct(':')
+        && toks[i - 2].tok == Tok::Punct(':')
+        && matches!(&toks[i - 3].tok, Tok::Ident(w) if w == prefix)
+}
+
+/// Names bound with a hash-container type, from two shapes:
+///
+///  * `name : … HashMap<…> …` (struct fields, fn params, typed lets) —
+///    scanned to the type's end at angle-depth 0;
+///  * `name = HashMap::…` / `name = HashSet::…` (inferred lets,
+///    assignments of constructor calls).
+fn collect_hash_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else { continue };
+        // `name :` but not `name ::`.
+        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+        {
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct(',')
+                    | Tok::Punct(';')
+                    | Tok::Punct(')')
+                    | Tok::Punct('{')
+                    | Tok::Punct('}')
+                    | Tok::Punct('=')
+                        if angle <= 0 =>
+                    {
+                        break;
+                    }
+                    Tok::Ident(w) if HASH_TYPES.contains(&w.as_str()) => {
+                        names.push(name.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `name = HashMap` / `name = HashSet` (skip `==`, `!=`, `<=`, `>=`).
+        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('='))
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct('='))
+        {
+            if let Some(Tok::Ident(w)) = toks.get(i + 2).map(|t| &t.tok) {
+                if HASH_TYPES.contains(&w.as_str()) {
+                    names.push(name.clone());
+                }
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// For a `for … in EXPR {` loop, return the hash-container name when the
+/// loop target is a plain (possibly `&`/`&mut`/field-path) reference to
+/// one. Method calls in EXPR are left to the `.method(` check.
+fn for_loop_hash_target(
+    toks: &[Token],
+    in_idx: usize,
+    hash_names: &[String],
+) -> Option<(String, u32)> {
+    // Confirm this `in` belongs to a `for` loop: scan back to the `for`
+    // within the same statement (bounded lookbehind keeps this cheap).
+    let mut saw_for = false;
+    for k in in_idx.saturating_sub(12)..in_idx {
+        if toks[k].tok == Tok::Ident("for".to_string()) {
+            saw_for = true;
+        }
+    }
+    if !saw_for {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut last_ident: Option<(String, u32)> = None;
+    let mut j = in_idx + 1;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => {
+                // A call or index in the target expression: not a bare
+                // container reference, leave it to the method check.
+                return None;
+            }
+            Tok::Punct('{') if depth == 0 => break,
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => depth -= 1,
+            Tok::Ident(w) => last_ident = Some((w.clone(), toks[j].line)),
+            _ => {}
+        }
+        j += 1;
+    }
+    let (name, line) = last_ident?;
+    if hash_names.contains(&name) {
+        Some((name, line))
+    } else {
+        None
+    }
+}
+
+/// Count `.unwrap(` call sites.
+fn count_unwraps(toks: &[Token]) -> usize {
+    let mut n = 0usize;
+    for i in 0..toks.len() {
+        if toks[i].tok == Tok::Punct('.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(w)) if w == "unwrap")
+            && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// True when the stream contains `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(4).any(|w| {
+        matches!(&w[0].tok, Tok::Ident(a) if a == "forbid")
+            && w[1].tok == Tok::Punct('(')
+            && matches!(&w[2].tok, Tok::Ident(b) if b == "unsafe_code")
+            && w[3].tok == Tok::Punct(')')
+    })
+}
+
+/// The protocol-anchor marker scanned for in comments.
+const ANCHOR_MARKER: &str = "OCPT \u{a7}";
+
+/// Pull `(label, line)` pairs out of comment text for every
+/// `ANCHOR_MARKER<label>]` occurrence; labels are dotted section numbers.
+pub fn extract_anchors_from_comments(comments: &[Comment]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for c in comments {
+        for label in extract_anchor_labels(&c.text) {
+            out.push((label, c.line));
+        }
+    }
+    out
+}
+
+/// Extract anchor labels from arbitrary text (also used on DESIGN.md).
+pub fn extract_anchor_labels(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(ANCHOR_MARKER) {
+        rest = &rest[pos + ANCHOR_MARKER.len()..];
+        let label: String = rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        let label = label.trim_end_matches('.').to_string();
+        if !label.is_empty() {
+            out.push(label);
+        }
+    }
+    out
+}
+
+/// Parse every escape-hatch comment in the file. Returns the parsed
+/// allows plus hygiene findings (malformed shape, empty justification).
+fn parse_allows(rel_path: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Only a comment that *starts* with the marker is an escape
+        // hatch; prose mentioning the syntax mid-sentence is not.
+        let Some(body) = c.text.strip_prefix("simlint:") else { continue };
+        let body = body.trim();
+        match parse_allow_body(body) {
+            Some((rule, why)) => {
+                if why.trim().is_empty() {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: c.line,
+                        rule: "allow-unjustified",
+                        message: format!(
+                            "allow({rule}) has an empty justification — say why the rule is \
+                             safe to break here"
+                        ),
+                    });
+                }
+                allows.push(Allow { rule, why: why.trim().to_string(), line: c.line, used: false });
+            }
+            None => findings.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: "allow-malformed",
+                message: "expected `simlint: allow(<rule>, \"<why>\")`".to_string(),
+            }),
+        }
+    }
+    (allows, findings)
+}
+
+/// Parse `allow(<rule>, "<why>")`; returns `(rule, why)`.
+fn parse_allow_body(body: &str) -> Option<(String, String)> {
+    let body = body.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(')?;
+    let (rule, rest) = body.split_once(',')?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let (why, tail) = rest.split_once('"')?;
+    if tail.trim_start().strip_prefix(')').is_none() {
+        return None;
+    }
+    Some((rule.to_string(), why.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(tier: Tier, src: &str) -> SourceCheck {
+        check_source("fixture.rs", tier, &lex(src), false)
+    }
+
+    fn rules_of(c: &SourceCheck) -> Vec<&'static str> {
+        c.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_fires_on_instant_and_thread_sleep() {
+        let c = check(Tier::Deterministic, "let t = Instant::now();\nthread::sleep(d);");
+        assert_eq!(rules_of(&c), vec!["wall-clock", "wall-clock"]);
+        assert_eq!(c.findings[0].line, 1);
+        assert_eq!(c.findings[1].line, 2);
+    }
+
+    #[test]
+    fn wall_clock_ignores_other_sleeps_and_exempt_tier() {
+        let c = check(Tier::Deterministic, "scheduler.sleep(d); let s = my::sleep();");
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+        let c = check(Tier::Exempt, "let t = Instant::now();");
+        assert!(c.findings.is_empty());
+    }
+
+    #[test]
+    fn entropy_fires_on_thread_rng_and_random_state() {
+        let c = check(
+            Tier::Deterministic,
+            "let r = rand::thread_rng();\nlet s: RandomState = Default::default();",
+        );
+        assert_eq!(rules_of(&c), vec!["ambient-entropy", "ambient-entropy"]);
+    }
+
+    #[test]
+    fn unordered_iter_fires_on_declared_hashmap_methods() {
+        let src = "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) { for (k, v) in s.m.iter() { } }";
+        let c = check(Tier::Deterministic, src);
+        assert_eq!(rules_of(&c), vec!["unordered-iter"]);
+        assert_eq!(c.findings[0].line, 2);
+    }
+
+    #[test]
+    fn unordered_iter_fires_on_for_loop_over_hash_binding() {
+        let src = "let mut seen = HashSet::new();\nfor x in &seen { }";
+        let c = check(Tier::Deterministic, src);
+        assert_eq!(rules_of(&c), vec!["unordered-iter"]);
+    }
+
+    #[test]
+    fn unordered_iter_quiet_on_btreemap_and_point_access() {
+        let src = "let m: BTreeMap<u32, u32> = BTreeMap::new();\nfor (k, v) in m.iter() { }\n\
+                   let h: HashMap<u32, u32> = HashMap::new();\nlet v = h.get(&1);";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line_and_must_be_used() {
+        let src = "// simlint: allow(wall-clock, \"self-measurement only\")\n\
+                   let t = Instant::now();";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+
+        let unused = "// simlint: allow(wall-clock, \"nothing here\")\nlet x = 1;";
+        let c = check(Tier::Deterministic, unused);
+        assert_eq!(rules_of(&c), vec!["allow-unused"]);
+    }
+
+    #[test]
+    fn allow_requires_justification_and_shape() {
+        let c = check(
+            Tier::Deterministic,
+            "// simlint: allow(wall-clock, \"\")\nlet t = Instant::now();",
+        );
+        assert_eq!(rules_of(&c), vec!["allow-unjustified"]);
+        let c = check(Tier::Deterministic, "// simlint: allow wall-clock\nlet x = 1;");
+        assert_eq!(rules_of(&c), vec!["allow-malformed"]);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_d1_d3() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let i = Instant::now(); }\n}";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn hazards_inside_strings_and_comments_do_not_fire() {
+        let src = "let s = \"Instant::now() and thread_rng()\";\n// Instant is banned here\nlet r = r#\"HashMap .iter()\"#;";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn unwrap_counting_includes_test_code() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\nlet s = \".unwrap()\";";
+        let c = check(Tier::Deterministic, src);
+        assert_eq!(c.unwraps, 2);
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(check(Tier::Deterministic, "#![forbid(unsafe_code)]\nfn f() {}").has_forbid_unsafe);
+        assert!(!check(Tier::Deterministic, "fn f() {}").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn anchors_extracted_from_comments_only() {
+        let marker = format!("[{}{}]", super::ANCHOR_MARKER, "3.4.1");
+        let src = format!("// {marker} initiation\nlet s = \"{marker}\";");
+        let c = check(Tier::Deterministic, &src);
+        assert_eq!(c.anchors, vec![("3.4.1".to_string(), 1)]);
+    }
+
+    #[test]
+    fn anchor_labels_parse_from_text() {
+        let text = format!(
+            "cites {}2.2] and {}3.5.1] twice {}3.5.1]",
+            super::ANCHOR_MARKER,
+            super::ANCHOR_MARKER,
+            super::ANCHOR_MARKER
+        );
+        assert_eq!(extract_anchor_labels(&text), vec!["2.2", "3.5.1", "3.5.1"]);
+    }
+
+    #[test]
+    fn path_level_test_files_skip_d1_d3_but_count_unwraps() {
+        let lexed = lex("fn t() { let i = Instant::now(); x.unwrap(); }");
+        let c = check_source("crates/core/tests/x.rs", Tier::Deterministic, &lexed, true);
+        assert!(c.findings.is_empty());
+        assert_eq!(c.unwraps, 1);
+    }
+}

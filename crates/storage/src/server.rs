@@ -316,7 +316,10 @@ mod tests {
 
     #[test]
     fn overhead_is_charged() {
-        let c = StorageConfig { bandwidth_bps: 1000.0, per_request_overhead: SimDuration::from_secs(1) };
+        let c = StorageConfig {
+            bandwidth_bps: 1000.0,
+            per_request_overhead: SimDuration::from_secs(1),
+        };
         let mut s = StorageServer::new(c);
         s.submit(SimTime::ZERO, ProcessId(0), rid(1), 0);
         // 0 payload bytes + 1 s overhead.

@@ -87,11 +87,7 @@ impl CheckpointStore {
 
     /// The most recent durable checkpoint of `pid` with `csn ≤ bound`.
     pub fn latest_at_most(&self, pid: ProcessId, bound: u64) -> Option<&StoredCheckpoint> {
-        self.items
-            .range(..=(bound, u16::MAX))
-            .rev()
-            .map(|(_, v)| v)
-            .find(|v| v.pid == pid)
+        self.items.range(..=(bound, u16::MAX)).rev().map(|(_, v)| v).find(|v| v.pid == pid)
     }
 
     /// Drop all checkpoints with `csn < line` (bounded storage). Returns

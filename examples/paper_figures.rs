@@ -56,8 +56,7 @@ fn figure2() {
     println!("=== Figure 2: basic algorithm walkthrough (4 processes) ===\n");
     let n = 4;
     let cfg = OcptConfig::basic_only();
-    let mut procs: Vec<OcptProcess> =
-        (0..4).map(|i| OcptProcess::new(p(i), n, cfg)).collect();
+    let mut procs: Vec<OcptProcess> = (0..4).map(|i| OcptProcess::new(p(i), n, cfg)).collect();
     let mut out = Vec::new();
     let pl = AppPayload { id: 0, len: 256 };
 
@@ -68,19 +67,32 @@ fn figure2() {
     narrate("P0 takes CT(0,1) and becomes tentative — the initiation");
     out.clear();
 
-    let relay = |from: usize, to: usize, msg: u64, procs: &mut Vec<OcptProcess>, out: &mut Vec<Action>| {
-        let pb = procs[from].on_app_send(p(to as u16), MsgId(msg), pl);
-        procs[to].on_app_receive(p(from as u16), MsgId(msg), pl, &pb, out).unwrap();
-    };
+    let relay =
+        |from: usize, to: usize, msg: u64, procs: &mut Vec<OcptProcess>, out: &mut Vec<Action>| {
+            let pb = procs[from].on_app_send(p(to as u16), MsgId(msg), pl);
+            procs[to].on_app_receive(p(from as u16), MsgId(msg), pl, &pb, out).unwrap();
+        };
 
     relay(0, 1, 2, &mut procs, &mut out);
-    narrate(&format!("M2: P0→P1; P1 now {} with tentSet {:?}", procs[1].status(), procs[1].tent_set()));
+    narrate(&format!(
+        "M2: P0→P1; P1 now {} with tentSet {:?}",
+        procs[1].status(),
+        procs[1].tent_set()
+    ));
     out.clear();
     relay(1, 2, 4, &mut procs, &mut out);
-    narrate(&format!("M4: P1→P2; P2 now {} with tentSet {:?}", procs[2].status(), procs[2].tent_set()));
+    narrate(&format!(
+        "M4: P1→P2; P2 now {} with tentSet {:?}",
+        procs[2].status(),
+        procs[2].tent_set()
+    ));
     out.clear();
     relay(1, 3, 3, &mut procs, &mut out);
-    narrate(&format!("M3: P1→P3; P3 now {} with tentSet {:?}", procs[3].status(), procs[3].tent_set()));
+    narrate(&format!(
+        "M3: P1→P3; P3 now {} with tentSet {:?}",
+        procs[3].status(),
+        procs[3].tent_set()
+    ));
     out.clear();
 
     // M6 sent by P2 (delivered late, per the figure's arbitrary delays).

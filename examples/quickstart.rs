@@ -21,9 +21,11 @@ fn main() {
     println!("algorithm        : {}", result.algo);
     println!("virtual makespan : {}", result.makespan);
     println!("app messages     : {}", result.app_messages);
-    println!("piggyback bytes  : {} ({} per message)",
+    println!(
+        "piggyback bytes  : {} ({} per message)",
         result.piggyback_bytes,
-        result.piggyback_bytes / result.app_messages.max(1));
+        result.piggyback_bytes / result.app_messages.max(1)
+    );
     println!("control messages : {}", result.ctrl_messages);
     println!("rounds completed : {}", result.complete_rounds);
     println!("recovery line    : S_{}", result.recovery_line);

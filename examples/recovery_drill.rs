@@ -25,11 +25,8 @@ fn scenario(algo: &Algo) -> RunConfig {
     cfg.workload_duration = SimDuration::from_secs(4);
     cfg.state_bytes = 2 * 1024 * 1024;
     // Worker P5 dies at t = 3 s.
-    cfg.faults = FaultPlan::single(
-        ProcessId(5),
-        SimTime::from_secs(3),
-        SimDuration::from_millis(50),
-    );
+    cfg.faults =
+        FaultPlan::single(ProcessId(5), SimTime::from_secs(3), SimDuration::from_millis(50));
     cfg.stop_on_crash = true;
     let _ = algo;
     cfg
@@ -55,7 +52,9 @@ fn main() {
         roll.cascade_rounds
     );
     let verified = verify_restored_states(&r, line).expect("restoration must verify");
-    println!("[ocpt] {verified} restored states verified byte-exact: CT + selective log replay ✓\n");
+    println!(
+        "[ocpt] {verified} restored states verified byte-exact: CT + selective log replay ✓\n"
+    );
 
     // --- Uncoordinated checkpointing: the domino effect ---
     let r = run(&Algo::Uncoordinated, scenario(&Algo::Uncoordinated));

@@ -98,9 +98,8 @@ fn suppression_reduces_ck_bgn() {
 fn req_skipping_shortens_the_ring() {
     let naive = run(&Algo::ocpt_naive(), sparse_cfg(8, 13, 150));
     let opt = run(&Algo::ocpt(), sparse_cfg(8, 13, 150));
-    let per_round = |r: &RunResult| {
-        r.counters.get("ctrl.req_sent") as f64 / r.complete_rounds.max(1) as f64
-    };
+    let per_round =
+        |r: &RunResult| r.counters.get("ctrl.req_sent") as f64 / r.complete_rounds.max(1) as f64;
     assert!(
         per_round(&opt) <= per_round(&naive) + 1e-9,
         "skip optimization lengthened the ring: {} vs {}",
@@ -120,11 +119,7 @@ fn sparse_round_latency_dominated_by_timer() {
     if r.complete_rounds > 0 && r.counters.get("timer.expired") > 0 {
         // Default convergence timeout is 250 ms: rounds that needed the
         // timer cannot have finished faster than that.
-        assert!(
-            r.ckpt_latency.max() >= 0.25,
-            "latency max {} < timeout",
-            r.ckpt_latency.max()
-        );
+        assert!(r.ckpt_latency.max() >= 0.25, "latency max {} < timeout", r.ckpt_latency.max());
     }
 }
 

@@ -70,6 +70,37 @@ fn trace_does_not_perturb_the_run() {
 }
 
 #[test]
+fn observer_reports_are_hash_order_free() {
+    // Guards the ordered-iteration conversions (simlint rule D2): the
+    // observer's message table and the runner's round-latency maps are
+    // iterated while building reports, so their walk order must be a
+    // function of the run alone — never of `RandomState`. With ordered
+    // maps these comparisons are exact; with hash maps they would differ
+    // across processes.
+    let a = run(&Algo::ocpt(), cfg(4242));
+    let b = run(&Algo::ocpt(), cfg(4242));
+    let oa = a.observer.as_ref().expect("observer enabled by default");
+    let ob = b.observer.as_ref().expect("observer enabled by default");
+    // Identical message tables, and sorted by id as documented — not
+    // merely equal between the two runs.
+    assert_eq!(oa.messages(), ob.messages());
+    let ids: Vec<_> = oa.messages().iter().map(|(id, _, _)| *id).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "messages() not id-sorted");
+    // Every complete global checkpoint judges identically, with orphan and
+    // in-transit lists in identical (id) order.
+    assert!(!oa.complete_csns().is_empty());
+    for csn in oa.complete_csns() {
+        assert_eq!(oa.judge(csn), ob.judge(csn));
+    }
+    // Round-latency aggregation folds floats in map iteration order;
+    // bit-for-bit equality of the fold pins that order.
+    assert_eq!(a.ckpt_latency.mean().to_bits(), b.ckpt_latency.mean().to_bits());
+    assert_eq!(a.ckpt_latency.stddev().to_bits(), b.ckpt_latency.stddev().to_bits());
+    // Ground-truth cut states ride in an ordered map too.
+    assert_eq!(a.cut_states, b.cut_states);
+}
+
+#[test]
 fn observer_does_not_perturb_the_run() {
     let mut without = cfg(55);
     without.observe = false;

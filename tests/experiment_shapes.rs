@@ -89,10 +89,7 @@ fn e6_piggyback_matches_formula() {
         let r = run_checked(&Algo::ocpt(), base(n, 6));
         let per_msg = r.piggyback_bytes as f64 / r.app_messages as f64;
         let theory = ocpt::protocol::Piggyback::wire_bytes_for(n) as f64;
-        assert!(
-            (per_msg - theory).abs() < 1e-9,
-            "n={n}: measured {per_msg} vs theory {theory}"
-        );
+        assert!((per_msg - theory).abs() < 1e-9, "n={n}: measured {per_msg} vs theory {theory}");
     }
 }
 

@@ -19,10 +19,7 @@ fn quick() -> ExpParams {
 }
 
 fn sweep_grid() -> RunGrid {
-    e3_control_messages(
-        &[SimDuration::from_millis(3), SimDuration::from_millis(30)],
-        quick(),
-    )
+    e3_control_messages(&[SimDuration::from_millis(3), SimDuration::from_millis(30)], quick())
 }
 
 #[test]

@@ -31,10 +31,7 @@ fn system_recovers_and_keeps_checkpointing() {
     // rollback (the fresh observation epoch contains them).
     let obs = r.observer.as_ref().unwrap();
     let post_rounds = obs.complete_csns();
-    assert!(
-        !post_rounds.is_empty(),
-        "no checkpoint round completed after recovery"
-    );
+    assert!(!post_rounds.is_empty(), "no checkpoint round completed after recovery");
     // And every one of them is consistent.
     for csn in post_rounds {
         assert!(obs.judge(csn).unwrap().is_consistent(), "post-recovery S_{csn} inconsistent");

@@ -91,9 +91,7 @@ fn volatile_state_is_lost_at_crash() {
     let victim = ProcessId(2);
     let line = r.recovery_line;
     // No durable checkpoint of the victim beyond what completed + flushed.
-    let beyond = (line + 1..line + 10)
-        .filter(|csn| r.store.get(victim, *csn).is_some())
-        .count();
+    let beyond = (line + 1..line + 10).filter(|csn| r.store.get(victim, *csn).is_some()).count();
     // (Writes in flight at crash time may still land — the server is
     // remote — but nothing beyond what was already submitted.)
     assert!(beyond <= 1, "unexpected durable checkpoints beyond the line: {beyond}");

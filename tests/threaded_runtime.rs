@@ -90,8 +90,8 @@ fn durable_blobs_decode_and_replay() {
     cluster.wait_for_round(1, Duration::from_secs(10)).unwrap();
     for i in 0..3u16 {
         let d = cluster.store().get(ProcessId(i), 1).expect("durable");
-        let plan = ocpt::protocol::plan_recovery(1, d.state, d.log)
-            .expect("blobs decode and replay");
+        let plan =
+            ocpt::protocol::plan_recovery(1, d.state, d.log).expect("blobs decode and replay");
         assert_eq!(plan.csn, 1);
     }
     cluster.shutdown();
