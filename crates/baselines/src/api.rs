@@ -95,6 +95,33 @@ pub enum ProtoAction<Env> {
     },
 }
 
+/// How the flight recorder should classify an envelope: a stable event
+/// code (e.g. `"ctrl.ck_bgn"`) and the checkpoint round (csn / snapshot
+/// id) the envelope belongs to, when it belongs to one. Returned by
+/// [`CheckpointProtocol::env_telemetry`]; consumed by the drivers when
+/// recording `CtrlSend`/`CtrlRecv`/`AppSend` trace events (DESIGN.md §8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnvTelemetry {
+    /// Stable machine-readable event code; `None` means "use the trace
+    /// kind's default code" (anonymous traffic).
+    pub code: Option<&'static str>,
+    /// Checkpoint round the envelope carries or belongs to.
+    pub seq: Option<u64>,
+}
+
+impl EnvTelemetry {
+    /// Classified traffic: a code and the round it belongs to.
+    pub fn coded(code: &'static str, seq: u64) -> Self {
+        EnvTelemetry { code: Some(code), seq: Some(seq) }
+    }
+
+    /// Traffic that belongs to round `seq` but needs no special code
+    /// (e.g. an application message piggybacking its sender's csn).
+    pub fn in_round(seq: u64) -> Self {
+        EnvTelemetry { code: None, seq: Some(seq) }
+    }
+}
+
 /// A sans-io checkpointing protocol instance (one per process).
 pub trait CheckpointProtocol {
     /// The envelope type this protocol puts on the wire.
@@ -183,6 +210,14 @@ pub trait CheckpointProtocol {
 
     /// Bytes `env` occupies on the wire (headers + piggyback + payload).
     fn env_wire_bytes(&self, env: &Self::Env) -> u64;
+
+    /// Classify `env` for the flight recorder (event code + checkpoint
+    /// round). The default classifies nothing; protocols with structured
+    /// envelopes override this so control waves become traceable spans.
+    fn env_telemetry(&self, env: &Self::Env) -> EnvTelemetry {
+        let _ = env;
+        EnvTelemetry::default()
+    }
 
     /// Protocol event counters.
     fn stats(&self) -> &Counters;

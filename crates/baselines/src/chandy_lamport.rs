@@ -1,4 +1,4 @@
-//! Chandy–Lamport distributed snapshots [3], iterated for periodic
+//! Chandy–Lamport distributed snapshots \[3\], iterated for periodic
 //! checkpointing.
 //!
 //! The classical algorithm: the coordinator records its state and floods a
@@ -16,7 +16,7 @@ use ocpt_core::AppPayload;
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId};
 
-use crate::api::{wire_cost, CheckpointProtocol, ProtoAction};
+use crate::api::{wire_cost, CheckpointProtocol, EnvTelemetry, ProtoAction};
 
 /// Envelope for Chandy–Lamport runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -191,6 +191,13 @@ impl CheckpointProtocol for ChandyLamport {
         match env {
             ClEnv::App { payload } => wire_cost::app(payload.len, 0),
             ClEnv::Marker { .. } => wire_cost::CTRL,
+        }
+    }
+
+    fn env_telemetry(&self, env: &ClEnv) -> EnvTelemetry {
+        match env {
+            ClEnv::App { .. } => EnvTelemetry::default(),
+            ClEnv::Marker { seq } => EnvTelemetry::coded("ctrl.marker", *seq),
         }
     }
 

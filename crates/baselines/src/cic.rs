@@ -16,7 +16,7 @@ use ocpt_core::AppPayload;
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId};
 
-use crate::api::{wire_cost, CheckpointProtocol, ProtoAction};
+use crate::api::{wire_cost, CheckpointProtocol, EnvTelemetry, ProtoAction};
 
 /// Envelope for CIC runs: application messages piggyback the index.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -121,6 +121,10 @@ impl CheckpointProtocol for Cic {
     fn env_wire_bytes(&self, env: &CicEnv) -> u64 {
         // Piggyback: 8-byte index.
         wire_cost::app(env.payload.len, 8)
+    }
+
+    fn env_telemetry(&self, env: &CicEnv) -> EnvTelemetry {
+        EnvTelemetry::in_round(env.sn)
     }
 
     fn stats(&self) -> &Counters {

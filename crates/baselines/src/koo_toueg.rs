@@ -1,4 +1,4 @@
-//! Koo–Toueg blocking coordinated checkpointing [5].
+//! Koo–Toueg blocking coordinated checkpointing \[5\].
 //!
 //! Two-phase commit over checkpoints: the coordinator takes a tentative
 //! checkpoint and asks everyone to do the same; participants take the
@@ -17,7 +17,7 @@ use ocpt_core::AppPayload;
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId};
 
-use crate::api::{wire_cost, CheckpointProtocol, ProtoAction};
+use crate::api::{wire_cost, CheckpointProtocol, EnvTelemetry, ProtoAction};
 
 /// Envelope for Koo–Toueg runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -170,6 +170,15 @@ impl CheckpointProtocol for KooToueg {
         match env {
             KtEnv::App { payload } => wire_cost::app(payload.len, 0),
             _ => wire_cost::CTRL,
+        }
+    }
+
+    fn env_telemetry(&self, env: &KtEnv) -> EnvTelemetry {
+        match env {
+            KtEnv::App { .. } => EnvTelemetry::default(),
+            KtEnv::TakeTentative { seq } => EnvTelemetry::coded("ctrl.take_tentative", *seq),
+            KtEnv::Ack { seq } => EnvTelemetry::coded("ctrl.ack", *seq),
+            KtEnv::Commit { seq } => EnvTelemetry::coded("ctrl.commit", *seq),
         }
     }
 

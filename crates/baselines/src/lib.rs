@@ -6,9 +6,9 @@
 //!
 //! | Algorithm | Class | Key cost under study |
 //! |---|---|---|
-//! | [`ChandyLamport`] | synchronous snapshot [3] | clustered storage writes, FIFO required |
-//! | [`KooToueg`] | blocking synchronous [5] | application blocked between phases |
-//! | [`Staggered`] | synchronous, staggered writes [11] | serialised writes, long tail, token traffic |
+//! | [`ChandyLamport`] | synchronous snapshot \[3\] | clustered storage writes, FIFO required |
+//! | [`KooToueg`] | blocking synchronous \[5\] | application blocked between phases |
+//! | [`Staggered`] | synchronous, staggered writes \[11\] | serialised writes, long tail, token traffic |
 //! | [`Cic`] | communication-induced [1, 8] | forced checkpoints **before** message processing |
 //! | [`Uncoordinated`] | asynchronous | domino effect at recovery |
 //! | [`OcptAdapter`] | **the paper's algorithm** | — |

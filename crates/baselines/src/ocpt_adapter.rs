@@ -13,7 +13,7 @@ use ocpt_core::{
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId, SimDuration, SimRng};
 
-use crate::api::{CheckpointProtocol, ProtoAction};
+use crate::api::{CheckpointProtocol, EnvTelemetry, ProtoAction};
 
 /// Timer tag space: `csn * 4 + kind`, kind ∈ {0: convergence timer,
 /// 1: early flush of the tentative checkpoint, 2: deferred finalize write}.
@@ -283,6 +283,20 @@ impl CheckpointProtocol for OcptAdapter {
 
     fn env_wire_bytes(&self, env: &Envelope) -> u64 {
         env.wire_bytes(self.inner.n())
+    }
+
+    fn env_telemetry(&self, env: &Envelope) -> EnvTelemetry {
+        match env {
+            Envelope::Ctrl(cm) => {
+                let code = match cm.kind {
+                    ocpt_core::CtrlKind::CkBgn => "ctrl.ck_bgn",
+                    ocpt_core::CtrlKind::CkReq => "ctrl.ck_req",
+                    ocpt_core::CtrlKind::CkEnd => "ctrl.ck_end",
+                };
+                EnvTelemetry::coded(code, cm.csn)
+            }
+            Envelope::App { pb, .. } => EnvTelemetry::in_round(pb.csn),
+        }
     }
 
     fn stats(&self) -> &Counters {

@@ -1,4 +1,4 @@
-//! Vaidya's staggered consistent checkpointing [11].
+//! Vaidya's staggered consistent checkpointing \[11\].
 //!
 //! The coordinated-but-staggered middle ground the paper compares itself
 //! to (§4). A consistent line is fixed with a Chandy–Lamport-style marker
@@ -10,7 +10,7 @@
 //! the price of a long completion tail and extra control messages, which
 //! is the trade-off E1/E2 quantify against OCPT's approach.
 //!
-//! Simplification vs. [11]: Vaidya converts logical to physical
+//! Simplification vs. \[11\]: Vaidya converts logical to physical
 //! checkpoints with message logging between the two; we charge the
 //! recorded channel state with the physical write. The storage behaviour
 //! (serialised writes on a consistent line) — the property under study —
@@ -20,7 +20,7 @@ use ocpt_core::AppPayload;
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId};
 
-use crate::api::{wire_cost, CheckpointProtocol, ProtoAction};
+use crate::api::{wire_cost, CheckpointProtocol, EnvTelemetry, ProtoAction};
 
 /// Envelope for staggered-checkpointing runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -241,6 +241,14 @@ impl CheckpointProtocol for Staggered {
         match env {
             StagEnv::App { payload } => wire_cost::app(payload.len, 0),
             _ => wire_cost::CTRL,
+        }
+    }
+
+    fn env_telemetry(&self, env: &StagEnv) -> EnvTelemetry {
+        match env {
+            StagEnv::App { .. } => EnvTelemetry::default(),
+            StagEnv::Marker { seq } => EnvTelemetry::coded("ctrl.marker", *seq),
+            StagEnv::Token { seq } => EnvTelemetry::coded("ctrl.token", *seq),
         }
     }
 

@@ -48,8 +48,8 @@ fn main() {
 
     match &args.bench_json {
         None => {
-            for (_, g) in &grids {
-                args.emit(g);
+            for (name, g) in &grids {
+                args.emit(name, g);
             }
         }
         Some(path) => {
@@ -58,7 +58,7 @@ fn main() {
             let mut entries = Vec::with_capacity(grids.len());
             for (name, g) in &grids {
                 let s = g.run(&serial);
-                let out = args.emit(g);
+                let out = args.emit(name, g);
                 assert_eq!(
                     s.table.render(),
                     out.table.render(),

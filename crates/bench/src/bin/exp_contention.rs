@@ -5,5 +5,5 @@ use ocpt_harness::experiments::e1_contention;
 fn main() {
     let args = ExpArgs::parse();
     let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };
-    args.emit(&e1_contention(ns, args.params()));
+    args.emit("e1", &e1_contention(ns, args.params()));
 }

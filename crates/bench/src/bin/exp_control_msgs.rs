@@ -18,5 +18,5 @@ fn main() {
             SimDuration::from_millis(400),
         ]
     };
-    args.emit(&e3_control_messages(&gaps, args.params()));
+    args.emit("e3", &e3_control_messages(&gaps, args.params()));
 }

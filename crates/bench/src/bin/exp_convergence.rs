@@ -26,5 +26,5 @@ fn main() {
             ],
         )
     };
-    args.emit(&e4_convergence(&gaps, &timeouts, args.params()));
+    args.emit("e4", &e4_convergence(&gaps, &timeouts, args.params()));
 }

@@ -15,5 +15,5 @@ fn main() {
             SimDuration::from_millis(20),
         ]
     };
-    args.emit(&e5_logging(&gaps, args.params()));
+    args.emit("e5", &e5_logging(&gaps, args.params()));
 }

@@ -15,5 +15,5 @@ fn main() {
             SimDuration::from_millis(2000),
         ]
     };
-    args.emit(&e2_overhead(&ivs, args.params()));
+    args.emit("e2", &e2_overhead(&ivs, args.params()));
 }

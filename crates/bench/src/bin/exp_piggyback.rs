@@ -5,5 +5,5 @@ use ocpt_harness::experiments::e6_piggyback;
 fn main() {
     let args = ExpArgs::parse();
     let ns: &[usize] = if args.quick { &[4, 16] } else { &[4, 8, 16, 32, 64, 128, 256] };
-    args.emit(&e6_piggyback(ns, args.params()));
+    args.emit("e6", &e6_piggyback(ns, args.params()));
 }

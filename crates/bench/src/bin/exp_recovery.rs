@@ -6,5 +6,5 @@ fn main() {
     let args = ExpArgs::parse();
     let p = args.params();
     let crash_ms = (p.workload_ms * 3) / 4;
-    args.emit(&e7_recovery(p, crash_ms));
+    args.emit("e7", &e7_recovery(p, crash_ms));
 }

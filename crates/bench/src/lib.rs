@@ -17,7 +17,7 @@
 pub mod sched_bench;
 
 use ocpt_harness::experiments::ExpParams;
-use ocpt_harness::{GridOptions, GridOutcome, RunGrid};
+use ocpt_harness::{GridOptions, GridOutcome, RunGrid, TraceSink};
 use ocpt_sim::SimDuration;
 
 /// Host metadata stamped into every committed bench report, so claims
@@ -72,6 +72,9 @@ pub struct ExpArgs {
     /// `exp_all` only: run the scheduler microbench suite (timing wheel
     /// vs reference heap) and write its report here.
     pub sched_json: Option<String>,
+    /// Record every run's flight data (trace JSONL + metrics snapshot)
+    /// into this directory.
+    pub trace_out: Option<String>,
 }
 
 impl ExpArgs {
@@ -85,6 +88,7 @@ impl ExpArgs {
             replicates: 1,
             bench_json: None,
             sched_json: None,
+            trace_out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -120,6 +124,10 @@ impl ExpArgs {
                 "--sched-json" => {
                     args.sched_json =
                         Some(it.next().unwrap_or_else(|| usage("--sched-json needs a path")));
+                }
+                "--trace-out" => {
+                    args.trace_out =
+                        Some(it.next().unwrap_or_else(|| usage("--trace-out needs a directory")));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -168,10 +176,25 @@ impl ExpArgs {
         }
     }
 
-    /// Execute a grid with the parsed options and print its table (and
-    /// CSV when requested). Returns the outcome for self-measurement.
-    pub fn emit(&self, g: &RunGrid) -> GridOutcome {
-        let out = g.run(&self.grid_options());
+    /// The flight-recorder sink for the experiment called `name`, when
+    /// `--trace-out <dir>` was given (artifact files are prefixed with
+    /// the experiment name, so `exp_all`'s experiments don't collide).
+    pub fn trace_sink(&self, name: &str) -> Option<TraceSink> {
+        self.trace_out.as_ref().map(|dir| {
+            TraceSink::new(dir, name).unwrap_or_else(|e| {
+                eprintln!("error: creating trace directory {dir}: {e}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// Execute the experiment called `name` (its grid `g`) with the
+    /// parsed options and print its table (and CSV when requested);
+    /// under `--trace-out`, also record every run's flight data.
+    /// Returns the outcome for self-measurement.
+    pub fn emit(&self, name: &str, g: &RunGrid) -> GridOutcome {
+        let sink = self.trace_sink(name);
+        let out = g.run_with_sink(&self.grid_options(), sink.as_ref());
         println!("{}", out.table.render());
         if self.csv {
             println!("{}", out.table.to_csv());
@@ -271,7 +294,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
-         [--replicates <r>] [--bench-json <path>] [--sched-json <path>]"
+         [--replicates <r>] [--trace-out <dir>] [--bench-json <path>] \
+         [--sched-json <path>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,16 +1,20 @@
 //! A small, dependency-free command-line parser for the `ocpt` binary.
 //!
 //! Flags are `--key value` (or bare `--flag` for booleans); unknown flags
-//! abort with usage. Kept deliberately simple — the CLI is a front door,
+//! abort with usage. Arguments that don't start with `--` are collected
+//! as positionals (after the leading subcommand) — `ocpt trace summary
+//! FILE` uses them. Kept deliberately simple — the CLI is a front door,
 //! not a framework.
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` options.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    positionals: Vec<String>,
     opts: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -42,7 +46,8 @@ impl Args {
         }
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument {a:?}")));
+                out.positionals.push(a);
+                continue;
             };
             if bool_flags.contains(&key) {
                 out.flags.push(key.to_string());
@@ -52,6 +57,16 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// The `i`-th positional argument after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// All positional arguments after the subcommand.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// A boolean flag's presence.
@@ -101,9 +116,20 @@ mod tests {
     #[test]
     fn errors() {
         assert!(parse(&["run", "--n"]).is_err());
-        assert!(parse(&["run", "stray"]).is_err());
         let a = parse(&["run", "--n", "abc"]).unwrap();
         assert!(a.num("n", 4usize).is_err());
+    }
+
+    #[test]
+    fn positionals_collected_in_order() {
+        let a = parse(&["trace", "diff", "a.jsonl", "--context", "5", "b.jsonl"]).unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.positional(0), Some("diff"));
+        assert_eq!(a.positional(1), Some("a.jsonl"));
+        assert_eq!(a.positional(2), Some("b.jsonl"));
+        assert_eq!(a.positional(3), None);
+        assert_eq!(a.positionals().len(), 3);
+        assert_eq!(a.num("context", 3usize).unwrap(), 5);
     }
 
     #[test]

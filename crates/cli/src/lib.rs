@@ -31,10 +31,17 @@ pub const BOOL_FLAGS: &[&str] = &["trace", "quick", "live", "csv", "diagram"];
 /// Entry point used by `main` (and by tests): dispatch a parsed command,
 /// returning the rendered output.
 pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    // Only `trace` takes operands; elsewhere a stray positional is a typo.
+    if args.command != "trace" {
+        if let Some(p) = args.positional(0) {
+            return Err(ArgError(format!("unexpected positional argument {p:?}")));
+        }
+    }
     match args.command.as_str() {
         "run" => cmd_run(args),
         "compare" => cmd_compare(args),
         "recover" => cmd_recover(args),
+        "trace" => cmd_trace(args),
         "algos" => Ok(cmd_algos()),
         "" | "help" => Ok(usage()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
@@ -48,9 +55,13 @@ pub fn usage() -> String {
      USAGE:\n\
        ocpt run     [--algo NAME] [--n N] [--seed S] [--gap-ms G] [--interval-ms I]\n\
                     [--duration-ms D] [--state-kb K] [--topology mesh|ring|star|grid]\n\
-                    [--trace] [--diagram] [--svg FILE]\n\
+                    [--trace] [--diagram] [--svg FILE] [--trace-json FILE]\n\
        ocpt compare [--n N] [--seed S] [--gap-ms G] [--interval-ms I] [--csv]\n\
        ocpt recover [--n N] [--seed S] [--crash-ms T] [--live]\n\
+       ocpt trace   summary FILE\n\
+       ocpt trace   diff A B [--context N]\n\
+       ocpt trace   grep FILE [--pid P] [--kind K] [--code PREFIX]\n\
+                    [--from-ms T] [--to-ms T]\n\
        ocpt algos\n"
         .to_string()
 }
@@ -99,7 +110,10 @@ fn build_config(args: &Args) -> Result<RunConfig, ArgError> {
     cfg.state_bytes = state_kb * 1024;
     cfg.sim =
         cfg.sim.with_horizon(SimDuration::from_millis(duration_ms) + SimDuration::from_secs(30));
-    cfg.trace = args.flag("trace") || args.flag("diagram") || args.get("svg").is_some();
+    cfg.trace = args.flag("trace")
+        || args.flag("diagram")
+        || args.get("svg").is_some()
+        || args.get("trace-json").is_some();
     Ok(cfg)
 }
 
@@ -158,7 +172,80 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
         out.push_str(&format!("\nspace-time diagram written to {path}\n"));
     }
+    if let Some(path) = args.get("trace-json") {
+        std::fs::write(path, r.trace_jsonl())
+            .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("\nflight-recorder trace written to {path}\n"));
+    }
     Ok(out)
+}
+
+fn load_trace(path: &str) -> Result<ocpt_telemetry::TraceFile, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    ocpt_telemetry::parse_jsonl(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    let operand = |i: usize, name: &str| {
+        args.positional(i).map(str::to_string).ok_or_else(|| {
+            ArgError(format!(
+                "ocpt trace {}: missing {name} operand",
+                args.positional(0).unwrap_or("")
+            ))
+        })
+    };
+    match args.positional(0) {
+        Some("summary") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            Ok(ocpt_telemetry::summary(&f))
+        }
+        Some("diff") => {
+            let a = load_trace(&operand(1, "A")?)?;
+            let b = load_trace(&operand(2, "B")?)?;
+            let context: usize = args.num("context", 3)?;
+            Ok(match ocpt_telemetry::diff(&a, &b, context) {
+                ocpt_telemetry::DiffReport::Identical => {
+                    format!("traces are identical ({} events)\n", a.recs.len())
+                }
+                ocpt_telemetry::DiffReport::MetaDiffers(why) => format!("{why}\n"),
+                ocpt_telemetry::DiffReport::Diverged { rendering, .. } => rendering,
+            })
+        }
+        Some("grep") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            // `num` returns its default when the flag is absent, so gate
+            // each parse on presence to keep "unset" distinct from 0.
+            let ms_flag = |name: &str| -> Result<Option<u64>, ArgError> {
+                match args.get(name) {
+                    None => Ok(None),
+                    Some(_) => Ok(Some((args.num::<f64>(name, 0.0)? * 1e6) as u64)),
+                }
+            };
+            let filter = ocpt_telemetry::GrepFilter {
+                pid: match args.get("pid") {
+                    None => None,
+                    Some(_) => Some(args.num("pid", 0u16)?),
+                },
+                kind: args.get("kind").map(str::to_string),
+                code_prefix: args.get("code").map(str::to_string),
+                from_nanos: ms_flag("from-ms")?,
+                to_nanos: ms_flag("to-ms")?,
+            };
+            let hits = ocpt_telemetry::grep(&f, &filter);
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            for r in &hits {
+                let _ = writeln!(out, "{}", ocpt_telemetry::render_rec(r));
+            }
+            let _ = writeln!(out, "{} of {} events matched", hits.len(), f.recs.len());
+            Ok(out)
+        }
+        Some(other) => {
+            Err(ArgError(format!("unknown trace subcommand {other:?} (summary | diff | grep)")))
+        }
+        None => Err(ArgError("ocpt trace needs a subcommand: summary | diff | grep".into())),
+    }
 }
 
 fn cmd_compare(args: &Args) -> Result<String, ArgError> {
@@ -417,6 +504,58 @@ mod tests {
         assert!(run_cli(&["run", "--n", "1"]).is_err());
         assert!(run_cli(&["run", "--algo", "nope"]).is_err());
         assert!(run_cli(&["run", "--topology", "torus"]).is_err());
+        assert!(run_cli(&["run", "stray"]).is_err());
+        assert!(run_cli(&["trace"]).is_err());
+        assert!(run_cli(&["trace", "bogus"]).is_err());
+        assert!(run_cli(&["trace", "summary"]).is_err());
+        assert!(run_cli(&["trace", "summary", "/no/such/file.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn trace_record_summary_diff_grep_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ocpt_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        let small = |seed: &str, path: &std::path::Path| {
+            run_cli(&[
+                "run",
+                "--n",
+                "3",
+                "--seed",
+                seed,
+                "--duration-ms",
+                "400",
+                "--interval-ms",
+                "150",
+                "--state-kb",
+                "64",
+                "--trace-json",
+                path.to_str().unwrap(),
+            ])
+            .unwrap()
+        };
+        let out = small("42", &a);
+        assert!(out.contains("flight-recorder trace written to"));
+        small("42", &b);
+        // Same seed ⇒ identical traces.
+        let d = run_cli(&["trace", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(d.contains("traces are identical"), "{d}");
+        // Different seed ⇒ headers differ (reported, not an error).
+        small("43", &b);
+        let d = run_cli(&["trace", "diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(d.contains("headers differ"), "{d}");
+
+        let s = run_cli(&["trace", "summary", a.to_str().unwrap()]).unwrap();
+        assert!(s.contains("algo=ocpt n=3 seed=42"), "{s}");
+        assert!(s.contains("events by kind:"), "{s}");
+        assert!(s.contains("control waves"), "{s}");
+
+        let g = run_cli(&["trace", "grep", a.to_str().unwrap(), "--pid", "0", "--code", "ctrl."])
+            .unwrap();
+        assert!(g.contains("events matched"), "{g}");
+        assert!(g.lines().all(|l| l.contains("P0") || l.ends_with("events matched")), "{g}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! finalized. The checkpoint is the pair `C_{i,k} = CT_{i,k} ∪
 //! logSet_{i,k}`: on recovery the state is restored from `CT_{i,k}` and the
 //! logged *received* messages are replayed (piecewise determinism, Johnson
-//! & Zwaenepoel [4]); the logged *sent* messages allow regenerating
+//! & Zwaenepoel \[4\]); the logged *sent* messages allow regenerating
 //! in-transit messages that the rolled-back receiver never processed.
 //!
 //! "Selective" is the point: only the window between `CT` and finalization

@@ -2,7 +2,7 @@
 //!
 //! The checkpointing algorithm is application-agnostic; what matters for
 //! verifying recovery is *piecewise determinism* (Johnson & Zwaenepoel
-//! [4]): a process's state is a pure function of its initial state and the
+//! \[4\]): a process's state is a pure function of its initial state and the
 //! sequence of messages it has sent/received. We model state as a counter
 //! plus a mixing digest — cheap, and any divergence between "live state at
 //! finalization" and "restored checkpoint + replayed log" changes the

@@ -18,6 +18,7 @@
 //! (no external thread-pool dependency is available offline); workers pull
 //! the next `(cell, replicate)` job until the queue drains.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -88,6 +89,54 @@ impl GridOptions {
     /// Serial, single-replicate execution (the pre-grid behaviour).
     pub fn serial() -> Self {
         Self::default()
+    }
+}
+
+/// Where a grid writes per-run flight-recorder artifacts (`--trace-out`).
+///
+/// When a sink is attached, every `(cell, replicate)` job runs with
+/// tracing forced on and writes two files into `dir`:
+///
+/// * `{prefix}_c{cell:03}_r{rep}.trace.jsonl` — the `ocpt-trace` JSONL
+///   event stream ([`RunResult::trace_jsonl`]);
+/// * `{prefix}_c{cell:03}_r{rep}.metrics.json` — the `ocpt-metrics`
+///   snapshot ([`RunResult::metrics_json`]).
+///
+/// Filenames depend only on the job's grid coordinates, and file bytes
+/// only on `(config, seed)` — so the artifact set is byte-identical
+/// whichever worker thread runs the job.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    dir: PathBuf,
+    prefix: String,
+}
+
+impl TraceSink {
+    /// A sink writing into `dir` with filenames starting `prefix`
+    /// (conventionally the experiment name, e.g. `"e1"`). Creates the
+    /// directory if needed.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceSink { dir, prefix: prefix.into() })
+    }
+
+    /// The `(trace, metrics)` artifact paths for one `(cell, replicate)`
+    /// job.
+    pub fn paths(&self, cell: usize, rep: usize) -> (PathBuf, PathBuf) {
+        let stem = format!("{}_c{cell:03}_r{rep}", self.prefix);
+        (
+            self.dir.join(format!("{stem}.trace.jsonl")),
+            self.dir.join(format!("{stem}.metrics.json")),
+        )
+    }
+
+    fn write(&self, cell: usize, rep: usize, result: &RunResult) {
+        let (trace_path, metrics_path) = self.paths(cell, rep);
+        std::fs::write(&trace_path, result.trace_jsonl())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", trace_path.display()));
+        std::fs::write(&metrics_path, result.metrics_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", metrics_path.display()));
     }
 }
 
@@ -195,6 +244,19 @@ impl RunGrid {
     /// vectors, indexed `[cell][replicate][metric]`. This is the engine
     /// core; [`Self::run`] aggregates it into a table.
     pub fn cell_metrics(&self, opts: &GridOptions) -> (Vec<Vec<Vec<f64>>>, u64) {
+        self.cell_metrics_with_sink(opts, None)
+    }
+
+    /// [`Self::cell_metrics`], optionally recording every run's flight
+    /// data into `sink`. With a sink attached each job runs with tracing
+    /// forced on and writes its trace + metrics artifacts from whichever
+    /// worker executes it (distinct jobs write distinct files, so the
+    /// on-disk result is identical for any `jobs` count).
+    pub fn cell_metrics_with_sink(
+        &self,
+        opts: &GridOptions,
+        sink: Option<&TraceSink>,
+    ) -> (Vec<Vec<Vec<f64>>>, u64) {
         let reps = opts.replicates.max(1);
         let jobs: Vec<(usize, usize)> =
             (0..self.cells.len()).flat_map(|c| (0..reps).map(move |r| (c, r))).collect();
@@ -204,7 +266,14 @@ impl RunGrid {
         let run_job = |job: usize| {
             let (c, r) = jobs[job];
             let cell = &self.cells[c];
-            let result = run_checked(&cell.algo, self.replicate_config(c, r));
+            let mut cfg = self.replicate_config(c, r);
+            if sink.is_some() {
+                cfg.trace = true;
+            }
+            let result = run_checked(&cell.algo, cfg);
+            if let Some(sink) = sink {
+                sink.write(c, r, &result);
+            }
             let vals = (cell.metrics)(&result);
             assert_eq!(vals.len(), self.cols.len(), "metric arity mismatch in {}", self.title);
             slots[job].set((vals, result.sim_events)).expect("job executed twice");
@@ -240,10 +309,16 @@ impl RunGrid {
 
     /// Execute the grid and aggregate into the result table.
     pub fn run(&self, opts: &GridOptions) -> GridOutcome {
+        self.run_with_sink(opts, None)
+    }
+
+    /// [`Self::run`], optionally recording flight data (see
+    /// [`TraceSink`]).
+    pub fn run_with_sink(&self, opts: &GridOptions, sink: Option<&TraceSink>) -> GridOutcome {
         // simlint: allow(wall-clock, "wall-clock self-measurement of the grid driver; never feeds simulation state")
         let wall_start = std::time::Instant::now();
         let reps = opts.replicates.max(1);
-        let (per_cell, sim_events) = self.cell_metrics(opts);
+        let (per_cell, sim_events) = self.cell_metrics_with_sink(opts, sink);
         let mut headers: Vec<&str> = self.label_headers.iter().map(String::as_str).collect();
         let expanded: Vec<String> = if reps > 1 {
             self.cols
@@ -403,6 +478,29 @@ mod tests {
         assert_eq!(ColFmt::F2.render_frac(f64::NAN), "-");
         let (m, lo, hi, sd) = aggregate(&[1.0, f64::NAN]);
         assert!(m.is_nan() && lo.is_nan() && hi.is_nan() && sd.is_nan());
+    }
+
+    #[test]
+    fn sink_writes_parseable_artifacts_identically_across_jobs() {
+        let dir = std::env::temp_dir().join(format!("ocpt_grid_sink_{}", std::process::id()));
+        let g = demo_grid();
+        let serial = TraceSink::new(dir.join("serial"), "demo").unwrap();
+        let parallel = TraceSink::new(dir.join("parallel"), "demo").unwrap();
+        g.run_with_sink(&GridOptions { jobs: 1, replicates: 1 }, Some(&serial));
+        g.run_with_sink(&GridOptions { jobs: 8, replicates: 1 }, Some(&parallel));
+        for c in 0..g.cell_count() {
+            let (t1, m1) = serial.paths(c, 0);
+            let (t8, m8) = parallel.paths(c, 0);
+            let trace = std::fs::read_to_string(&t1).unwrap();
+            // Schema-valid, and byte-identical whichever thread ran the job.
+            let parsed = ocpt_telemetry::parse_jsonl(&trace).unwrap();
+            assert!(!parsed.recs.is_empty(), "cell {c} traced no events");
+            assert_eq!(trace, std::fs::read_to_string(&t8).unwrap(), "cell {c} trace");
+            let metrics = std::fs::read_to_string(&m1).unwrap();
+            assert!(metrics.starts_with("{\"schema\":\"ocpt-metrics\""));
+            assert_eq!(metrics, std::fs::read_to_string(&m8).unwrap(), "cell {c} metrics");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub struct RunResult {
     pub algo: &'static str,
     /// Number of processes.
     pub n: usize,
+    /// The seed the run was driven by (trace/metrics provenance).
+    pub seed: u64,
+    /// The event-queue implementation that drove the run.
+    pub scheduler: SchedulerKind,
     /// Driver counters merged with per-process protocol counters.
     pub counters: Counters,
     /// Application messages sent.
@@ -231,6 +235,70 @@ impl RunResult {
         } else {
             0.0
         }
+    }
+
+    /// Serialize the recorded trace as versioned `ocpt-trace` JSONL
+    /// (DESIGN.md §8). With tracing disabled this is a header declaring
+    /// zero events. Byte-deterministic: a pure function of
+    /// `(config, seed)`, regardless of `--jobs` or [`SchedulerKind`].
+    pub fn trace_jsonl(&self) -> String {
+        let meta =
+            ocpt_telemetry::TraceMeta { algo: self.algo.to_string(), n: self.n, seed: self.seed };
+        ocpt_telemetry::to_jsonl(&meta, self.trace.events())
+    }
+
+    /// The run's metrics snapshot as one deterministic JSON object:
+    /// headline numbers, the storage report, checkpoint-latency summary
+    /// and every counter. Wall-clock self-measurements (`wall_secs`,
+    /// events/sec) are deliberately excluded so the snapshot, like the
+    /// trace, is a pure function of `(config, seed)`.
+    pub fn metrics_json(&self) -> String {
+        use ocpt_telemetry::json::Obj;
+        let mut counters = Obj::new();
+        for (k, v) in self.counters.iter() {
+            counters = counters.u64(k, v);
+        }
+        let latency = Obj::new()
+            .u64("count", self.ckpt_latency.count())
+            .f64("mean_s", self.ckpt_latency.mean())
+            .f64("min_s", self.ckpt_latency.min())
+            .f64("max_s", self.ckpt_latency.max())
+            .f64("stddev_s", self.ckpt_latency.stddev())
+            .finish();
+        let storage = Obj::new()
+            .u64("peak_writers", self.storage.peak_writers.max(0) as u64)
+            .f64("mean_writers", self.storage.mean_writers)
+            .f64("contended_s", self.storage.contended_time.as_secs_f64())
+            .f64("total_stall_s", self.storage.total_stall.as_secs_f64())
+            .f64("write_latency_mean_s", self.storage.write_latency_mean)
+            .f64("write_latency_max_s", self.storage.write_latency_max)
+            .u64("total_bytes", self.storage.total_bytes)
+            .u64("total_requests", self.storage.total_requests)
+            .finish();
+        Obj::new()
+            .str("schema", "ocpt-metrics")
+            .u64("version", 1)
+            .str("algo", self.algo)
+            .u64("n", self.n as u64)
+            .u64("seed", self.seed)
+            .str("scheduler", self.scheduler.name())
+            .u64("makespan_ns", self.makespan.as_nanos())
+            .u64("app_messages", self.app_messages)
+            .u64("app_payload_bytes", self.app_payload_bytes)
+            .u64("piggyback_bytes", self.piggyback_bytes)
+            .u64("ctrl_messages", self.ctrl_messages)
+            .u64("ctrl_bytes", self.ctrl_bytes)
+            .f64("blocked_s", self.blocked_time.as_secs_f64())
+            .f64("forced_delay_s", self.forced_delay.as_secs_f64())
+            .u64("complete_rounds", self.complete_rounds)
+            .u64("recovery_line", self.recovery_line)
+            .u64("staging_peak", self.staging_peak)
+            .u64("sim_events", self.sim_events)
+            .raw("ckpt_latency", &latency)
+            .raw("storage", &storage)
+            .raw("counters", &counters.finish())
+            .finish()
+            + "\n"
     }
 
     /// Check every complete global checkpoint for consistency against both
@@ -493,12 +561,20 @@ impl<P: CheckpointProtocol> Runner<P> {
         self.prev_app[pid.index()] = self.app[pid.index()];
         self.app[pid.index()].apply_send(payload);
         let bytes = self.procs[pid.index()].env_wire_bytes(&env);
+        let tel = self.procs[pid.index()].env_telemetry(&env);
         self.app_payload_bytes += len as u64;
         self.piggyback_bytes += bytes - wire_cost::app(len, 0);
         self.counters.inc("app.messages");
         let at = self.net.send(now, pid, dst, bytes);
         self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
-        self.trace.record(now, pid, TraceKind::AppSend, format!("M{} -> {dst}", msg_id.0));
+        self.trace.record_coded(
+            now,
+            pid,
+            TraceKind::AppSend,
+            TraceKind::AppSend.default_code(),
+            tel.seq,
+            format!("M{} -> {dst}", msg_id.0),
+        );
         self.execute(now, pid, out);
         // Draw the next send.
         let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
@@ -534,6 +610,11 @@ impl<P: CheckpointProtocol> Runner<P> {
             self.counters.inc("net.dropped_to_crashed");
             return;
         }
+        let tel = if self.trace.is_enabled() {
+            self.procs[dst.index()].env_telemetry(&env)
+        } else {
+            ocpt_baselines::api::EnvTelemetry::default()
+        };
         let mut out = Vec::new();
         let res = self.procs[dst.index()].on_arrival(src, msg_id, env, &mut out);
         let delivered = match res {
@@ -551,7 +632,14 @@ impl<P: CheckpointProtocol> Runner<P> {
             self.prev_app[dst.index()] = self.app[dst.index()];
             self.app[dst.index()].apply_recv(payload);
             self.counters.inc("app.delivered");
-            self.trace.record(now, dst, TraceKind::AppRecv, format!("M{} <- {src}", msg_id.0));
+            self.trace.record_coded(
+                now,
+                dst,
+                TraceKind::AppRecv,
+                TraceKind::AppRecv.default_code(),
+                tel.seq,
+                format!("M{} <- {src}", msg_id.0),
+            );
             let mut out2 = Vec::new();
             if let Err(e) = self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out2)
             {
@@ -560,7 +648,14 @@ impl<P: CheckpointProtocol> Runner<P> {
             }
             self.execute(now, dst, out2);
         } else {
-            self.trace.record(now, dst, TraceKind::CtrlRecv, format!("from {src}"));
+            self.trace.record_coded(
+                now,
+                dst,
+                TraceKind::CtrlRecv,
+                tel.code.unwrap_or(TraceKind::CtrlRecv.default_code()),
+                tel.seq,
+                format!("from {src}"),
+            );
         }
     }
 
@@ -578,6 +673,7 @@ impl<P: CheckpointProtocol> Runner<P> {
     ) -> Result<(), String> {
         let n = self.cfg.sim.n;
         let line = self.store.recovery_line();
+        self.trace.note(now, recovered, "recovery.line", format!("S_{line}"));
         self.counters.inc("recovery.performed");
         self.crashed[recovered.index()] = false;
 
@@ -685,7 +781,14 @@ impl<P: CheckpointProtocol> Runner<P> {
             let at = self.net.send(now, src, dst, bytes);
             self.sched.schedule_at(at, Event::Deliver { src, dst, msg_id, msg: env });
             self.counters.inc("recovery.resent_msgs");
-            self.trace.record(now, src, TraceKind::AppSend, format!("resend M{}", payload.id));
+            self.trace.record_coded(
+                now,
+                src,
+                TraceKind::AppSend,
+                "recovery.resend",
+                None,
+                format!("M{}", payload.id),
+            );
         }
 
         // Resume: workload ticks and checkpoint ticks for everyone.
@@ -720,7 +823,13 @@ impl<P: CheckpointProtocol> Runner<P> {
                     self.stage(self.cfg.state_bytes);
                     self.counters.inc("ckpt.snapshots");
                     self.first_snapshot_at.entry(seq).or_insert(now);
-                    self.trace.record(now, pid, TraceKind::TentativeCkpt, format!("CT({seq})"));
+                    self.trace.record_seq(
+                        now,
+                        pid,
+                        TraceKind::TentativeCkpt,
+                        seq,
+                        format!("CT({seq})"),
+                    );
                 }
                 ProtoAction::MarkCut { seq, back } => {
                     if let Some(obs) = self.observer.as_mut() {
@@ -757,19 +866,33 @@ impl<P: CheckpointProtocol> Runner<P> {
                         self.last_complete_at.insert(seq, t);
                         *self.complete_count.entry(seq).or_insert(0) += 1;
                         self.counters.inc("ckpt.completes");
-                        self.trace.record(now, pid, TraceKind::FinalizeCkpt, format!("C({seq})"));
+                        self.trace.record_seq(
+                            now,
+                            pid,
+                            TraceKind::FinalizeCkpt,
+                            seq,
+                            format!("C({seq})"),
+                        );
                         self.maybe_durable(now, pid, seq);
                     }
                 }
                 ProtoAction::Send { dst, env } => {
                     let bytes = self.procs[pid.index()].env_wire_bytes(&env);
+                    let tel = self.procs[pid.index()].env_telemetry(&env);
                     self.ctrl_messages += 1;
                     self.ctrl_bytes += bytes;
                     let msg_id = MsgId(self.next_msg);
                     self.next_msg += 1;
                     let at = self.net.send(now, pid, dst, bytes);
                     self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
-                    self.trace.record(now, pid, TraceKind::CtrlSend, format!("-> {dst}"));
+                    self.trace.record_coded(
+                        now,
+                        pid,
+                        TraceKind::CtrlSend,
+                        tel.code.unwrap_or(TraceKind::CtrlSend.default_code()),
+                        tel.seq,
+                        format!("-> {dst}"),
+                    );
                 }
                 ProtoAction::SetTimer { tag, delay } => {
                     let id = self.sched.set_timer(pid, delay, tag);
@@ -816,11 +939,16 @@ impl<P: CheckpointProtocol> Runner<P> {
         self.next_req += 1;
         self.server.submit(now, pid, req, w.bytes);
         self.counters.inc("storage.writes");
-        self.trace.record(
+        // `in_flight()` is sampled right after submit, so the detail
+        // records the concurrent-writer count *including* this write —
+        // the contention signal the paper's E1 is about.
+        self.trace.record_coded(
             now,
             pid,
             TraceKind::StorageStart,
-            format!("ckpt {} {:?} {}B", w.seq, w.kind, w.bytes),
+            TraceKind::StorageStart.default_code(),
+            Some(w.seq),
+            format!("{:?} {}B writers={}", w.kind, w.bytes, self.server.in_flight()),
         );
         self.pending_writes.insert(req, w);
         self.schedule_storage_wakeup(now);
@@ -838,7 +966,13 @@ impl<P: CheckpointProtocol> Runner<P> {
                 WriteKind::Extra => w.bytes,
             };
             self.unstage(released);
-            self.trace.record(c.at, w.pid, TraceKind::StorageDone, format!("ckpt {}", w.seq));
+            self.trace.record_seq(
+                c.at,
+                w.pid,
+                TraceKind::StorageDone,
+                w.seq,
+                format!("{:?} {}B", w.kind, w.bytes),
+            );
             let notify = {
                 let p = self.progress.entry((w.pid.0, w.seq)).or_default();
                 match w.kind {
@@ -962,6 +1096,8 @@ impl<P: CheckpointProtocol> Runner<P> {
         RunResult {
             algo: self.algo,
             n,
+            seed: self.cfg.sim.seed,
+            scheduler: self.cfg.scheduler,
             counters,
             app_messages: self.next_msg - self.ctrl_messages,
             app_payload_bytes: self.app_payload_bytes,

@@ -48,4 +48,4 @@ pub use rng::{derive_seed, SimRng};
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{Trace, TraceEvent, TraceKind, TRACE_KINDS};

@@ -30,13 +30,14 @@
 //!
 //! ## Lazy cancellation
 //!
-//! [`Self::drop_events_for`] and [`Self::clear_except_faults`] do not
-//! walk the pending population. Each records a *watermark* (the current
-//! insertion `seq`); a non-fault event is dead iff it was inserted below
-//! the relevant watermark, and dead events are discarded when the wheel
-//! reaches them. Exact pending/lost counts are maintained eagerly via
-//! O(#processes) per-target counters, so [`Self::pending`] and
-//! [`Self::messages_lost_at_crash`] agree with the eager oracle at every
+//! [`WheelScheduler::drop_events_for`] and
+//! [`WheelScheduler::clear_except_faults`] do not walk the pending
+//! population. Each records a *watermark* (the current insertion `seq`);
+//! a non-fault event is dead iff it was inserted below the relevant
+//! watermark, and dead events are discarded when the wheel reaches them.
+//! Exact pending/lost counts are maintained eagerly via O(#processes)
+//! per-target counters, so [`WheelScheduler::pending`] and
+//! [`WheelScheduler::messages_lost_at_crash`] agree with the eager oracle at every
 //! step even though the memory is reclaimed late.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};

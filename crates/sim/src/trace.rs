@@ -1,8 +1,16 @@
-//! Execution tracing and ASCII space-time diagrams.
+//! Execution tracing: the flight recorder's event source.
 //!
-//! Traces serve two purposes: (1) the paper-figure scenario tests assert on
-//! exact event sequences, and (2) the examples render a space-time diagram
-//! like the paper's Figures 2 and 5 so a human can eyeball a run.
+//! Traces serve three purposes: (1) the paper-figure scenario tests assert
+//! on exact event sequences, (2) the examples render a space-time diagram
+//! like the paper's Figures 2 and 5 so a human can eyeball a run, and
+//! (3) `ocpt-telemetry` derives causal spans and the versioned JSONL
+//! export (DESIGN.md §8) from the recorded stream.
+//!
+//! Every [`TraceEvent`] carries, besides its time/process/kind triple, a
+//! stable machine-readable `code` (e.g. `"ctrl.ck_bgn"`) and, when the
+//! event belongs to a checkpoint round, that round's sequence number
+//! `seq`. The free-form `detail` string is for human eyes only — JSONL
+//! consumers key off `kind`/`code`/`seq` and never parse prose.
 
 use std::fmt::Write as _;
 
@@ -32,9 +40,25 @@ pub enum TraceKind {
     Crash,
     /// The process restarted and recovered.
     Recover,
-    /// Algorithm-specific note.
+    /// Algorithm-specific note. Notes must carry a structured `code`
+    /// (use [`Trace::note`]); the detail is auxiliary.
     Note,
 }
+
+/// Every kind, in a fixed order (used by summaries and schema docs).
+pub const TRACE_KINDS: [TraceKind; 11] = [
+    TraceKind::AppSend,
+    TraceKind::AppRecv,
+    TraceKind::CtrlSend,
+    TraceKind::CtrlRecv,
+    TraceKind::TentativeCkpt,
+    TraceKind::FinalizeCkpt,
+    TraceKind::StorageStart,
+    TraceKind::StorageDone,
+    TraceKind::Crash,
+    TraceKind::Recover,
+    TraceKind::Note,
+];
 
 impl TraceKind {
     fn glyph(self) -> char {
@@ -52,6 +76,50 @@ impl TraceKind {
             TraceKind::Note => '*',
         }
     }
+
+    /// The stable schema name of this kind — the `kind` field of every
+    /// JSONL trace line. Never rename these: they are part of the
+    /// versioned `ocpt-trace` schema (DESIGN.md §8).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::AppSend => "app_send",
+            TraceKind::AppRecv => "app_recv",
+            TraceKind::CtrlSend => "ctrl_send",
+            TraceKind::CtrlRecv => "ctrl_recv",
+            TraceKind::TentativeCkpt => "tentative_ckpt",
+            TraceKind::FinalizeCkpt => "finalize_ckpt",
+            TraceKind::StorageStart => "storage_start",
+            TraceKind::StorageDone => "storage_done",
+            TraceKind::Crash => "crash",
+            TraceKind::Recover => "recover",
+            TraceKind::Note => "note",
+        }
+    }
+
+    /// Inverse of [`Self::name`] (used by the JSONL parser and the
+    /// `ocpt trace grep --kind` filter).
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TRACE_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The default event code recorded when the producer has nothing more
+    /// specific to say (protocols that expose richer envelopes override
+    /// this with e.g. `"ctrl.ck_bgn"`).
+    pub const fn default_code(self) -> &'static str {
+        match self {
+            TraceKind::AppSend => "app.send",
+            TraceKind::AppRecv => "app.recv",
+            TraceKind::CtrlSend => "ctrl.send",
+            TraceKind::CtrlRecv => "ctrl.recv",
+            TraceKind::TentativeCkpt => "ckpt.tentative",
+            TraceKind::FinalizeCkpt => "ckpt.finalize",
+            TraceKind::StorageStart => "storage.start",
+            TraceKind::StorageDone => "storage.done",
+            TraceKind::Crash => "fault.crash",
+            TraceKind::Recover => "fault.recover",
+            TraceKind::Note => "note",
+        }
+    }
 }
 
 /// One traced occurrence.
@@ -63,7 +131,14 @@ pub struct TraceEvent {
     pub pid: ProcessId,
     /// Category.
     pub kind: TraceKind,
-    /// Free-form detail (message names, sequence numbers, …).
+    /// Stable machine-readable code within the kind (e.g.
+    /// `"ctrl.ck_bgn"`, `"recovery.resend"`). Schema field `code`.
+    pub code: &'static str,
+    /// Checkpoint sequence number (csn) this event belongs to, when it
+    /// belongs to one. Schema field `seq` (omitted when `None`).
+    pub seq: Option<u64>,
+    /// Free-form human-oriented detail (message names, byte counts, …).
+    /// Never parsed by tooling.
     pub detail: String,
 }
 
@@ -90,7 +165,8 @@ impl Trace {
         self.enabled
     }
 
-    /// Record one occurrence (no-op when disabled).
+    /// Record one occurrence with the kind's default code and no sequence
+    /// number (no-op when disabled).
     pub fn record(
         &mut self,
         at: SimTime,
@@ -98,9 +174,49 @@ impl Trace {
         kind: TraceKind,
         detail: impl Into<String>,
     ) {
+        self.record_coded(at, pid, kind, kind.default_code(), None, detail);
+    }
+
+    /// Record one occurrence belonging to checkpoint round `seq`.
+    pub fn record_seq(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        seq: u64,
+        detail: impl Into<String>,
+    ) {
+        self.record_coded(at, pid, kind, kind.default_code(), Some(seq), detail);
+    }
+
+    /// Record one fully-specified occurrence (no-op when disabled). This
+    /// is the only path that appends; the other `record*` methods and
+    /// [`Self::note`] delegate here.
+    pub fn record_coded(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        code: &'static str,
+        seq: Option<u64>,
+        detail: impl Into<String>,
+    ) {
         if self.enabled {
-            self.events.push(TraceEvent { at, pid, kind, detail: detail.into() });
+            self.events.push(TraceEvent { at, pid, kind, code, seq, detail: detail.into() });
         }
+    }
+
+    /// Record an algorithm-specific note. Notes are structured: `code` is
+    /// the stable machine-readable label (`"recovery.rollback"`, …) and
+    /// `detail` is auxiliary prose that consumers never parse.
+    pub fn note(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        code: &'static str,
+        detail: impl Into<String>,
+    ) {
+        self.record_coded(at, pid, TraceKind::Note, code, None, detail);
     }
 
     /// All recorded events, in record order (which is time order, since the
@@ -186,12 +302,12 @@ impl Trace {
             };
             let _ = write!(
                 s,
-                r#"<circle cx="{:.1}" cy="{:.1}" r="{r}" fill="{color}"><title>{} {} {:?} {}</title></circle>"#,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="{r}" fill="{color}"><title>{} {} {} {}</title></circle>"#,
                 x(e.at),
                 y(e.pid),
                 e.at,
                 e.pid,
-                e.kind,
+                e.code,
                 svg_escape(&e.detail),
             );
         }
@@ -209,12 +325,15 @@ impl Trace {
     pub fn render_log(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
+            let seq = e.seq.map(|s| format!("#{s}")).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{:>12}  {:<4} {:?} {}",
+                "{:>12}  {:<4} {:<16} {}{} {}",
                 e.at.to_string(),
                 e.pid.to_string(),
-                e.kind,
+                e.code,
+                e.kind.name(),
+                seq,
                 e.detail
             );
         }
@@ -233,8 +352,8 @@ mod tests {
     #[test]
     fn svg_contains_lifelines_and_events() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_millis(1), ProcessId(0), TraceKind::TentativeCkpt, "CT(1)");
-        t.record(SimTime::from_millis(2), ProcessId(1), TraceKind::FinalizeCkpt, "C(1)");
+        t.record_seq(SimTime::from_millis(1), ProcessId(0), TraceKind::TentativeCkpt, 1, "CT(1)");
+        t.record_seq(SimTime::from_millis(2), ProcessId(1), TraceKind::FinalizeCkpt, 1, "C(1)");
         t.record(SimTime::from_millis(3), ProcessId(1), TraceKind::AppSend, "M<1>&x");
         let svg = t.to_svg(2);
         assert!(svg.starts_with("<svg"));
@@ -255,6 +374,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
         t.record(SimTime::ZERO, ProcessId(0), TraceKind::AppSend, "M1");
+        t.note(SimTime::ZERO, ProcessId(0), "x", "y");
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
     }
@@ -266,15 +386,52 @@ mod tests {
         t.record(SimTime::from_nanos(2), ProcessId(1), TraceKind::AppRecv, "M1");
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[1].detail, "M1");
+        assert_eq!(t.events()[0].code, "app.send");
+        assert_eq!(t.events()[0].seq, None);
         assert_eq!(t.for_process(ProcessId(1)).count(), 1);
         assert_eq!(t.of_kind(TraceKind::AppSend).count(), 1);
     }
 
     #[test]
+    fn record_seq_and_coded_carry_structure() {
+        let mut t = Trace::enabled();
+        t.record_seq(SimTime::from_nanos(5), ProcessId(2), TraceKind::TentativeCkpt, 7, "CT(7)");
+        t.record_coded(
+            SimTime::from_nanos(6),
+            ProcessId(2),
+            TraceKind::CtrlSend,
+            "ctrl.ck_bgn",
+            Some(7),
+            "-> P0",
+        );
+        assert_eq!(t.events()[0].seq, Some(7));
+        assert_eq!(t.events()[0].code, "ckpt.tentative");
+        assert_eq!(t.events()[1].code, "ctrl.ck_bgn");
+    }
+
+    #[test]
+    fn notes_are_structured() {
+        let mut t = Trace::enabled();
+        t.note(SimTime::from_millis(5), ProcessId(2), "recovery.rollback", "to S_3");
+        let e = &t.events()[0];
+        assert_eq!(e.kind, TraceKind::Note);
+        assert_eq!(e.code, "recovery.rollback");
+        assert_eq!(e.detail, "to S_3");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in TRACE_KINDS {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k), "{}", k.name());
+        }
+        assert_eq!(TraceKind::from_name("nope"), None);
+    }
+
+    #[test]
     fn ascii_diagram_shape() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_nanos(1), ProcessId(0), TraceKind::TentativeCkpt, "CT01");
-        t.record(SimTime::from_nanos(2), ProcessId(1), TraceKind::FinalizeCkpt, "C11");
+        t.record_seq(SimTime::from_nanos(1), ProcessId(0), TraceKind::TentativeCkpt, 1, "CT01");
+        t.record_seq(SimTime::from_nanos(2), ProcessId(1), TraceKind::FinalizeCkpt, 1, "C11");
         let d = t.ascii_diagram(2);
         let lines: Vec<&str> = d.lines().collect();
         assert!(lines[0].starts_with("P0"));
@@ -285,9 +442,10 @@ mod tests {
     #[test]
     fn render_log_contains_details() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_millis(5), ProcessId(2), TraceKind::Note, "hello");
+        t.note(SimTime::from_millis(5), ProcessId(2), "hello.code", "hello");
         let log = t.render_log();
         assert!(log.contains("P2"));
+        assert!(log.contains("hello.code"));
         assert!(log.contains("hello"));
     }
 }

@@ -22,8 +22,17 @@ pub enum Tier {
 /// `runtime` is exempt by design — it is the real-thread harness whose
 /// whole job is to exercise wall-clock behaviour; `bench`/`cli` talk to
 /// the outside world; `root` is the integration-test umbrella package.
-const DETERMINISTIC: &[&str] =
-    &["sim", "core", "causality", "baselines", "storage", "metrics", "harness", "simlint"];
+const DETERMINISTIC: &[&str] = &[
+    "sim",
+    "core",
+    "causality",
+    "baselines",
+    "storage",
+    "metrics",
+    "harness",
+    "telemetry",
+    "simlint",
+];
 
 /// Directories never descended into. `compat/` holds vendored
 /// third-party subsets we do not own the style of.
@@ -79,7 +88,7 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Collect every `.rs` file under `root` (skipping [`SKIP_DIRS`]),
+/// Collect every `.rs` file under `root` (skipping `SKIP_DIRS`),
 /// keyed by root-relative forward-slash path. The BTreeMap makes the
 /// scan order — and therefore every diagnostic and the JSON report —
 /// independent of filesystem enumeration order.
@@ -129,7 +138,7 @@ mod tests {
 
     #[test]
     fn tiers_split_on_the_simulation_boundary() {
-        for k in ["sim", "core", "causality", "harness", "simlint", "storage"] {
+        for k in ["sim", "core", "causality", "harness", "telemetry", "simlint", "storage"] {
             assert_eq!(tier_of(k), Tier::Deterministic, "{k}");
         }
         for k in ["runtime", "bench", "cli", "root", "unknown-crate"] {

@@ -1,0 +1,239 @@
+//! The versioned `ocpt-trace` JSONL schema: writer and parser.
+//!
+//! A trace file is UTF-8 text, one JSON object per `\n`-terminated line.
+//! Line 1 is the header; every following line is one event. Field order
+//! is fixed (the order documented below), `seq` is omitted when the event
+//! belongs to no checkpoint round, and no other field is ever omitted —
+//! which makes the bytes a pure function of the recorded events, and the
+//! recorded events a pure function of `(config, seed)`. The workspace
+//! test `tests/trace_determinism.rs` pins this byte-determinism across
+//! thread counts and scheduler implementations.
+//!
+//! Header (version 1):
+//! `{"schema":"ocpt-trace","version":1,"algo":…,"n":…,"seed":…,"events":…}`
+//!
+//! Event:
+//! `{"at":…,"pid":…,"kind":…,"code":…[,"seq":…],"detail":…}`
+//!
+//! Compatibility rules and the field-by-field reference live in
+//! `DESIGN.md` §8; the parser here accepts exactly version 1 and rejects
+//! anything else loudly rather than guessing.
+
+use ocpt_sim::{TraceEvent, TraceKind};
+
+use crate::json::{self, Obj, Value};
+use crate::record::{Rec, TraceFile, TraceMeta};
+
+/// The schema identifier every trace file declares.
+pub const SCHEMA_NAME: &str = "ocpt-trace";
+
+/// The schema version this crate writes (and the only one it reads).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Serialize a live trace to JSONL (header + one line per event).
+pub fn to_jsonl(meta: &TraceMeta, events: &[TraceEvent]) -> String {
+    let recs: Vec<Rec> = events.iter().map(Rec::from_event).collect();
+    recs_to_jsonl(meta, &recs)
+}
+
+/// Serialize owned records to JSONL (header + one line per record).
+pub fn recs_to_jsonl(meta: &TraceMeta, recs: &[Rec]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &Obj::new()
+            .str("schema", SCHEMA_NAME)
+            .u64("version", SCHEMA_VERSION)
+            .str("algo", &meta.algo)
+            .u64("n", meta.n as u64)
+            .u64("seed", meta.seed)
+            .u64("events", recs.len() as u64)
+            .finish(),
+    );
+    out.push('\n');
+    for r in recs {
+        let mut o = Obj::new()
+            .u64("at", r.at)
+            .u64("pid", r.pid as u64)
+            .str("kind", &r.kind)
+            .str("code", &r.code);
+        if let Some(seq) = r.seq {
+            o = o.u64("seq", seq);
+        }
+        out.push_str(&o.str("detail", &r.detail).finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn get_u64(fields: &[(String, Value)], key: &str, what: &str) -> Result<u64, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_u64())
+        .ok_or_else(|| format!("{what}: missing integer field \"{key}\""))
+}
+
+fn get_str(fields: &[(String, Value)], key: &str, what: &str) -> Result<String, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: missing string field \"{key}\""))
+}
+
+/// Parse a JSONL trace. Validates the schema name/version, every event
+/// line's shape, the declared event count and monotone event times.
+pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let hf = json::parse_object(header).map_err(|e| format!("header: {e}"))?;
+    let schema = get_str(&hf, "schema", "header")?;
+    if schema != SCHEMA_NAME {
+        return Err(format!("not an {SCHEMA_NAME} file (schema=\"{schema}\")"));
+    }
+    let version = get_u64(&hf, "version", "header")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported {SCHEMA_NAME} version {version} (reader supports {SCHEMA_VERSION})"
+        ));
+    }
+    let meta = TraceMeta {
+        algo: get_str(&hf, "algo", "header")?,
+        n: get_u64(&hf, "n", "header")? as usize,
+        seed: get_u64(&hf, "seed", "header")?,
+    };
+    let declared = get_u64(&hf, "events", "header")?;
+
+    let mut recs = Vec::new();
+    let mut last_at = 0u64;
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let what = format!("line {}", idx + 1);
+        let f = json::parse_object(line).map_err(|e| format!("{what}: {e}"))?;
+        let kind = get_str(&f, "kind", &what)?;
+        if TraceKind::from_name(&kind).is_none() {
+            return Err(format!("{what}: unknown event kind \"{kind}\""));
+        }
+        let at = get_u64(&f, "at", &what)?;
+        if at < last_at {
+            return Err(format!("{what}: time goes backwards ({at} < {last_at})"));
+        }
+        last_at = at;
+        let pid = get_u64(&f, "pid", &what)?;
+        let pid = u16::try_from(pid).map_err(|_| format!("{what}: pid {pid} out of range"))?;
+        let seq = f
+            .iter()
+            .find(|(k, _)| k == "seq")
+            .map(|(_, v)| v.as_u64().ok_or_else(|| format!("{what}: \"seq\" must be an integer")));
+        let seq = seq.transpose()?;
+        recs.push(Rec {
+            at,
+            pid,
+            kind,
+            code: get_str(&f, "code", &what)?,
+            seq,
+            detail: get_str(&f, "detail", &what)?,
+        });
+    }
+    if recs.len() as u64 != declared {
+        return Err(format!(
+            "header declares {declared} events but file contains {} (truncated?)",
+            recs.len()
+        ));
+    }
+    Ok(TraceFile { meta, recs })
+}
+
+#[cfg(test)]
+mod tests {
+    use ocpt_sim::{ProcessId, SimTime, Trace};
+
+    use super::*;
+
+    fn sample() -> (TraceMeta, Trace) {
+        let mut t = Trace::enabled();
+        t.record_seq(SimTime::from_millis(1), ProcessId(0), TraceKind::TentativeCkpt, 1, "CT(1)");
+        t.record_coded(
+            SimTime::from_millis(2),
+            ProcessId(0),
+            TraceKind::CtrlSend,
+            "ctrl.ck_bgn",
+            Some(1),
+            "-> P1",
+        );
+        t.record(SimTime::from_millis(3), ProcessId(1), TraceKind::AppSend, "M0 -> P0 \"q\"");
+        (TraceMeta { algo: "ocpt".into(), n: 2, seed: 7 }, t)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (meta, t) = sample();
+        let jsonl = to_jsonl(&meta, t.events());
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.meta, meta);
+        let expect: Vec<Rec> = t.events().iter().map(Rec::from_event).collect();
+        assert_eq!(parsed.recs, expect);
+        // And re-serialization is byte-identical.
+        assert_eq!(recs_to_jsonl(&parsed.meta, &parsed.recs), jsonl);
+    }
+
+    #[test]
+    fn header_shape_is_pinned() {
+        let (meta, t) = sample();
+        let jsonl = to_jsonl(&meta, t.events());
+        let header = jsonl.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "{\"schema\":\"ocpt-trace\",\"version\":1,\"algo\":\"ocpt\",\"n\":2,\"seed\":7,\"events\":3}"
+        );
+    }
+
+    #[test]
+    fn seq_field_is_omitted_when_absent() {
+        let (meta, t) = sample();
+        let jsonl = to_jsonl(&meta, t.events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[1].contains("\"seq\":1"));
+        assert!(!lines[3].contains("\"seq\""));
+    }
+
+    #[test]
+    fn parser_rejects_corruption() {
+        let (meta, t) = sample();
+        let good = to_jsonl(&meta, t.events());
+        // Truncation: event-count mismatch.
+        let truncated: String = good.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(parse_jsonl(&truncated).unwrap_err().contains("declares 3"));
+        // Wrong schema / version.
+        assert!(parse_jsonl(
+            "{\"schema\":\"other\",\"version\":1,\"algo\":\"a\",\"n\":1,\"seed\":0,\"events\":0}\n"
+        )
+        .unwrap_err()
+        .contains("not an ocpt-trace"));
+        assert!(parse_jsonl("{\"schema\":\"ocpt-trace\",\"version\":2,\"algo\":\"a\",\"n\":1,\"seed\":0,\"events\":0}\n")
+            .unwrap_err()
+            .contains("unsupported"));
+        // Unknown kind.
+        let bad = good.replace("tentative_ckpt", "mystery_kind");
+        assert!(parse_jsonl(&bad).unwrap_err().contains("unknown event kind"));
+        // Non-monotone time.
+        let swapped: String = {
+            let mut l: Vec<&str> = good.lines().collect();
+            l.swap(1, 3);
+            l.iter().map(|s| format!("{s}\n")).collect()
+        };
+        assert!(parse_jsonl(&swapped).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let meta = TraceMeta { algo: "x".into(), n: 4, seed: 1 };
+        let jsonl = to_jsonl(&meta, &[]);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert!(parsed.recs.is_empty());
+        assert_eq!(parsed.meta.n, 4);
+    }
+}

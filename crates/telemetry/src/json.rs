@@ -1,0 +1,291 @@
+//! A minimal JSON writer and flat-object parser.
+//!
+//! The `ocpt-trace` schema only ever uses flat objects whose values are
+//! strings or unsigned integers, so this module implements exactly that
+//! subset — deliberately, not as a stopgap: a ~150-line parser we own is
+//! auditable against the byte-determinism guarantee, and the build
+//! environment has no crates.io access anyway.
+
+use std::fmt::Write as _;
+
+/// A value in a flat schema object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative JSON integer.
+    UInt(u64),
+}
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::UInt(_) => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Str(_) => None,
+            Value::UInt(u) => Some(*u),
+        }
+    }
+}
+
+/// Escape `s` into a JSON string literal body (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-order JSON object writer. Field order is the call order, which
+/// is what makes the exported schema byte-stable.
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start an object (`{`).
+    pub fn new() -> Self {
+        Obj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a float field. Rust's shortest-round-trip `Display` is
+    /// deterministic, so this is safe for byte-stable reports; non-finite
+    /// values (JSON has none) are written as `null`.
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a pre-rendered JSON value (e.g. a nested object).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object (`}`) and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Parse one flat JSON object (string / unsigned-integer values only)
+/// into its fields, in document order. Errors carry a human-readable
+/// reason; positions are byte offsets into `line`.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let b = line.as_bytes();
+    let mut i = skip_ws(b, 0);
+    if b.get(i) != Some(&b'{') {
+        return Err(format!("expected '{{' at byte {i}"));
+    }
+    i = skip_ws(b, i + 1);
+    let mut fields = Vec::new();
+    if b.get(i) == Some(&b'}') {
+        return finish_object(b, i, fields);
+    }
+    loop {
+        let (key, next) = parse_string(line, i)?;
+        i = skip_ws(b, next);
+        if b.get(i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        i = skip_ws(b, i + 1);
+        let (value, next) = parse_value(line, i)?;
+        fields.push((key, value));
+        i = skip_ws(b, next);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b'}') => return finish_object(b, i, fields),
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn finish_object(
+    b: &[u8],
+    close: usize,
+    fields: Vec<(String, Value)>,
+) -> Result<Vec<(String, Value)>, String> {
+    let i = skip_ws(b, close + 1);
+    if i != b.len() {
+        return Err(format!("trailing content at byte {i}"));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while matches!(b.get(i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(line: &str, i: usize) -> Result<(Value, usize), String> {
+    let b = line.as_bytes();
+    match b.get(i) {
+        Some(b'"') => parse_string(line, i).map(|(s, n)| (Value::Str(s), n)),
+        Some(c) if c.is_ascii_digit() => {
+            let mut j = i;
+            while matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+                j += 1;
+            }
+            let num: u64 =
+                line[i..j].parse().map_err(|_| format!("integer out of range at byte {i}"))?;
+            Ok((Value::UInt(num), j))
+        }
+        _ => Err(format!("expected string or integer at byte {i}")),
+    }
+}
+
+/// Parse a JSON string literal starting at the opening quote; returns the
+/// unescaped content and the index just past the closing quote.
+fn parse_string(line: &str, i: usize) -> Result<(String, usize), String> {
+    let b = line.as_bytes();
+    if b.get(i) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {i}"));
+    }
+    let mut out = String::new();
+    let mut j = i + 1;
+    loop {
+        match b.get(j) {
+            None => return Err(format!("unterminated string starting at byte {i}")),
+            Some(b'"') => return Ok((out, j + 1)),
+            Some(b'\\') => {
+                j += 1;
+                match b.get(j) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = line
+                            .get(j + 1..j + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {j}"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {j}"))?;
+                        // Surrogates never appear in our own output;
+                        // reject rather than guess.
+                        let c = char::from_u32(cp)
+                            .ok_or_else(|| format!("non-scalar \\u escape at byte {j}"))?;
+                        out.push(c);
+                        j += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {j}")),
+                }
+                j += 1;
+            }
+            Some(_) => {
+                // Advance one full UTF-8 character.
+                let c = line[j..].chars().next().ok_or("utf-8 boundary error")?;
+                out.push(c);
+                j += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_orders_fields_and_escapes() {
+        let s = Obj::new().str("a", "x\"y\n").u64("b", 7).finish();
+        assert_eq!(s, "{\"a\":\"x\\\"y\\n\",\"b\":7}");
+    }
+
+    #[test]
+    fn floats_use_shortest_roundtrip_display() {
+        let s = Obj::new().f64("x", 0.1).f64("bad", f64::NAN).finish();
+        assert_eq!(s, "{\"x\":0.1,\"bad\":null}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let line = Obj::new().str("kind", "app_send").u64("at", 123).str("d", "a\\b\t").finish();
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields[0], ("kind".into(), Value::Str("app_send".into())));
+        assert_eq!(fields[1], ("at".into(), Value::UInt(123)));
+        assert_eq!(fields[2], ("d".into(), Value::Str("a\\b\t".into())));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_empty() {
+        assert!(parse_object(" { } ").unwrap().is_empty());
+        let f = parse_object("{ \"a\" : 1 , \"b\" : \"c\" }").unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "{\"a\"}", "{\"a\":}", "{\"a\":1,}", "{\"a\":1}x", "[1]", "{\"a\":-1}"]
+        {
+            assert!(parse_object(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let f = parse_object("{\"a\":\"\\u00e9\\u0041\"}").unwrap();
+        assert_eq!(f[0].1, Value::Str("éA".into()));
+        assert!(parse_object("{\"a\":\"\\ud800\"}").is_err(), "lone surrogate rejected");
+    }
+}

@@ -1,0 +1,58 @@
+//! The flight recorder: structured, machine-readable run telemetry.
+//!
+//! Every simulated run can record a [`ocpt_sim::Trace`] — a time-ordered
+//! stream of structured events (checkpoints, control messages, storage
+//! writes, faults). This crate turns that stream into artifacts:
+//!
+//! * [`export`] — the versioned **`ocpt-trace` JSONL schema** (one JSON
+//!   object per line, field order fixed) and its parser. For a fixed
+//!   `(config, seed)` the exported bytes are identical across thread
+//!   counts and scheduler implementations; `tests/trace_determinism.rs`
+//!   at the workspace root pins this the same way `grid_determinism`
+//!   pins report bytes.
+//! * [`span`] — **causal spans** derived from the flat event stream:
+//!   checkpoint rounds, control waves (`CK_BGN` → convergence),
+//!   per-process checkpoint intervals, stable-storage writes and
+//!   crash/recovery outages, each with a parent link.
+//! * [`analyze`] — `summary` / `diff` / `grep` over parsed traces; the
+//!   `ocpt trace` subcommand is a thin wrapper around these.
+//! * [`json`] — the zero-dependency JSON writer/parser the schema is
+//!   built on (kept tiny and auditable; the build has no crates.io
+//!   access by design).
+//!
+//! The span model, the field-by-field schema and its compatibility rules
+//! are documented in `DESIGN.md` §8.
+//!
+//! # Example
+//!
+//! ```
+//! use ocpt_sim::{ProcessId, SimTime, Trace, TraceKind};
+//! use ocpt_telemetry::{analyze, export, span, TraceMeta};
+//!
+//! let mut t = Trace::enabled();
+//! t.record_seq(SimTime::from_millis(1), ProcessId(0), TraceKind::TentativeCkpt, 1, "CT(1)");
+//! t.record_seq(SimTime::from_millis(9), ProcessId(0), TraceKind::FinalizeCkpt, 1, "C(1)");
+//!
+//! let meta = TraceMeta { algo: "ocpt".into(), n: 1, seed: 42 };
+//! let jsonl = export::to_jsonl(&meta, t.events());
+//! let parsed = export::parse_jsonl(&jsonl).expect("round-trips");
+//! assert_eq!(parsed.recs.len(), 2);
+//!
+//! let spans = span::derive_spans(&parsed.recs);
+//! assert!(spans.iter().any(|s| s.kind == span::SpanKind::Round));
+//! println!("{}", analyze::summary(&parsed));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod export;
+pub mod json;
+pub mod record;
+pub mod span;
+
+pub use analyze::{diff, grep, render_rec, summary, DiffReport, GrepFilter};
+pub use export::{parse_jsonl, to_jsonl, SCHEMA_NAME, SCHEMA_VERSION};
+pub use record::{Rec, TraceFile, TraceMeta};
+pub use span::{derive_spans, Span, SpanKind};

@@ -17,6 +17,7 @@
 //! | [`causality`] | `ocpt-causality` | vector clocks & consistency oracle |
 //! | [`baselines`] | `ocpt-baselines` | Chandy–Lamport, Koo–Toueg, staggered, CIC, uncoordinated |
 //! | [`harness`] | `ocpt-harness` | driver, workloads, experiments, recovery analysis |
+//! | [`telemetry`] | `ocpt-telemetry` | flight recorder: JSONL traces, spans, summary/diff/grep |
 //! | [`runtime`] | `ocpt-runtime` | the protocol on real OS threads |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use ocpt_metrics as metrics;
 pub use ocpt_runtime as runtime;
 pub use ocpt_sim as sim;
 pub use ocpt_storage as storage;
+pub use ocpt_telemetry as telemetry;
 
 /// The names almost every user of the library wants in scope.
 pub mod prelude {
@@ -56,7 +58,7 @@ pub mod prelude {
     };
     pub use ocpt_harness::{
         run, run_checked, Algo, ColFmt, GridOptions, GridOutcome, RunConfig, RunGrid, RunResult,
-        WorkloadSpec,
+        TraceSink, WorkloadSpec,
     };
     pub use ocpt_sim::{
         DelayModel, FaultPlan, MsgId, ProcessId, SchedulerKind, SimConfig, SimDuration, SimTime,

@@ -1,0 +1,125 @@
+//! The flight recorder's core contract: a recorded trace is a pure
+//! function of `(configuration, seed)`. The JSONL bytes must be
+//! identical whichever worker thread ran the job (`--jobs 1` vs
+//! `--jobs N`), and under either scheduler kernel (timing wheel vs
+//! reference heap) — the scheduler is a performance substitution and
+//! must not leak into the recorded history. A perturbed trace must be
+//! caught by `trace diff` with an exact first-divergence index.
+
+use std::collections::BTreeMap;
+
+use ocpt::harness::experiments::{e3_control_messages, ExpParams};
+use ocpt::prelude::*;
+use ocpt::telemetry;
+
+fn quick() -> ExpParams {
+    ExpParams {
+        n: 4,
+        seed: 11,
+        workload_ms: 800,
+        msg_gap: SimDuration::from_millis(4),
+        ckpt_interval: SimDuration::from_millis(250),
+        state_bytes: 256 * 1024,
+    }
+}
+
+fn sweep_grid() -> RunGrid {
+    e3_control_messages(&[SimDuration::from_millis(3), SimDuration::from_millis(30)], quick())
+}
+
+/// Run the sweep with a sink and collect `{filename: bytes}` for every
+/// artifact it wrote.
+fn record(dir: &std::path::Path, jobs: usize, sched: SchedulerKind) -> BTreeMap<String, String> {
+    let g = sweep_grid().with_scheduler(sched);
+    let sink = TraceSink::new(dir, "e3").expect("create sink dir");
+    g.run_with_sink(&GridOptions { jobs, replicates: 2 }, Some(&sink));
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read sink dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 filename");
+        out.insert(name, std::fs::read_to_string(entry.path()).expect("read artifact"));
+    }
+    std::fs::remove_dir_all(dir).ok();
+    out
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ocpt_trace_det_{}_{tag}", std::process::id()))
+}
+
+#[test]
+fn trace_bytes_identical_across_jobs_and_schedulers() {
+    let baseline = record(&tmp("base"), 1, SchedulerKind::Wheel);
+    assert!(!baseline.is_empty(), "sink wrote nothing");
+    // Every (cell, replicate) leaves both artifacts.
+    let traces = baseline.keys().filter(|k| k.ends_with(".trace.jsonl")).count();
+    let metrics = baseline.keys().filter(|k| k.ends_with(".metrics.json")).count();
+    assert_eq!(traces, metrics);
+    assert_eq!(traces, sweep_grid().cell_count() * 2, "one trace per (cell, replicate)");
+
+    for (tag, jobs, sched) in [
+        ("jobs4", 4, SchedulerKind::Wheel),
+        ("heap1", 1, SchedulerKind::ReferenceHeap),
+        ("heap4", 4, SchedulerKind::ReferenceHeap),
+    ] {
+        let other = record(&tmp(tag), jobs, sched);
+        assert_eq!(
+            baseline.keys().collect::<Vec<_>>(),
+            other.keys().collect::<Vec<_>>(),
+            "{tag}: artifact sets differ"
+        );
+        for (name, bytes) in &baseline {
+            if name.ends_with(".trace.jsonl") {
+                // Traces never mention the scheduler: byte-identical.
+                assert_eq!(bytes, &other[name], "{tag}: {name} bytes diverged");
+            } else {
+                // Metrics stamp the scheduler as provenance; everything
+                // else must agree bit for bit.
+                let norm = other[name]
+                    .replace("\"scheduler\":\"reference_heap\"", "\"scheduler\":\"wheel\"");
+                assert_eq!(bytes, &norm, "{tag}: {name} diverged beyond the scheduler stamp");
+            }
+        }
+    }
+}
+
+#[test]
+fn recorded_traces_are_schema_valid_and_spanful() {
+    let arts = record(&tmp("valid"), 2, SchedulerKind::Wheel);
+    for (name, bytes) in arts.iter().filter(|(n, _)| n.ends_with(".trace.jsonl")) {
+        let f = telemetry::parse_jsonl(bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!f.recs.is_empty(), "{name}: empty trace");
+        let spans = telemetry::derive_spans(&f.recs);
+        assert!(
+            spans.iter().any(|s| s.kind == telemetry::SpanKind::Checkpoint),
+            "{name}: no checkpoint spans"
+        );
+    }
+    for (name, bytes) in arts.iter().filter(|(n, _)| n.ends_with(".metrics.json")) {
+        assert!(bytes.starts_with("{\"schema\":\"ocpt-metrics\",\"version\":1,"), "{name}");
+        assert!(bytes.ends_with("}\n"), "{name}: not newline-terminated");
+    }
+}
+
+#[test]
+fn diff_pins_a_perturbed_event() {
+    let mut cfg = RunConfig::new(3, 17);
+    cfg.workload_duration = SimDuration::from_millis(500);
+    cfg.checkpoint_interval = SimDuration::from_millis(200);
+    cfg.state_bytes = 64 * 1024;
+    cfg.trace = true;
+    let r = run_checked(&Algo::ocpt(), cfg);
+    let a = telemetry::parse_jsonl(&r.trace_jsonl()).expect("own trace parses");
+    let mut b = a.clone();
+    let victim = b.recs.len() / 2;
+    b.recs[victim].at += 1;
+    match telemetry::diff(&a, &b, 3) {
+        telemetry::DiffReport::Diverged { index, rendering } => {
+            assert_eq!(index, victim, "diff must name the exact perturbed event");
+            assert!(rendering.contains("A "), "{rendering}");
+            assert!(rendering.contains("B "), "{rendering}");
+        }
+        other => panic!("expected divergence, got {other:?}"),
+    }
+    assert!(telemetry::diff(&a, &a.clone(), 3).is_identical());
+}
