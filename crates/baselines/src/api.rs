@@ -225,8 +225,8 @@ pub trait CheckpointProtocol {
 
 /// Shared wire-size constants, kept consistent with `ocpt_core::wire`.
 pub mod wire_cost {
-    /// Envelope header bytes (version + discriminant + n).
-    pub const HEADER: u64 = 4;
+    /// Envelope header bytes (version + discriminant + n as u32).
+    pub const HEADER: u64 = 6;
     /// Fixed application fields (payload id + len).
     pub const APP_FIXED: u64 = 12;
     /// A small control message (kind + seq).
@@ -244,8 +244,8 @@ mod tests {
 
     #[test]
     fn wire_cost_app() {
-        assert_eq!(wire_cost::app(100, 8), 4 + 12 + 8 + 100);
-        assert_eq!(wire_cost::CTRL, 13);
+        assert_eq!(wire_cost::app(100, 8), 6 + 12 + 8 + 100);
+        assert_eq!(wire_cost::CTRL, 15);
     }
 
     #[test]

@@ -292,6 +292,7 @@ impl CheckpointProtocol for OcptAdapter {
                     ocpt_core::CtrlKind::CkBgn => "ctrl.ck_bgn",
                     ocpt_core::CtrlKind::CkReq => "ctrl.ck_req",
                     ocpt_core::CtrlKind::CkEnd => "ctrl.ck_end",
+                    ocpt_core::CtrlKind::CkGrpDone => "ctrl.ck_grp_done",
                 };
                 EnvTelemetry::coded(code, cm.csn)
             }
@@ -314,7 +315,7 @@ pub type OcptCtrl = CtrlMsg;
 mod tests {
     use super::*;
 
-    fn adapter(i: u16, n: usize, policy: FlushPolicy) -> OcptAdapter {
+    fn adapter(i: u32, n: usize, policy: FlushPolicy) -> OcptAdapter {
         // Immediate finalize writes keep these unit tests synchronous; the
         // deferred policies get their own tests below.
         let cfg = OcptConfig {

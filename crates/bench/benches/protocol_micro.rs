@@ -17,7 +17,7 @@ fn bench_tentset(c: &mut Criterion) {
             let mut a = TentSet::singleton(n, ProcessId(0));
             let mut s = TentSet::empty(n);
             for i in (0..n).step_by(3) {
-                s.insert(ProcessId(i as u16));
+                s.insert(ProcessId(i as u32));
             }
             b.iter(|| {
                 a.merge(std::hint::black_box(&s));
@@ -27,7 +27,7 @@ fn bench_tentset(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("first_absent_above", n), &n, |b, &n| {
             let mut s = TentSet::empty(n);
             for i in 0..n - 1 {
-                s.insert(ProcessId(i as u16));
+                s.insert(ProcessId(i as u32));
             }
             b.iter(|| std::hint::black_box(s.first_absent_above(ProcessId(0))));
         });
@@ -140,6 +140,62 @@ fn bench_wire_codec(c: &mut Criterion) {
     g.finish();
 }
 
+/// The adaptive tentSet wire encodings at scale-sweep universe sizes.
+/// Three set shapes per size pick three different winning representations:
+/// a young round's handful of members (sparse), a half-converged wave of
+/// contiguous groups (runs), and a nearly full set (dense bitmap).
+fn bench_tentset_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tentset_wire");
+    for n in [100usize, 10_000, 100_000] {
+        let sparse = {
+            let mut s = TentSet::empty(n);
+            for i in 0..8.min(n) {
+                s.insert(ProcessId((i * n / 8) as u32));
+            }
+            s
+        };
+        let runs = {
+            let mut s = TentSet::empty(n);
+            for start in (0..n).step_by(n.div_ceil(16).max(2)) {
+                for i in start..(start + n / 32).min(n) {
+                    s.insert(ProcessId(i as u32));
+                }
+            }
+            s
+        };
+        let dense = {
+            let mut s = TentSet::empty(n);
+            for i in 0..n {
+                if i % 7 != 0 {
+                    s.insert(ProcessId(i as u32));
+                }
+            }
+            s
+        };
+        for (shape, set) in [("sparse", &sparse), ("runs", &runs), ("dense", &dense)] {
+            let enc = set.to_bytes();
+            g.throughput(Throughput::Bytes(enc.len() as u64));
+            g.bench_with_input(BenchmarkId::new(format!("encode_{shape}"), n), set, |b, set| {
+                b.iter(|| std::hint::black_box(set.to_bytes()))
+            });
+            g.bench_with_input(BenchmarkId::new(format!("decode_{shape}"), n), &enc, |b, enc| {
+                b.iter(|| {
+                    std::hint::black_box(TentSet::from_bytes(n, enc).expect("bench input decodes"))
+                });
+            });
+        }
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("merge_sparse_into_runs", n), &n, |b, _| {
+            let mut acc = runs.clone();
+            b.iter(|| {
+                acc.merge(std::hint::black_box(&sparse));
+                std::hint::black_box(acc.len())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_log(c: &mut Criterion) {
     let mut g = c.benchmark_group("message_log");
     for entries in [16usize, 256] {
@@ -148,7 +204,7 @@ fn bench_log(c: &mut Criterion) {
             for i in 0..entries as u64 {
                 log.push(LogEntry {
                     dir: if i % 2 == 0 { Direction::Sent } else { Direction::Received },
-                    peer: ProcessId((i % 7) as u16),
+                    peer: ProcessId((i % 7) as u32),
                     msg_id: MsgId(i),
                     payload: AppPayload { id: i, len: 128 },
                 });
@@ -165,6 +221,7 @@ criterion_group!(
     bench_piggyback_sharing,
     bench_send_receive_path,
     bench_wire_codec,
+    bench_tentset_wire,
     bench_log
 );
 criterion_main!(benches);

@@ -67,7 +67,9 @@ pub struct ExpArgs {
     pub jobs: usize,
     /// Seed-replicates per grid cell.
     pub replicates: usize,
-    /// `exp_all` only: write the serial-vs-parallel self-benchmark here.
+    /// `exp_all`: write the serial-vs-parallel self-benchmark here.
+    /// `exp_scale`: write the E9 scale report (`BENCH_scale.json`) here.
+    /// Other binaries parse and ignore it.
     pub bench_json: Option<String>,
     /// `exp_all` only: run the scheduler microbench suite (timing wheel
     /// vs reference heap) and write its report here.
@@ -288,6 +290,73 @@ pub fn bench_report_json(jobs: usize, entries: &[BenchEntry]) -> String {
     out
 }
 
+/// One system size of the E9 scale sweep, for `BENCH_scale.json`.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// System size.
+    pub n: usize,
+    /// Measured piggyback bytes per application message (adaptive
+    /// encoding, averaged over the run).
+    pub piggy_bytes_per_msg: f64,
+    /// What a fixed dense bitmap would cost: `8 + 1 + 1 + ⌈N/8⌉` bytes.
+    pub dense_bytes_per_msg: f64,
+    /// Application messages sent.
+    pub app_messages: u64,
+    /// Control messages sent.
+    pub ctrl_messages: u64,
+    /// Globally completed checkpoint rounds.
+    pub rounds: u64,
+    /// Resolved control group size (`None` = flat ring).
+    pub group_size: Option<u32>,
+    /// Number of groups under that size.
+    pub num_groups: Option<u64>,
+    /// Simulator events dispatched.
+    pub sim_events: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+}
+
+/// Render the scale sweep as JSON — the committed `BENCH_scale.json`.
+pub fn scale_report_json(rows: &[ScaleRow], auto_topology: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", HostMeta::detect().json_fragment()));
+    out.push_str(&format!(
+        "  \"topology\": \"{}\",\n",
+        if auto_topology { "auto (flat <= 512, ceil(sqrt(N)) groups above)" } else { "explicit" }
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let savings = if r.piggy_bytes_per_msg > 0.0 {
+            r.dense_bytes_per_msg / r.piggy_bytes_per_msg
+        } else {
+            0.0
+        };
+        let ctrl_per_round = r.ctrl_messages as f64 / r.rounds.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"piggy_bytes_per_msg\": {:.2}, \"dense_bytes_per_msg\": {:.2}, \
+             \"piggy_savings_x\": {:.2}, \"app_messages\": {}, \"ctrl_messages\": {}, \
+             \"ctrl_per_round\": {:.1}, \"rounds\": {}, \"group_size\": {}, \"num_groups\": {}, \
+             \"sim_events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}}}{sep}\n",
+            r.n,
+            r.piggy_bytes_per_msg,
+            r.dense_bytes_per_msg,
+            savings,
+            r.app_messages,
+            r.ctrl_messages,
+            ctrl_per_round,
+            r.rounds,
+            r.group_size.map_or("null".to_string(), |s| s.to_string()),
+            r.num_groups.map_or("null".to_string(), |g| g.to_string()),
+            r.sim_events,
+            r.wall_secs,
+            if r.wall_secs > 0.0 { r.sim_events as f64 / r.wall_secs } else { 0.0 },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -358,6 +427,48 @@ mod tests {
         assert!(j.contains("\"name\": \"cancel_heavy\""));
         assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"speedup\": 3.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn scale_json_shape() {
+        let rows = vec![
+            ScaleRow {
+                n: 100,
+                piggy_bytes_per_msg: 14.5,
+                dense_bytes_per_msg: 23.0,
+                app_messages: 5_000,
+                ctrl_messages: 120,
+                rounds: 6,
+                group_size: None,
+                num_groups: None,
+                sim_events: 40_000,
+                wall_secs: 0.2,
+            },
+            ScaleRow {
+                n: 100_000,
+                piggy_bytes_per_msg: 20.0,
+                dense_bytes_per_msg: 12_509.0,
+                app_messages: 80_000,
+                ctrl_messages: 2_000,
+                rounds: 2,
+                group_size: Some(317),
+                num_groups: Some(316),
+                sim_events: 900_000,
+                wall_secs: 12.0,
+            },
+        ];
+        let j = scale_report_json(&rows, true);
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(j.contains("\"topology\": \"auto"));
+        assert!(j.contains("\"n\": 100000"));
+        // Flat rows serialize topology fields as JSON null, grouped as numbers.
+        assert!(j.contains("\"group_size\": null"));
+        assert!(j.contains("\"group_size\": 317"));
+        assert!(j.contains("\"num_groups\": 316"));
+        assert!(j.contains("\"piggy_savings_x\": 625.45"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n  ]"));

@@ -24,8 +24,8 @@ use ocpt_sim::{Event, MsgId, ProcessId, SimDuration, SimRng};
 const N: u16 = 8;
 
 fn deliver(rng: &mut SimRng, i: u64) -> Event<u64> {
-    let src = ProcessId(rng.next_u64_below(N as u64) as u16);
-    let dst = ProcessId(rng.next_u64_below(N as u64) as u16);
+    let src = ProcessId(rng.next_u64_below(N as u64) as u32);
+    let dst = ProcessId(rng.next_u64_below(N as u64) as u32);
     Event::Deliver { src, dst, msg_id: MsgId(i), msg: i }
 }
 
@@ -54,12 +54,12 @@ pub fn cancel_heavy(kind: SchedulerKind, depth: u64, ops: u64) -> u64 {
     let mut rng = SimRng::derive(0xCA7C, 0);
     let mut live = Vec::with_capacity(depth as usize * 2);
     for _ in 0..depth * 2 {
-        let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+        let pid = ProcessId(rng.next_u64_below(N as u64) as u32);
         let d = SimDuration::from_micros(1 + rng.next_u64_below(10_000));
         live.push(s.set_timer(pid, d, 0));
     }
     for _ in 0..ops {
-        let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+        let pid = ProcessId(rng.next_u64_below(N as u64) as u32);
         let d = SimDuration::from_micros(1 + rng.next_u64_below(10_000));
         live.push(s.set_timer(pid, d, 0));
         // Cancel a random mid-queue survivor: the heap still carries the
@@ -86,7 +86,7 @@ pub fn crash_purge(kind: SchedulerKind, per_round: u64, rounds: u64) -> u64 {
             );
             i += 1;
         }
-        let victim = ProcessId(rng.next_u64_below(N as u64) as u16);
+        let victim = ProcessId(rng.next_u64_below(N as u64) as u32);
         s.drop_events_for(victim);
         for _ in 0..per_round / 16 {
             s.pop();
@@ -103,7 +103,7 @@ pub fn far_future(kind: SchedulerKind, ops: u64) -> u64 {
     for i in 0..ops {
         s.schedule_after(SimDuration::from_micros(rng.next_u64_below(2_000)), deliver(&mut rng, i));
         if i % 4 == 0 {
-            let pid = ProcessId(rng.next_u64_below(N as u64) as u16);
+            let pid = ProcessId(rng.next_u64_below(N as u64) as u32);
             let far = SimDuration::from_millis(1_000 + rng.next_u64_below(200_000));
             s.set_timer(pid, far, i);
         }

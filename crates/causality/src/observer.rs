@@ -304,7 +304,7 @@ impl GlobalObserver {
 mod tests {
     use super::*;
 
-    fn p(i: u16) -> ProcessId {
+    fn p(i: u32) -> ProcessId {
         ProcessId(i)
     }
 

@@ -113,7 +113,7 @@ pub fn pairwise_consistent(clocks: &[VClock]) -> bool {
 mod tests {
     use super::*;
 
-    fn p(i: u16) -> ProcessId {
+    fn p(i: u32) -> ProcessId {
         ProcessId(i)
     }
 

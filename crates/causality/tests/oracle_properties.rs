@@ -11,14 +11,14 @@ use proptest::prelude::*;
 /// from a random process or delivers a random in-flight one.
 #[derive(Clone, Debug)]
 enum Op {
-    Send { from: u16, to_off: u16 },
+    Send { from: u32, to_off: u32 },
     Deliver(usize),
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (any::<u16>(), any::<u16>()).prop_map(|(f, t)| Op::Send { from: f, to_off: t }),
+            (any::<u32>(), any::<u32>()).prop_map(|(f, t)| Op::Send { from: f, to_off: t }),
             any::<prop::sample::Index>().prop_map(|i| Op::Deliver(i.index(usize::MAX))),
         ],
         1..200,
@@ -39,8 +39,8 @@ fn replay(n: usize, ops: &[Op]) -> (GlobalObserver, Vec<Cut>) {
                 let _dst = (src + 1 + (*to_off as usize) % (n - 1)) % n;
                 let id = MsgId(next);
                 next += 1;
-                obs.on_send(ProcessId(src as u16), id);
-                flight.push((ProcessId(_dst as u16), id));
+                obs.on_send(ProcessId(src as u32), id);
+                flight.push((ProcessId(_dst as u32), id));
             }
             Op::Deliver(i) => {
                 if flight.is_empty() {

@@ -225,7 +225,7 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
             let filter = ocpt_telemetry::GrepFilter {
                 pid: match args.get("pid") {
                     None => None,
-                    Some(_) => Some(args.num("pid", 0u16)?),
+                    Some(_) => Some(args.num("pid", 0u32)?),
                 },
                 kind: args.get("kind").map(str::to_string),
                 code_prefix: args.get("code").map(str::to_string),
@@ -288,7 +288,7 @@ fn cmd_recover(args: &Args) -> Result<String, ArgError> {
     let mut cfg = build_config(args)?;
     let crash_ms: u64 = args.num("crash-ms", 2_000)?;
     let n = cfg.sim.n;
-    let victim = ProcessId((n / 2) as u16);
+    let victim = ProcessId((n / 2) as u32);
     cfg.workload_duration = SimDuration::from_millis(crash_ms + 1_000);
     cfg.faults =
         FaultPlan::single(victim, SimTime::from_millis(crash_ms), SimDuration::from_millis(50));

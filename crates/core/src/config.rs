@@ -50,6 +50,72 @@ pub enum WritePolicy {
     },
 }
 
+/// Shape of the control-message convergence wave.
+///
+/// The paper's Fig. 4 runs one flat `CK_REQ` ring through all `N`
+/// processes and has `P_0` broadcast `CK_END` to everyone — O(N) work on
+/// the coordinator and an O(N)-hop token walk. Past a few hundred
+/// processes that is the scaling wall, so processes can be sharded into
+/// contiguous id groups: each group runs its own ring under a group
+/// leader (the smallest id in the group), leaders exchange summaries with
+/// `P_0` (`CK_BGN` escalation up, `CK_GRP_DONE` up, `CK_END` relayed
+/// down), and no single process ever sends more than
+/// O(group size + #groups) control messages per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlTopology {
+    /// The paper's single flat ring coordinated by `P_0`.
+    Flat,
+    /// Fixed-size contiguous id groups (`P_{g·s} … P_{g·s+s-1}`), each
+    /// with an intra-group ring; leaders talk to `P_0`.
+    Grouped {
+        /// Processes per group (the last group may be smaller).
+        group_size: u32,
+    },
+    /// Flat up to `threshold` processes, then grouped with a group size of
+    /// `⌈√N⌉` — the size that balances ring length against leader count.
+    Auto {
+        /// Largest N that still runs the flat ring.
+        threshold: u32,
+    },
+}
+
+impl ControlTopology {
+    /// Resolve to a concrete group size for a system of `n` processes;
+    /// `None` means the flat ring. Degenerate shards (a single group, or
+    /// groups of one) fall back to flat as well.
+    pub fn group_size(self, n: usize) -> Option<u32> {
+        let size = match self {
+            ControlTopology::Flat => return None,
+            ControlTopology::Grouped { group_size } => group_size,
+            ControlTopology::Auto { threshold } => {
+                if n <= threshold as usize {
+                    return None;
+                }
+                isqrt_ceil(n as u64) as u32
+            }
+        };
+        (size >= 2 && (size as usize) < n).then_some(size)
+    }
+}
+
+/// `⌈√v⌉` without floating point (bit-identical on every platform).
+fn isqrt_ceil(v: u64) -> u64 {
+    if v <= 1 {
+        return v;
+    }
+    let mut lo = 1u64;
+    let mut hi = 1u64 << (v.ilog2() / 2 + 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if mid * mid >= v {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
 /// Configuration of the OCPT protocol.
 #[derive(Clone, Copy, Debug)]
 pub struct OcptConfig {
@@ -76,6 +142,9 @@ pub struct OcptConfig {
     /// Re-arm the convergence timer after it fires (not in the paper;
     /// defensive option, default off so message counts match Fig. 4).
     pub rearm_timer: bool,
+    /// Shape of the control wave: the paper's flat ring, explicit groups,
+    /// or the automatic √N sharding above a size threshold.
+    pub control_topology: ControlTopology,
     /// When tentative checkpoints are flushed (driver-level policy).
     pub flush_policy: FlushPolicy,
     /// When the finalization writes land on stable storage.
@@ -94,6 +163,10 @@ impl Default for OcptConfig {
             optimize_ck_req: true,
             p0_broadcast_on_finalize: true,
             rearm_timer: false,
+            // N ≤ 512 keeps the paper-exact flat ring; larger systems
+            // shard into ⌈√N⌉-sized groups. Every stock experiment runs
+            // at N ≤ 128, so defaults stay byte-identical to the flat era.
+            control_topology: ControlTopology::Auto { threshold: 512 },
             flush_policy: FlushPolicy::Lazy,
             finalize_write: WritePolicy::Phased { window: SimDuration::from_millis(400) },
             state_bytes: 4 * 1024 * 1024,
@@ -158,6 +231,32 @@ mod tests {
     fn suppression_without_broadcast_rejected() {
         let c = OcptConfig { p0_broadcast_on_finalize: false, ..Default::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn topology_resolution() {
+        // Flat never shards.
+        assert_eq!(ControlTopology::Flat.group_size(100_000), None);
+        // Auto: flat at/below the threshold, ⌈√N⌉ above it.
+        let auto = ControlTopology::Auto { threshold: 512 };
+        assert_eq!(auto.group_size(512), None);
+        assert_eq!(auto.group_size(513), Some(23)); // ⌈√513⌉
+        assert_eq!(auto.group_size(10_000), Some(100));
+        assert_eq!(auto.group_size(100_000), Some(317)); // ⌈√100000⌉
+                                                         // Explicit groups, with degenerate shapes falling back to flat.
+        assert_eq!(ControlTopology::Grouped { group_size: 4 }.group_size(12), Some(4));
+        assert_eq!(ControlTopology::Grouped { group_size: 1 }.group_size(12), None);
+        assert_eq!(ControlTopology::Grouped { group_size: 12 }.group_size(12), None);
+        assert_eq!(ControlTopology::Grouped { group_size: 64 }.group_size(12), None);
+    }
+
+    #[test]
+    fn isqrt_ceil_exact() {
+        for (v, want) in [(0, 0), (1, 1), (2, 2), (4, 2), (5, 3), (9, 3), (10, 4), (100, 10)] {
+            assert_eq!(isqrt_ceil(v), want, "isqrt_ceil({v})");
+        }
+        assert_eq!(isqrt_ceil(100_000), 317);
+        assert_eq!(isqrt_ceil(1u64 << 40), 1 << 20);
     }
 
     #[test]

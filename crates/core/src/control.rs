@@ -17,6 +17,25 @@
 //!
 //! The timer is cancelled when the checkpoint finalizes or when any
 //! control message carrying the current sequence number arrives.
+//!
+//! ## Hierarchical waves
+//!
+//! The flat ring is O(N) per round — both the token walk and `P_0`'s
+//! `CK_END` fan-out — which caps practical system size. When
+//! [`crate::config::ControlTopology`] resolves to a group size, processes
+//! shard into contiguous id groups and the wave becomes two-tier:
+//!
+//! * members alarm their **group leader** (`CK_BGN`), leaders escalate to
+//!   `P_0` (both tiers keep the §3.5.1 smaller-id suppression rule);
+//! * `P_0` starts one `CK_REQ` ring **per group** (token stays inside the
+//!   group); a completed ring is reported to `P_0` as `CK_GRP_DONE`;
+//! * once every group reported, `P_0` sends `CK_END` to the leaders, who
+//!   relay it to their members.
+//!
+//! No process sends more than O(group size + #groups) control messages
+//! per round; with the default `⌈√N⌉` group size that is O(√N). The flat
+//! ring remains both the small-N fast path and the differential oracle —
+//! a flat and a grouped run converge on the same recovery line.
 
 use ocpt_sim::ProcessId;
 
@@ -36,6 +55,10 @@ impl OcptProcess {
         }
         self.timer_armed = false;
         self.stats_mut().inc("timer.expired");
+        if self.hier_group_size().is_some() {
+            self.on_timer_hier(csn, out);
+            return;
+        }
         if self.id() == ProcessId::P0 {
             // P_0 initiates CK_REQ messages directly.
             self.forward_ck_req(out);
@@ -90,7 +113,7 @@ impl OcptProcess {
         } else if self.config().optimize_ck_req {
             self.tent_set().first_absent_above(self.id()).unwrap_or(ProcessId::P0)
         } else {
-            ProcessId((self.id().0 + 1) % self.n() as u16)
+            ProcessId((self.id().0 + 1) % self.n() as u32)
         };
         self.ck_req_sent_for = Some(csn);
         if dst == ProcessId::P0 && self.id() == ProcessId::P0 {
@@ -114,7 +137,14 @@ impl OcptProcess {
         }
     }
 
-    /// Broadcast `CK_END(csn)` to every other process (Fig. 4).
+    /// Broadcast `CK_END(csn)` along the control topology (once per round).
+    ///
+    /// Flat: to every other process (Fig. 4). Hierarchical: `P_0` sends to
+    /// the other group leaders plus its own group-0 members; a leader
+    /// relays to its members only. The relay is what keeps suppression
+    /// starvation-free in the two-tier wave — whenever a leader finalizes
+    /// `csn` its members hear `CK_END(csn)`, so a stale alarm at an
+    /// already-advanced leader can be ignored safely.
     pub(crate) fn broadcast_ck_end(&mut self, out: &mut Outbox) {
         let csn = self.csn();
         if self.ck_end_sent_for == Some(csn) {
@@ -122,10 +152,30 @@ impl OcptProcess {
         }
         self.ck_end_sent_for = Some(csn);
         let me = self.id();
-        for dst in ProcessId::all(self.n()).filter(|d| *d != me) {
-            out.push(Action::SendCtrl { dst, cm: CtrlMsg { kind: CtrlKind::CkEnd, csn } });
+        let cm = CtrlMsg { kind: CtrlKind::CkEnd, csn };
+        let fanout;
+        if self.hier_group_size().is_none() {
+            for dst in ProcessId::all(self.n()).filter(|d| *d != me) {
+                out.push(Action::SendCtrl { dst, cm });
+            }
+            fanout = self.n() as u64 - 1;
+        } else {
+            let mut sent = 0u64;
+            if me == ProcessId::P0 {
+                for g in 1..self.num_groups() {
+                    out.push(Action::SendCtrl { dst: self.leader_of(g), cm });
+                    sent += 1;
+                }
+            }
+            if self.is_group_leader() {
+                let g = self.group_of(me);
+                for id in (me.0 + 1)..self.group_end(g) {
+                    out.push(Action::SendCtrl { dst: ProcessId(id), cm });
+                    sent += 1;
+                }
+            }
+            fanout = sent;
         }
-        let fanout = self.n() as u64 - 1;
         self.stats_mut().add("ctrl.end_sent", fanout);
     }
 
@@ -145,6 +195,10 @@ impl OcptProcess {
         if self.status() == Status::Tentative && cm.csn == self.csn() && self.timer_armed {
             self.timer_armed = false;
             out.push(Action::CancelTimer);
+        }
+
+        if self.hier_group_size().is_some() {
+            return self.on_ctrl_receive_hier(src, cm, out);
         }
 
         if cm.csn == self.csn() + 1 {
@@ -196,6 +250,11 @@ impl OcptProcess {
                         self.finalize(out);
                     }
                 }
+                CtrlKind::CkGrpDone => {
+                    // Only the hierarchical wave emits these; a flat ring
+                    // receiving one is misconfiguration, not corruption.
+                    self.stats_mut().inc("ctrl.misrouted_ignored");
+                }
             }
             return Ok(());
         }
@@ -209,6 +268,250 @@ impl OcptProcess {
         // cm.csn > csn + 1: impossible under reliable channels.
         Err(ProtocolError::CtrlCsnJump { at: self.id(), ours: self.csn(), theirs: cm.csn })
     }
+
+    /// Timer expiry under the hierarchical topology: members alarm their
+    /// group leader, leaders alarm `P_0`, `P_0` starts the global wave.
+    /// The §3.5.1 suppression rule applies *within each tier*: a member
+    /// stays quiet when a smaller-id member of its own group is known
+    /// tentative; a leader stays quiet when a smaller-id *leader* is.
+    fn on_timer_hier(&mut self, csn: Csn, out: &mut Outbox) {
+        if self.id() == ProcessId::P0 {
+            self.start_global_wave(out);
+        } else if self.is_group_leader() {
+            if self.config().optimize_ck_bgn {
+                let g = self.group_of(self.id());
+                for g2 in 0..g {
+                    if self.tent_set().contains(self.leader_of(g2)) {
+                        // That leader (or a smaller one) will alarm P_0.
+                        self.stats_mut().inc("ctrl.bgn_suppressed");
+                        self.maybe_rearm(out);
+                        return;
+                    }
+                }
+            }
+            self.stats_mut().inc("ctrl.bgn_sent");
+            out.push(Action::SendCtrl {
+                dst: ProcessId::P0,
+                cm: CtrlMsg { kind: CtrlKind::CkBgn, csn },
+            });
+        } else {
+            let leader = self.leader_of(self.group_of(self.id()));
+            if self.config().optimize_ck_bgn
+                && self.tent_set().min_in(leader.0, self.id().0).is_some()
+            {
+                // A smaller-id tentative member of this group (possibly
+                // the leader itself) will raise the alarm.
+                self.stats_mut().inc("ctrl.bgn_suppressed");
+                self.maybe_rearm(out);
+                return;
+            }
+            self.stats_mut().inc("ctrl.bgn_sent");
+            out.push(Action::SendCtrl { dst: leader, cm: CtrlMsg { kind: CtrlKind::CkBgn, csn } });
+        }
+        self.maybe_rearm(out);
+    }
+
+    /// The hierarchical counterpart of the Fig. 4 receive handler. The
+    /// csn normalization (one-ahead / current / stale / jump) is identical
+    /// to the flat ring; only the kind × role dispatch differs.
+    fn on_ctrl_receive_hier(
+        &mut self,
+        src: ProcessId,
+        cm: CtrlMsg,
+        out: &mut Outbox,
+    ) -> Result<(), ProtocolError> {
+        if cm.csn == self.csn() + 1 {
+            if cm.kind == CtrlKind::CkEnd {
+                return Err(ProtocolError::CkEndAhead {
+                    at: self.id(),
+                    ours: self.csn(),
+                    theirs: cm.csn,
+                });
+            }
+            // The sender is already at csn+1, so checkpoint csn is fully
+            // taken everywhere: finalize ours (if pending), join the new
+            // round, then handle the message at the now-current csn.
+            if self.status() == Status::Tentative {
+                self.finalize(out);
+            }
+            self.take_tentative(out, false);
+        } else if cm.csn < self.csn() {
+            self.stats_mut().inc("ctrl.stale_ignored");
+            return Ok(());
+        } else if cm.csn > self.csn() + 1 {
+            return Err(ProtocolError::CtrlCsnJump {
+                at: self.id(),
+                ours: self.csn(),
+                theirs: cm.csn,
+            });
+        }
+
+        match cm.kind {
+            CtrlKind::CkBgn => {
+                if self.id() == ProcessId::P0 {
+                    if self.status() == Status::Tentative {
+                        self.start_global_wave(out);
+                    } else {
+                        // Already finalized: answer reactively so the
+                        // alarmer (and everyone under us) can finalize.
+                        self.broadcast_ck_end(out);
+                    }
+                } else if self.is_group_leader() {
+                    if self.status() == Status::Tentative {
+                        self.escalate_ck_bgn(out);
+                    } else {
+                        // Finalized: relay CK_END down to our members.
+                        self.broadcast_ck_end(out);
+                    }
+                } else {
+                    self.stats_mut().inc("ctrl.misrouted_ignored");
+                }
+            }
+            CtrlKind::CkReq => {
+                if self.is_group_leader() {
+                    // Either our ring token came home, or we already
+                    // finalized (the group is trivially covered): report
+                    // the group done. Otherwise start/continue our ring.
+                    if self.ck_req_sent_for == Some(self.csn()) || self.status() == Status::Normal {
+                        self.report_group_done(out);
+                    } else {
+                        self.forward_ck_req_in_group(out);
+                    }
+                } else if self.status() == Status::Normal {
+                    // §3.5.1 case 2 analog: a finalized member hands the
+                    // token straight back to its leader.
+                    let leader = self.leader_of(self.group_of(self.id()));
+                    self.stats_mut().inc("ctrl.req_sent");
+                    out.push(Action::SendCtrl {
+                        dst: leader,
+                        cm: CtrlMsg { kind: CtrlKind::CkReq, csn: self.csn() },
+                    });
+                } else if self.ck_req_sent_for != Some(self.csn()) {
+                    self.forward_ck_req_in_group(out);
+                }
+            }
+            CtrlKind::CkEnd => {
+                if self.status() == Status::Tentative {
+                    // Leaders relay to their members inside finalize
+                    // (finalize_excluding broadcasts for P_0 and leaders).
+                    self.finalize(out);
+                }
+            }
+            CtrlKind::CkGrpDone => {
+                if self.id() == ProcessId::P0 {
+                    let g = self.group_of(src);
+                    self.mark_group_done(g, out);
+                } else {
+                    self.stats_mut().inc("ctrl.misrouted_ignored");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `P_0` launches the two-tier wave (once per round): `CK_REQ` to the
+    /// leader of every other group, then its own group-0 ring.
+    fn start_global_wave(&mut self, out: &mut Outbox) {
+        debug_assert_eq!(self.id(), ProcessId::P0);
+        let csn = self.csn();
+        if self.ck_req_sent_for == Some(csn) {
+            return; // wave already launched for this round
+        }
+        for g in 1..self.num_groups() {
+            self.stats_mut().inc("ctrl.req_sent");
+            out.push(Action::SendCtrl {
+                dst: self.leader_of(g),
+                cm: CtrlMsg { kind: CtrlKind::CkReq, csn },
+            });
+        }
+        // Our own group-0 ring (sets ck_req_sent_for).
+        self.forward_ck_req_in_group(out);
+    }
+
+    /// The intra-group analog of [`Self::forward_ck_req`]: the token walks
+    /// the member ids of this group (skipping known tentatives under the
+    /// §3.5.1 case 2 optimization) and returns to the leader. A leader
+    /// whose members are all known tentative closes the ring on the spot.
+    fn forward_ck_req_in_group(&mut self, out: &mut Outbox) {
+        let csn = self.csn();
+        let g = self.group_of(self.id());
+        let leader = self.leader_of(g);
+        let end = self.group_end(g);
+        let dst = if self.config().optimize_ck_req {
+            self.tent_set().first_absent_in(self.id().0 + 1, end).unwrap_or(leader)
+        } else if self.id().0 + 1 < end {
+            ProcessId(self.id().0 + 1)
+        } else {
+            leader
+        };
+        self.ck_req_sent_for = Some(csn);
+        if dst == self.id() {
+            // We are the leader and every member is already known
+            // tentative: the ring closes without leaving us.
+            self.report_group_done(out);
+            return;
+        }
+        self.stats_mut().inc("ctrl.req_sent");
+        out.push(Action::SendCtrl { dst, cm: CtrlMsg { kind: CtrlKind::CkReq, csn } });
+    }
+
+    /// A leader's group ring completed for the current csn: tell `P_0`
+    /// (once). `P_0` reporting its own group records it directly.
+    fn report_group_done(&mut self, out: &mut Outbox) {
+        if self.id() == ProcessId::P0 {
+            self.mark_group_done(0, out);
+            return;
+        }
+        let csn = self.csn();
+        if self.grp_done_sent_for == Some(csn) {
+            return;
+        }
+        self.grp_done_sent_for = Some(csn);
+        self.stats_mut().inc("ctrl.grp_done_sent");
+        out.push(Action::SendCtrl {
+            dst: ProcessId::P0,
+            cm: CtrlMsg { kind: CtrlKind::CkGrpDone, csn },
+        });
+    }
+
+    /// `P_0` bookkeeping: group `group`'s ring completed for the current
+    /// csn. When every group has reported, the round ends — `CK_END` goes
+    /// out along the hierarchy (the analog of [`Self::complete_ring`]).
+    fn mark_group_done(&mut self, group: u32, out: &mut Outbox) {
+        debug_assert_eq!(self.id(), ProcessId::P0);
+        let csn = self.csn();
+        let num = self.num_groups() as usize;
+        if !matches!(&self.groups_done, Some((c, _, _)) if *c == csn) {
+            self.groups_done = Some((csn, vec![false; num], 0));
+        }
+        let (_, done, count) = self.groups_done.get_or_insert_with(|| (csn, vec![false; num], 0));
+        if !done[group as usize] {
+            done[group as usize] = true;
+            *count += 1;
+        }
+        let all_done = *count as usize == num;
+        if all_done {
+            self.broadcast_ck_end(out);
+            if self.status() == Status::Tentative {
+                self.finalize(out);
+            }
+        }
+    }
+
+    /// A leader learned (via a member's `CK_BGN`) that the round is not
+    /// converging: escalate to `P_0`, once per round.
+    fn escalate_ck_bgn(&mut self, out: &mut Outbox) {
+        let csn = self.csn();
+        if self.ck_bgn_sent_for == Some(csn) {
+            return;
+        }
+        self.ck_bgn_sent_for = Some(csn);
+        self.stats_mut().inc("ctrl.bgn_sent");
+        out.push(Action::SendCtrl {
+            dst: ProcessId::P0,
+            cm: CtrlMsg { kind: CtrlKind::CkBgn, csn },
+        });
+    }
 }
 
 #[cfg(test)]
@@ -219,15 +522,15 @@ mod tests {
     use crate::wire::AppPayload;
     use ocpt_sim::MsgId;
 
-    fn p(i: u16) -> ProcessId {
+    fn p(i: u32) -> ProcessId {
         ProcessId(i)
     }
 
-    fn proc_with(i: u16, n: usize, cfg: OcptConfig) -> OcptProcess {
+    fn proc_with(i: u32, n: usize, cfg: OcptConfig) -> OcptProcess {
         OcptProcess::new(p(i), n, cfg)
     }
 
-    fn proc(i: u16, n: usize) -> OcptProcess {
+    fn proc(i: u32, n: usize) -> OcptProcess {
         proc_with(i, n, OcptConfig::default())
     }
 
@@ -514,7 +817,7 @@ mod tests {
     #[test]
     fn fig5_walkthrough() {
         let n = 4;
-        let mut procs: Vec<OcptProcess> = (0..4).map(|i| proc(i as u16, n)).collect();
+        let mut procs: Vec<OcptProcess> = (0..4).map(|i| proc(i as u32, n)).collect();
         let mut out = Outbox::new();
         let pl = AppPayload { id: 0, len: 0 };
 
@@ -594,6 +897,233 @@ mod tests {
         for q in &procs {
             assert_eq!(q.csn(), 1);
             assert_eq!(q.stats().get("ckpt.finalized"), 1);
+        }
+    }
+
+    // ---- hierarchical (two-tier) wave -------------------------------
+
+    /// N = 9, groups of 3: {0,1,2} {3,4,5} {6,7,8}; leaders 0, 3, 6.
+    fn hier_cfg() -> OcptConfig {
+        OcptConfig {
+            control_topology: crate::config::ControlTopology::Grouped { group_size: 3 },
+            ..OcptConfig::default()
+        }
+    }
+
+    fn hier_proc(i: u32) -> OcptProcess {
+        proc_with(i, 9, hier_cfg())
+    }
+
+    #[test]
+    fn hier_member_alarms_its_leader() {
+        let mut q = hier_proc(4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]);
+    }
+
+    #[test]
+    fn hier_member_suppressed_by_smaller_group_mate() {
+        let mut q = hier_proc(5);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(9, p(4)),
+        };
+        q.on_app_receive(p(4), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert!(ctrl_sends(&out).is_empty(), "CK_BGN must be suppressed inside the group");
+        assert_eq!(q.stats().get("ctrl.bgn_suppressed"), 1);
+    }
+
+    #[test]
+    fn hier_member_not_suppressed_by_other_group() {
+        // P4 knows P1 (group 0) is tentative — irrelevant to its own
+        // group, so it still alarms its leader.
+        let mut q = hier_proc(4);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(9, p(1)),
+        };
+        q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]);
+    }
+
+    #[test]
+    fn hier_leader_escalates_once() {
+        let mut q = hier_proc(3);
+        let mut out = Outbox::new();
+        q.on_ctrl_receive(p(4), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(q.status(), Status::Tentative, "one-ahead CK_BGN makes the leader join");
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 })]);
+        out.clear();
+        q.on_ctrl_receive(p(5), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty(), "second member alarm must not re-escalate");
+    }
+
+    #[test]
+    fn hier_leader_suppressed_by_smaller_leader() {
+        let mut q = hier_proc(6);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        let pb = crate::piggyback::Piggyback {
+            csn: 1,
+            stat: Status::Tentative,
+            tent_set: crate::types::TentSet::singleton(9, p(3)),
+        };
+        q.on_app_receive(p(3), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        out.clear();
+        q.on_timer(1, &mut out);
+        assert!(ctrl_sends(&out).is_empty(), "leader CK_BGN suppressed by smaller leader");
+    }
+
+    #[test]
+    fn hier_p0_wave_fans_out_to_leaders_and_own_ring() {
+        let mut q = hier_proc(0);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(1, &mut out);
+        let sends = ctrl_sends(&out);
+        // CK_REQ to leaders P3 and P6, plus the group-0 ring token to P1.
+        let mut dsts: Vec<u32> = sends.iter().map(|(d, _)| d.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![1, 3, 6]);
+        assert!(sends.iter().all(|(_, cm)| cm.kind == CtrlKind::CkReq && cm.csn == 1));
+        // A duplicate alarm must not launch a second wave.
+        out.clear();
+        q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkBgn, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty());
+    }
+
+    #[test]
+    fn hier_group_ring_returns_to_leader_then_reports() {
+        // Leader P3 gets the wave token: ring P3 → P4 → P5 → P3, then
+        // CK_GRP_DONE to P0.
+        let mut l = hier_proc(3);
+        let mut m4 = hier_proc(4);
+        let mut m5 = hier_proc(5);
+        let mut out = Outbox::new();
+        l.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(4), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
+        out.clear();
+        m4.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(5), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
+        out.clear();
+        m5.on_ctrl_receive(p(4), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(3), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 })]);
+        out.clear();
+        l.on_ctrl_receive(p(5), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(ctrl_sends(&out), vec![(p(0), CtrlMsg { kind: CtrlKind::CkGrpDone, csn: 1 })]);
+        // The report is deduplicated.
+        out.clear();
+        l.on_ctrl_receive(p(5), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty());
+    }
+
+    #[test]
+    fn hier_p0_ends_round_after_all_groups_report() {
+        let mut q = hier_proc(0);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_timer(1, &mut out); // launch the wave
+        out.clear();
+        // Own ring returns.
+        q.on_ctrl_receive(p(2), CtrlMsg { kind: CtrlKind::CkReq, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty(), "1/3 groups done — no CK_END yet");
+        q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkGrpDone, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty(), "2/3 groups done — no CK_END yet");
+        q.on_ctrl_receive(p(6), CtrlMsg { kind: CtrlKind::CkGrpDone, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        let sends = ctrl_sends(&out);
+        let mut dsts: Vec<u32> =
+            sends.iter().filter(|(_, cm)| cm.kind == CtrlKind::CkEnd).map(|(d, _)| d.0).collect();
+        dsts.sort_unstable();
+        // CK_END to its own members (1, 2) and the other leaders (3, 6).
+        assert_eq!(dsts, vec![1, 2, 3, 6]);
+        assert_eq!(q.status(), Status::Normal);
+        // A late duplicate report must not re-broadcast.
+        out.clear();
+        q.on_ctrl_receive(p(3), CtrlMsg { kind: CtrlKind::CkGrpDone, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert!(ctrl_sends(&out).is_empty());
+    }
+
+    #[test]
+    fn hier_leader_relays_ck_end_to_members() {
+        let mut q = hier_proc(6);
+        let mut out = Outbox::new();
+        q.initiate_checkpoint(&mut out);
+        out.clear();
+        q.on_ctrl_receive(p(0), CtrlMsg { kind: CtrlKind::CkEnd, csn: 1 }, &mut out)
+            .expect("scripted hier replay step must be accepted");
+        assert_eq!(q.status(), Status::Normal);
+        let mut dsts: Vec<u32> = ctrl_sends(&out).iter().map(|(d, _)| d.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![7, 8], "leader must relay CK_END to its members");
+    }
+
+    /// End-to-end two-tier wave: P4 alarms, the wave reaches all 9
+    /// processes, everyone finalizes csn 1 — and nobody's control fan-out
+    /// exceeds O(group size + #groups).
+    #[test]
+    fn hier_wave_converges_all_nine() {
+        let n = 9;
+        let mut procs: Vec<OcptProcess> = (0..n as u32).map(hier_proc).collect();
+        let mut out = Outbox::new();
+        procs[4].initiate_checkpoint(&mut out);
+        out.clear();
+        procs[4].on_timer(1, &mut out);
+        let mut queue: Vec<(ProcessId, ProcessId, CtrlMsg)> =
+            ctrl_sends(&out).into_iter().map(|(d, cm)| (p(4), d, cm)).collect();
+        let mut hops = 0u32;
+        while let Some((src, dst, cm)) = queue.pop() {
+            hops += 1;
+            assert!(hops < 200, "wave must terminate");
+            out.clear();
+            procs[dst.0 as usize]
+                .on_ctrl_receive(src, cm, &mut out)
+                .expect("scripted hier replay step must be accepted");
+            queue.extend(ctrl_sends(&out).into_iter().map(|(d, m)| (dst, d, m)));
+        }
+        for (i, q) in procs.iter().enumerate() {
+            assert_eq!(q.csn(), 1, "P{i} csn");
+            assert_eq!(q.status(), Status::Normal, "P{i} finalized");
+            // Per-process fan-out bound: 2·(group size + #groups) — here
+            // P0's worst case is 3 CK_REQ + 4 CK_END = 7. With the √N
+            // grouping this is O(√N), vs the flat ring's O(N).
+            let sent = q.stats().get("ctrl.req_sent")
+                + q.stats().get("ctrl.bgn_sent")
+                + q.stats().get("ctrl.grp_done_sent")
+                + q.stats().get("ctrl.end_sent");
+            assert!(sent <= 2 * (3 + 3), "P{i} sent {sent} control messages");
+            if i == 0 {
+                assert_eq!(sent, 7, "P0: 3 CK_REQ + 4 CK_END");
+            }
         }
     }
 

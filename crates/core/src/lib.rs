@@ -59,7 +59,7 @@ pub mod types;
 pub mod wire;
 
 pub use actions::{Action, Outbox};
-pub use config::{FlushPolicy, OcptConfig, WritePolicy};
+pub use config::{ControlTopology, FlushPolicy, OcptConfig, WritePolicy};
 pub use error::ProtocolError;
 pub use log::{Direction, LogEntry, MessageLog};
 pub use piggyback::Piggyback;

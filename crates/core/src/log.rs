@@ -40,7 +40,7 @@ pub struct LogEntry {
 }
 
 /// Encoded size of one entry's metadata (dir + peer + msg_id + payload id/len).
-pub const ENTRY_META_BYTES: u64 = 1 + 2 + 8 + 8 + 4;
+pub const ENTRY_META_BYTES: u64 = 1 + 4 + 8 + 8 + 4;
 
 impl LogEntry {
     /// Bytes this entry contributes to a durable flush: metadata plus the
@@ -123,7 +123,7 @@ impl MessageLog {
                 Direction::Sent => 0,
                 Direction::Received => 1,
             });
-            b.put_u16(e.peer.0);
+            b.put_u32(e.peer.0);
             b.put_u64(e.msg_id.0);
             b.put_u64(e.payload.id);
             b.put_u32(e.payload.len);
@@ -148,7 +148,7 @@ impl MessageLog {
                 1 => Direction::Received,
                 _ => return None,
             };
-            let peer = ProcessId(buf.get_u16());
+            let peer = ProcessId(buf.get_u32());
             let msg_id = MsgId(buf.get_u64());
             let id = buf.get_u64();
             let len = buf.get_u32();
@@ -169,7 +169,7 @@ impl MessageLog {
 mod tests {
     use super::*;
 
-    fn entry(dir: Direction, peer: u16, msg: u64, len: u32) -> LogEntry {
+    fn entry(dir: Direction, peer: u32, msg: u64, len: u32) -> LogEntry {
         LogEntry {
             dir,
             peer: ProcessId(peer),

@@ -52,6 +52,18 @@ pub struct OcptProcess {
     pub(crate) ck_req_sent_for: Option<Csn>,
     /// `CK_END(csn)` already broadcast for this csn (Fig. 4 dedupe guard).
     pub(crate) ck_end_sent_for: Option<Csn>,
+    /// Hierarchical only: `CK_BGN(csn)` already escalated to `P_0` by this
+    /// group leader.
+    pub(crate) ck_bgn_sent_for: Option<Csn>,
+    /// Hierarchical only: `CK_GRP_DONE(csn)` already reported to `P_0` by
+    /// this group leader.
+    pub(crate) grp_done_sent_for: Option<Csn>,
+    /// Hierarchical only, `P_0` only: which groups reported their ring
+    /// complete for the csn in `.0` (`.2` counts set entries).
+    pub(crate) groups_done: Option<(Csn, Vec<bool>, u32)>,
+    /// Resolved control sharding: `Some(group_size)` when this system runs
+    /// hierarchical waves, `None` for the paper's flat ring.
+    hier_group_size: Option<u32>,
     stats: Counters,
 }
 
@@ -73,6 +85,10 @@ impl OcptProcess {
             timer_armed: false,
             ck_req_sent_for: None,
             ck_end_sent_for: None,
+            ck_bgn_sent_for: None,
+            grp_done_sent_for: None,
+            groups_done: None,
+            hier_group_size: cfg.control_topology.group_size(n),
             stats: Counters::new(),
         }
     }
@@ -133,6 +149,47 @@ impl OcptProcess {
     /// The configuration in force.
     pub fn config(&self) -> &OcptConfig {
         &self.cfg
+    }
+
+    // ---- hierarchical group geometry (control sharding) ----
+
+    /// `Some(group_size)` when this system runs hierarchical control
+    /// waves; `None` for the paper's flat ring.
+    pub fn hier_group_size(&self) -> Option<u32> {
+        self.hier_group_size
+    }
+
+    /// Number of groups under the resolved sharding (1 when flat).
+    pub fn num_groups(&self) -> u32 {
+        match self.hier_group_size {
+            Some(s) => (self.n as u32).div_ceil(s),
+            None => 1,
+        }
+    }
+
+    /// The group a process belongs to (groups are contiguous id ranges).
+    pub(crate) fn group_of(&self, pid: ProcessId) -> u32 {
+        pid.0 / self.hier_group_size.expect("group_of requires hierarchical mode")
+    }
+
+    /// The leader (smallest id) of a group.
+    pub(crate) fn leader_of(&self, group: u32) -> ProcessId {
+        ProcessId(group * self.hier_group_size.expect("leader_of requires hierarchical mode"))
+    }
+
+    /// One-past-the-end id of a group.
+    pub(crate) fn group_end(&self, group: u32) -> u32 {
+        let s = self.hier_group_size.expect("group_end requires hierarchical mode");
+        ((group + 1) * s).min(self.n as u32)
+    }
+
+    /// Whether this process leads its group (`P_0` leads group 0 *and*
+    /// coordinates the leaders).
+    pub(crate) fn is_group_leader(&self) -> bool {
+        match self.hier_group_size {
+            Some(s) => self.id.0 % s == 0,
+            None => false,
+        }
     }
 
     // ---- [OCPT §3.4.1] initiation ----
@@ -336,9 +393,14 @@ impl OcptProcess {
         let log = std::mem::take(&mut self.log);
         let csn = self.csn;
         out.push(Action::Finalize { csn, log, excluded });
+        // Flat: P_0 broadcasts CK_END to everyone. Hierarchical: P_0
+        // notifies the leaders (plus its own group), and every finalizing
+        // leader relays to its members — the "leaders exchange CK_END
+        // summaries" link that keeps suppressed members from starving.
         if self.cfg.control_messages
             && self.cfg.p0_broadcast_on_finalize
-            && self.id == ProcessId::P0
+            && (self.id == ProcessId::P0
+                || (self.hier_group_size.is_some() && self.is_group_leader()))
         {
             self.broadcast_ck_end(out);
         }
@@ -353,7 +415,7 @@ mod tests {
         AppPayload { id, len: 100 }
     }
 
-    fn proc(i: u16, n: usize) -> OcptProcess {
+    fn proc(i: u32, n: usize) -> OcptProcess {
         // Plain-basic config (no control messages) keeps these unit tests
         // focused on Fig. 3; Fig. 4 is tested in `control`.
         OcptProcess::new(ProcessId(i), n, OcptConfig::basic_only())

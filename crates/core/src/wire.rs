@@ -22,16 +22,22 @@ pub struct AppPayload {
     pub len: u32,
 }
 
-/// Control message kinds (paper §3.5.1).
+/// Control message kinds (paper §3.5.1, plus the hierarchical group wave).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CtrlKind {
-    /// "Checkpoint begin": a timed-out process notifies `P_0`.
+    /// "Checkpoint begin": a timed-out process notifies `P_0` (or, under
+    /// the hierarchical topology, its group leader, which escalates).
     CkBgn,
     /// "Checkpoint request": the token `P_0` circulates to make every
-    /// process take a tentative checkpoint.
+    /// process take a tentative checkpoint. Hierarchical mode runs one
+    /// token ring per group.
     CkReq,
     /// "Checkpoint end": `P_0`'s broadcast that finalization may proceed.
+    /// Hierarchical mode relays it leader → members.
     CkEnd,
+    /// Hierarchical only: a group leader reports to `P_0` that its
+    /// intra-group `CK_REQ` ring completed.
+    CkGrpDone,
 }
 
 impl CtrlKind {
@@ -41,6 +47,7 @@ impl CtrlKind {
             CtrlKind::CkBgn => "CK_BGN",
             CtrlKind::CkReq => "CK_REQ",
             CtrlKind::CkEnd => "CK_END",
+            CtrlKind::CkGrpDone => "CK_GRP_DONE",
         }
     }
 }
@@ -81,8 +88,8 @@ impl Envelope {
     }
 }
 
-/// Envelope header: version(1) + discriminant(1) + n(2).
-pub const ENV_HEADER_BYTES: usize = 4;
+/// Envelope header: version(1) + discriminant(1) + n(4).
+pub const ENV_HEADER_BYTES: usize = 6;
 /// App fixed fields: payload id(8) + payload len(4).
 pub const APP_FIXED_BYTES: usize = 12;
 /// Ctrl fixed fields: kind(1) + csn(8).
@@ -124,7 +131,7 @@ pub fn encode_envelope(env: &Envelope, n: usize) -> Bytes {
     match env {
         Envelope::App { pb, payload } => {
             b.put_u8(0);
-            b.put_u16(n as u16);
+            b.put_u32(n as u32);
             b.put_u64(pb.csn);
             b.put_u8(match pb.stat {
                 Status::Normal => 0,
@@ -137,11 +144,12 @@ pub fn encode_envelope(env: &Envelope, n: usize) -> Bytes {
         }
         Envelope::Ctrl(cm) => {
             b.put_u8(1);
-            b.put_u16(n as u16);
+            b.put_u32(n as u32);
             b.put_u8(match cm.kind {
                 CtrlKind::CkBgn => 0,
                 CtrlKind::CkReq => 1,
                 CtrlKind::CkEnd => 2,
+                CtrlKind::CkGrpDone => 3,
             });
             b.put_u64(cm.csn);
         }
@@ -159,7 +167,7 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
         return Err(WireError::BadVersion(version));
     }
     let disc = buf.get_u8();
-    let n = buf.get_u16() as usize;
+    let n = buf.get_u32() as usize;
     match disc {
         0 => {
             if buf.len() < 9 {
@@ -171,12 +179,13 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
                 1 => Status::Tentative,
                 t => return Err(WireError::BadTag(t)),
             };
-            let ts_len = n.div_ceil(8);
+            // The tentSet encoding is self-describing (adaptive repr): the
+            // decoder reports how many bytes it consumed.
+            let (tent_set, ts_len) = TentSet::from_wire(n, &buf).ok_or(WireError::BadTentSet)?;
             if buf.len() < ts_len + APP_FIXED_BYTES {
                 return Err(WireError::Truncated);
             }
-            let ts_bytes = buf.split_to(ts_len);
-            let tent_set = TentSet::from_bytes(n, &ts_bytes).ok_or(WireError::BadTentSet)?;
+            buf.advance(ts_len);
             let id = buf.get_u64();
             let len = buf.get_u32();
             if buf.len() < len as usize {
@@ -198,6 +207,7 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
                 0 => CtrlKind::CkBgn,
                 1 => CtrlKind::CkReq,
                 2 => CtrlKind::CkEnd,
+                3 => CtrlKind::CkGrpDone,
                 t => return Err(WireError::BadTag(t)),
             };
             let csn = buf.get_u64();
@@ -245,7 +255,7 @@ mod tests {
 
     #[test]
     fn ctrl_round_trip() {
-        for kind in [CtrlKind::CkBgn, CtrlKind::CkReq, CtrlKind::CkEnd] {
+        for kind in [CtrlKind::CkBgn, CtrlKind::CkReq, CtrlKind::CkEnd, CtrlKind::CkGrpDone] {
             let env = Envelope::Ctrl(CtrlMsg { kind, csn: 3 });
             let enc = encode_envelope(&env, 8);
             assert_eq!(enc.len() as u64, env.wire_bytes(8));

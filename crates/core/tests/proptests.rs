@@ -13,7 +13,7 @@ use proptest::prelude::*;
 // ---------- TentSet algebra ----------
 
 fn tentset_strategy(n: usize) -> impl Strategy<Value = TentSet> {
-    prop::collection::vec(0..n as u16, 0..n).prop_map(move |ids| {
+    prop::collection::vec(0..n as u32, 0..n).prop_map(move |ids| {
         let mut s = TentSet::empty(n);
         for i in ids {
             s.insert(ProcessId(i));
@@ -26,10 +26,10 @@ proptest! {
     #[test]
     fn tentset_merge_is_union_commutative_idempotent(
         n in 1usize..200,
-        seed_a in prop::collection::vec(0u16..200, 0..32),
-        seed_b in prop::collection::vec(0u16..200, 0..32),
+        seed_a in prop::collection::vec(0u32..200, 0..32),
+        seed_b in prop::collection::vec(0u32..200, 0..32),
     ) {
-        let mk = |ids: &[u16]| {
+        let mk = |ids: &[u32]| {
             let mut s = TentSet::empty(n);
             for &i in ids {
                 if (i as usize) < n {
@@ -71,14 +71,14 @@ proptest! {
     }
 
     #[test]
-    fn first_absent_above_is_correct(n in 2usize..100, s in (2usize..100).prop_flat_map(tentset_strategy), from in 0u16..100) {
+    fn first_absent_above_is_correct(n in 2usize..100, s in (2usize..100).prop_flat_map(tentset_strategy), from in 0u32..100) {
         let mut set = TentSet::empty(n);
         for p in s.iter() {
             if p.index() < n {
                 set.insert(p);
             }
         }
-        let from = ProcessId(from % n as u16);
+        let from = ProcessId(from % n as u32);
         match set.first_absent_above(from) {
             Some(q) => {
                 prop_assert!(q > from);
@@ -88,7 +88,7 @@ proptest! {
                 }
             }
             None => {
-                for k in (from.0 + 1)..n as u16 {
+                for k in (from.0 + 1)..n as u32 {
                     prop_assert!(set.contains(ProcessId(k)));
                 }
             }
@@ -104,7 +104,7 @@ proptest! {
         tentative in any::<bool>(),
         payload_id in any::<u64>(),
         payload_len in 0u32..4096,
-        members in prop::collection::vec(0u16..200, 0..16),
+        members in prop::collection::vec(0u32..200, 0..16),
     ) {
         let mut ts = TentSet::empty(n);
         for m in members {
@@ -134,7 +134,7 @@ proptest! {
 
     #[test]
     fn message_log_round_trips(entries in prop::collection::vec(
-        (any::<bool>(), 0u16..64, any::<u64>(), any::<u64>(), 0u32..2048), 0..64)
+        (any::<bool>(), 0u32..64, any::<u64>(), any::<u64>(), 0u32..2048), 0..64)
     ) {
         let mut log = MessageLog::new();
         for (sent, peer, msg, pid, len) in entries {
@@ -155,6 +155,101 @@ proptest! {
     }
 }
 
+// ---------- Adaptive wire encodings (differential) ----------
+
+/// Universes on both sides of the u16→u32 id-width boundary, paired with
+/// sets built from a handful of intervals plus scattered singletons — the
+/// structure that lets each of the three representations win somewhere.
+fn universe_and_set() -> impl Strategy<Value = (usize, TentSet)> {
+    prop_oneof![17usize..1_000, 65_530usize..66_000].prop_flat_map(|n| {
+        let runs = prop::collection::vec((0..n as u32, 1u32..64), 0..6);
+        let singles = prop::collection::vec(0..n as u32, 0..12);
+        let set = (runs, singles).prop_map(move |(runs, singles)| {
+            let mut s = TentSet::empty(n);
+            for (start, len) in runs {
+                for i in start..(start + len).min(n as u32) {
+                    s.insert(ProcessId(i));
+                }
+            }
+            for i in singles {
+                s.insert(ProcessId(i));
+            }
+            s
+        });
+        (Just(n), set)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Differential: the sparse and run encodings must decode to exactly
+    /// the set the dense bitmap (the reference representation) decodes to,
+    /// and the adaptive pick must be the smallest of the three.
+    #[test]
+    fn forced_encodings_agree_with_dense_reference(ns in universe_and_set()) {
+        let (n, s) = ns;
+        let dense = s.encode_dense();
+        let sparse = s.encode_sparse();
+        let runs = s.encode_runs();
+        let reference = TentSet::from_bytes(n, &dense).expect("dense decodes");
+        prop_assert_eq!(&reference, &s);
+        for enc in [&sparse, &runs] {
+            let d = TentSet::from_bytes(n, enc).expect("forced encoding decodes");
+            prop_assert_eq!(&d, &reference);
+        }
+        // The adaptive choice self-reports its size and is never beaten.
+        let adaptive = s.to_bytes();
+        prop_assert_eq!(adaptive.len(), s.wire_bytes());
+        prop_assert!(adaptive.len() <= dense.len().min(sparse.len()).min(runs.len()));
+        // `from_wire` consumes exactly the encoded bytes, even with junk
+        // appended (the envelope decoder relies on this).
+        let mut framed = adaptive.clone();
+        framed.extend_from_slice(&[0xAB; 7]);
+        let (d, used) = TentSet::from_wire(n, &framed).expect("framed decode");
+        prop_assert_eq!(used, adaptive.len());
+        prop_assert_eq!(d, s);
+    }
+
+    /// Merging two sets that each took a wire round-trip gives the same
+    /// union as merging in memory — the encodings are lossless under the
+    /// protocol's one algebraic operation.
+    #[test]
+    fn merge_commutes_with_wire_round_trip(
+        na in universe_and_set(),
+        ids in prop::collection::vec(any::<u32>(), 0..24),
+    ) {
+        let (n, a) = na;
+        let mut b = TentSet::empty(n);
+        for i in ids {
+            b.insert(ProcessId(i % n as u32));
+        }
+        let mut in_memory = a.clone();
+        in_memory.merge(&b);
+        let mut via_wire = TentSet::from_bytes(n, &a.to_bytes()).expect("a decodes");
+        via_wire.merge(&TentSet::from_bytes(n, &b.to_bytes()).expect("b decodes"));
+        prop_assert_eq!(via_wire, in_memory);
+    }
+
+    /// An unknown tag byte or a truncated body is rejected, never
+    /// misinterpreted.
+    #[test]
+    fn corrupted_tag_and_truncation_rejected(
+        ns in universe_and_set(),
+        bad_tag in 3u8..=255,
+    ) {
+        let (n, s) = ns;
+        let good = s.to_bytes();
+        let mut corrupted = good.clone();
+        corrupted[0] = bad_tag;
+        prop_assert!(TentSet::from_bytes(n, &corrupted).is_none(), "unknown tag accepted");
+        prop_assert!(
+            TentSet::from_bytes(n, &good[..good.len() - 1]).is_none(),
+            "truncated body accepted"
+        );
+    }
+}
+
 // ---------- State-machine fuzz ----------
 
 /// A network-less random scheduler: messages sit in a bag; each step either
@@ -171,17 +266,17 @@ proptest! {
 #[derive(Debug)]
 enum Op {
     Deliver(usize),
-    Send { from: u16, to_off: u16 },
-    Initiate(u16),
-    FireTimer(u16),
+    Send { from: u32, to_off: u32 },
+    Initiate(u32),
+    FireTimer(u32),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<prop::sample::Index>()).prop_map(|i| Op::Deliver(i.index(usize::MAX))),
-        (any::<u16>(), any::<u16>()).prop_map(|(f, t)| Op::Send { from: f, to_off: t }),
-        any::<u16>().prop_map(Op::Initiate),
-        any::<u16>().prop_map(Op::FireTimer),
+        (any::<u32>(), any::<u32>()).prop_map(|(f, t)| Op::Send { from: f, to_off: t }),
+        any::<u32>().prop_map(Op::Initiate),
+        any::<u32>().prop_map(Op::FireTimer),
     ]
 }
 
@@ -195,7 +290,7 @@ proptest! {
     ) {
         let cfg = OcptConfig::default();
         let mut procs: Vec<OcptProcess> =
-            (0..n).map(|i| OcptProcess::new(ProcessId(i as u16), n, cfg)).collect();
+            (0..n).map(|i| OcptProcess::new(ProcessId(i as u32), n, cfg)).collect();
         // In-flight messages: (src, dst, msg_id, payload, piggyback).
         let mut flight: Vec<(ProcessId, ProcessId, MsgId, AppPayload, Piggyback)> = Vec::new();
         // Pending timers per process: the csn the timer guards.
@@ -214,7 +309,7 @@ proptest! {
             for a in actions {
                 match a {
                     ocpt_core::Action::SendCtrl { dst, cm } => {
-                        ctrl_flight.push((ProcessId(pid as u16), dst, cm));
+                        ctrl_flight.push((ProcessId(pid as u32), dst, cm));
                     }
                     ocpt_core::Action::SetTimer { csn } => timers[pid] = Some(csn),
                     ocpt_core::Action::CancelTimer => timers[pid] = None,
@@ -252,8 +347,8 @@ proptest! {
                     let id = MsgId(next_msg);
                     next_msg += 1;
                     let payload = AppPayload { id: id.0, len: 64 };
-                    let pb = procs[src].on_app_send(ProcessId(dst as u16), id, payload);
-                    flight.push((ProcessId(src as u16), ProcessId(dst as u16), id, payload, pb));
+                    let pb = procs[src].on_app_send(ProcessId(dst as u32), id, payload);
+                    flight.push((ProcessId(src as u32), ProcessId(dst as u32), id, payload, pb));
                 }
                 Op::Initiate(p) => {
                     let pid = (*p as usize) % n;

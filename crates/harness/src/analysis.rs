@@ -158,7 +158,7 @@ mod tests {
     use super::*;
     use ocpt_sim::{MsgId, SimTime};
 
-    fn p(i: u16) -> ProcessId {
+    fn p(i: u32) -> ProcessId {
         ProcessId(i)
     }
 

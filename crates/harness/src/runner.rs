@@ -206,7 +206,7 @@ pub struct RunResult {
     /// Ground-truth application state at each checkpoint's cut,
     /// keyed by `(pid, seq)` — what a correct recovery must restore.
     /// Ordered map: consumers may iterate it straight into reports.
-    pub cut_states: BTreeMap<(u16, u64), AppSnapshot>,
+    pub cut_states: BTreeMap<(u32, u64), AppSnapshot>,
     /// Live protocol instances' snapshot of checkpoint counts etc. is in
     /// `counters`; the trace is here when enabled.
     pub trace: Trace,
@@ -334,7 +334,7 @@ pub struct Runner<P: CheckpointProtocol> {
     prev_app: Vec<AppSnapshot>,
     /// App state at each checkpoint's consistency cut — the ground truth
     /// the recovery tests compare restored states against.
-    cut_states: BTreeMap<(u16, u64), AppSnapshot>,
+    cut_states: BTreeMap<(u32, u64), AppSnapshot>,
     crashed: Vec<bool>,
     sched: Scheduler<P::Env>,
     net: Network,
@@ -355,7 +355,7 @@ pub struct Runner<P: CheckpointProtocol> {
     /// Per-checkpoint write progress. Iterated (`retain`) during recovery
     /// rollback, so ordered — `timers`/`pending_writes` above stay hashed
     /// because they are only ever point-accessed by key.
-    progress: BTreeMap<(u16, u64), CkptProgress>,
+    progress: BTreeMap<(u32, u64), CkptProgress>,
     counters: Counters,
     blocked_since: Vec<Option<SimTime>>,
     blocked_time: SimDuration,

@@ -130,6 +130,20 @@ impl WorkloadState {
     /// Pick the destination for `src`'s next message. Returns `None` when
     /// `src` has no neighbours (degenerate topology).
     pub fn next_dst(&mut self, n: usize, src: ProcessId, rng: &mut SimRng) -> Option<ProcessId> {
+        // Allocation-free fast path for the dominant (full mesh, uniform)
+        // combination: the k-th neighbor of `src` in ascending order is k
+        // itself when k < src, else k+1 — the same rng draw and the same
+        // pick as indexing the materialized list, without the O(N) Vec per
+        // send that dominates at N = 100k.
+        if self.spec.topology == Topology::FullMesh && self.spec.pattern == Pattern::Uniform {
+            if n < 2 {
+                return None;
+            }
+            self.sends += 1;
+            let k = rng.next_usize_below(n - 1) as u64;
+            let dst = if k < src.0 as u64 { k } else { k + 1 };
+            return Some(ProcessId(dst as u32));
+        }
         let nbrs = self.spec.topology.neighbors(n, src);
         if nbrs.is_empty() {
             return None;

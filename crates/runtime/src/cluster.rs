@@ -65,7 +65,7 @@ impl Cluster {
             // Commands ride the same merged inbox as network bytes.
             cmd_tx.push(inboxes_tx[i].clone());
             let ctx = NodeCtx {
-                pid: ProcessId(i as u16),
+                pid: ProcessId(i as u32),
                 n,
                 cfg,
                 inbox,

@@ -29,7 +29,7 @@ pub struct DurableCheckpoint {
 /// threaded runtime's assertions compare against the simulator's output.
 #[derive(Debug, Default)]
 pub struct StableStore {
-    inner: Mutex<BTreeMap<(u16, Csn), DurableCheckpoint>>,
+    inner: Mutex<BTreeMap<(u32, Csn), DurableCheckpoint>>,
 }
 
 impl StableStore {

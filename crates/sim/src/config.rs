@@ -55,7 +55,7 @@ impl SimConfig {
         if self.n < 2 {
             return Err("need at least 2 processes".into());
         }
-        if self.n > u16::MAX as usize {
+        if self.n > u32::MAX as usize {
             return Err("too many processes".into());
         }
         if self.horizon.is_zero() {

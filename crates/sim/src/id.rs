@@ -10,7 +10,7 @@ use std::fmt;
 /// (`CK_BGN` suppression picks the smallest id, the `CK_REQ` ring walks ids
 /// upward), so the id is an ordered integer rather than an opaque handle.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ProcessId(pub u16);
+pub struct ProcessId(pub u32);
 
 impl ProcessId {
     /// The conventional coordinator `P_0` used by the control-message layer.
@@ -24,21 +24,27 @@ impl ProcessId {
 
     /// Iterate all process ids `0..n`.
     pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
-        assert!(n <= u16::MAX as usize + 1, "too many processes");
-        (0..n as u16).map(ProcessId)
+        assert!(n <= u32::MAX as usize + 1, "too many processes");
+        (0..n as u32).map(ProcessId)
     }
 }
 
 impl From<u16> for ProcessId {
     fn from(v: u16) -> Self {
+        ProcessId(v as u32)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
         ProcessId(v)
     }
 }
 
 impl From<usize> for ProcessId {
     fn from(v: usize) -> Self {
-        assert!(v <= u16::MAX as usize, "process id out of range");
-        ProcessId(v as u16)
+        assert!(v <= u32::MAX as usize, "process id out of range");
+        ProcessId(v as u32)
     }
 }
 
@@ -97,6 +103,15 @@ mod tests {
     #[test]
     #[should_panic]
     fn oversized_usize_panics() {
-        let _ = ProcessId::from(usize::from(u16::MAX) + 1);
+        let _ = ProcessId::from(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ids_beyond_u16_work() {
+        // Regression: ids past 65 535 must survive the usize round-trip
+        // (they used to silently truncate when the id was a u16).
+        let p = ProcessId::from(70_000usize);
+        assert_eq!(p.index(), 70_000);
+        assert_eq!(p.to_string(), "P70000");
     }
 }

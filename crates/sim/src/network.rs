@@ -69,7 +69,10 @@ impl Network {
             delay,
             fifo,
             rng: SimRng::derive(seed, NET_TAG),
-            last_delivery: vec![SimTime::ZERO; n * n],
+            // The per-channel table is O(n²); only FIFO mode reads it, so
+            // non-FIFO runs (the default, and the only mode that scales to
+            // 100k processes) skip the allocation entirely.
+            last_delivery: if fifo { vec![SimTime::ZERO; n * n] } else { Vec::new() },
             stats: NetworkStats::default(),
         }
     }

@@ -204,7 +204,7 @@ mod tests {
 
     const KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::ReferenceHeap];
 
-    fn tick(pid: u16, kind: u64) -> Event<u32> {
+    fn tick(pid: u32, kind: u64) -> Event<u32> {
         Event::Tick { pid: ProcessId(pid), kind }
     }
 

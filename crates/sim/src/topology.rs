@@ -85,7 +85,7 @@ impl Topology {
 mod tests {
     use super::*;
 
-    fn ids(v: &[u16]) -> Vec<ProcessId> {
+    fn ids(v: &[u32]) -> Vec<ProcessId> {
         v.iter().map(|&x| ProcessId(x)).collect()
     }
 

@@ -278,7 +278,7 @@ impl Trace {
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" font-family="monospace" font-size="11">"#
         );
         let _ = write!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
-        for p in (0..n).map(|i| ProcessId(i as u16)) {
+        for p in (0..n).map(|i| ProcessId(i as u32)) {
             let yy = y(p);
             let _ = write!(
                 s,

@@ -41,7 +41,7 @@ enum Op {
 }
 
 fn decode(sel: u8, a: u64, b: u64) -> Op {
-    let pid = ProcessId((a % N as u64) as u16);
+    let pid = ProcessId((a % N as u64) as u32);
     match sel % 12 {
         // Scheduling dominates so queues grow deep enough to stress
         // cascades and purges.
@@ -49,7 +49,7 @@ fn decode(sel: u8, a: u64, b: u64) -> Op {
             let ev = match (a / N as u64) % 6 {
                 0 | 1 => Event::Tick { pid, kind: a },
                 2 | 3 => Event::Deliver {
-                    src: ProcessId(((a + 1) % N as u64) as u16),
+                    src: ProcessId(((a + 1) % N as u64) as u32),
                     dst: pid,
                     msg_id: MsgId(a),
                     msg: (b & 0xFFFF_FFFF) as u32,
@@ -165,7 +165,7 @@ proptest! {
         for (a, b) in seeds {
             // Interleave plain events and timers.
             let op = if a % 3 == 0 {
-                Op::SetTimer(ProcessId((a % N as u64) as u16), stretch(b), a)
+                Op::SetTimer(ProcessId((a % N as u64) as u32), stretch(b), a)
             } else {
                 decode(0, a, b)
             };
@@ -173,7 +173,7 @@ proptest! {
         }
         for (sel, a) in purges {
             let op = match sel % 4 {
-                0 => Op::DropFor(ProcessId((a % N as u64) as u16)),
+                0 => Op::DropFor(ProcessId((a % N as u64) as u32)),
                 1 => Op::Clear,
                 2 => Op::CancelTimer(a),
                 _ => Op::Pop,

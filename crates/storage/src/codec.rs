@@ -42,14 +42,14 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Size in bytes of the fixed header.
-pub const HEADER_BYTES: usize = 4 + 2 + 2 + 8 + 8 + 4 + 4;
+pub const HEADER_BYTES: usize = 4 + 2 + 4 + 8 + 8 + 4 + 4;
 
 /// Encode a checkpoint record to a self-describing byte string.
 pub fn encode_checkpoint(c: &StoredCheckpoint) -> Bytes {
     let mut b = BytesMut::with_capacity(HEADER_BYTES + c.state.len() + c.log.len());
     b.put_u32(MAGIC);
     b.put_u16(VERSION);
-    b.put_u16(c.pid.0);
+    b.put_u32(c.pid.0);
     b.put_u64(c.csn);
     b.put_u64(c.durable_at.as_nanos());
     b.put_u32(c.state.len() as u32);
@@ -72,7 +72,7 @@ pub fn decode_checkpoint(mut buf: Bytes) -> Result<StoredCheckpoint, CodecError>
     if version != VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let pid = ProcessId(buf.get_u16());
+    let pid = ProcessId(buf.get_u32());
     let csn = buf.get_u64();
     let durable_at = SimTime::from_nanos(buf.get_u64());
     let state_len = buf.get_u32() as usize;

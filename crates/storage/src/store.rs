@@ -41,7 +41,7 @@ impl StoredCheckpoint {
 pub struct CheckpointStore {
     n: usize,
     /// `(csn, pid)` ordering gives cheap per-csn scans.
-    items: BTreeMap<(u64, u16), StoredCheckpoint>,
+    items: BTreeMap<(u64, u32), StoredCheckpoint>,
     gc_below: u64,
 }
 
@@ -66,7 +66,7 @@ impl CheckpointStore {
 
     /// How many processes have a durable checkpoint with this `csn`.
     pub fn durable_count(&self, csn: u64) -> usize {
-        self.items.range((csn, 0)..=(csn, u16::MAX)).count()
+        self.items.range((csn, 0)..=(csn, u32::MAX)).count()
     }
 
     /// The recovery line: greatest `csn` durable on **all** processes.
@@ -87,7 +87,7 @@ impl CheckpointStore {
 
     /// The most recent durable checkpoint of `pid` with `csn ≤ bound`.
     pub fn latest_at_most(&self, pid: ProcessId, bound: u64) -> Option<&StoredCheckpoint> {
-        self.items.range(..=(bound, u16::MAX)).rev().map(|(_, v)| v).find(|v| v.pid == pid)
+        self.items.range(..=(bound, u32::MAX)).rev().map(|(_, v)| v).find(|v| v.pid == pid)
     }
 
     /// Drop all checkpoints with `csn < line` (bounded storage). Returns
@@ -128,7 +128,7 @@ impl CheckpointStore {
 mod tests {
     use super::*;
 
-    fn ck(pid: u16, csn: u64, at: u64) -> StoredCheckpoint {
+    fn ck(pid: u32, csn: u64, at: u64) -> StoredCheckpoint {
         StoredCheckpoint {
             pid: ProcessId(pid),
             csn,

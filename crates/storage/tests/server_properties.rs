@@ -19,7 +19,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         for (i, (gap_us, bytes)) in subs.iter().enumerate() {
             t += SimDuration::from_micros(*gap_us);
-            s.submit(t, ProcessId((i % 7) as u16), StorageReqId(i as u64), *bytes);
+            s.submit(t, ProcessId((i % 7) as u32), StorageReqId(i as u64), *bytes);
         }
         // Drain.
         let mut done = Vec::new();

@@ -66,7 +66,7 @@ pub fn summary(f: &TraceFile) -> String {
     }
 
     let _ = writeln!(out, "events by process:");
-    let mut by_pid: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut by_pid: BTreeMap<u32, u64> = BTreeMap::new();
     for r in &f.recs {
         *by_pid.entry(r.pid).or_default() += 1;
     }
@@ -158,7 +158,7 @@ pub fn diff(a: &TraceFile, b: &TraceFile, context: usize) -> DiffReport {
 #[derive(Clone, Debug, Default)]
 pub struct GrepFilter {
     /// Only events on this process.
-    pub pid: Option<u16>,
+    pub pid: Option<u32>,
     /// Only events of this schema kind (e.g. `"ctrl_send"`).
     pub kind: Option<String>,
     /// Only events whose code starts with this prefix (e.g. `"ctrl."`).
@@ -191,7 +191,7 @@ mod tests {
 
     use super::*;
 
-    fn rec(at: u64, pid: u16, kind: &str, code: &str, seq: Option<u64>) -> Rec {
+    fn rec(at: u64, pid: u32, kind: &str, code: &str, seq: Option<u64>) -> Rec {
         Rec { at, pid, kind: kind.into(), code: code.into(), seq, detail: "d".into() }
     }
 

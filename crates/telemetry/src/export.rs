@@ -123,7 +123,7 @@ pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
         }
         last_at = at;
         let pid = get_u64(&f, "pid", &what)?;
-        let pid = u16::try_from(pid).map_err(|_| format!("{what}: pid {pid} out of range"))?;
+        let pid = u32::try_from(pid).map_err(|_| format!("{what}: pid {pid} out of range"))?;
         let seq = f
             .iter()
             .find(|(k, _)| k == "seq")

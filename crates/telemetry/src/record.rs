@@ -21,7 +21,7 @@ pub struct Rec {
     /// Virtual time, nanoseconds since the run started.
     pub at: u64,
     /// Process index.
-    pub pid: u16,
+    pub pid: u32,
     /// Schema kind name (see [`ocpt_sim::TraceKind::name`]).
     pub kind: String,
     /// Stable machine-readable event code (e.g. `"ctrl.ck_bgn"`).

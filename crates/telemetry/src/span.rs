@@ -61,7 +61,7 @@ pub struct Span {
     /// What this interval is.
     pub kind: SpanKind,
     /// Owning process, for per-process spans (`None` for global ones).
-    pub pid: Option<u16>,
+    pub pid: Option<u32>,
     /// Checkpoint round, for round-scoped spans.
     pub seq: Option<u64>,
     /// Start, nanoseconds of virtual time.
@@ -116,9 +116,9 @@ pub fn derive_spans(recs: &[Rec]) -> Vec<Span> {
     // Pass 1: windows.
     let mut rounds: BTreeMap<u64, Window> = BTreeMap::new();
     let mut waves: BTreeMap<u64, Window> = BTreeMap::new();
-    let mut ckpts: BTreeMap<(u16, u64), Window> = BTreeMap::new();
-    let mut writes: BTreeMap<(u16, u64), Vec<Window>> = BTreeMap::new();
-    let mut outages: BTreeMap<u16, Vec<Window>> = BTreeMap::new();
+    let mut ckpts: BTreeMap<(u32, u64), Window> = BTreeMap::new();
+    let mut writes: BTreeMap<(u32, u64), Vec<Window>> = BTreeMap::new();
+    let mut outages: BTreeMap<u32, Vec<Window>> = BTreeMap::new();
 
     for r in recs {
         match r.kind.as_str() {
@@ -246,7 +246,7 @@ pub fn derive_spans(recs: &[Rec]) -> Vec<Span> {
 mod tests {
     use super::*;
 
-    fn rec(at: u64, pid: u16, kind: &str, seq: Option<u64>) -> Rec {
+    fn rec(at: u64, pid: u32, kind: &str, seq: Option<u64>) -> Rec {
         Rec { at, pid, kind: kind.into(), code: kind.into(), seq, detail: String::new() }
     }
 

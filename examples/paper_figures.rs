@@ -16,7 +16,7 @@
 use ocpt::causality::{Cut, GlobalObserver};
 use ocpt::prelude::*;
 
-fn p(i: u16) -> ProcessId {
+fn p(i: u32) -> ProcessId {
     ProcessId(i)
 }
 
@@ -69,8 +69,8 @@ fn figure2() {
 
     let relay =
         |from: usize, to: usize, msg: u64, procs: &mut Vec<OcptProcess>, out: &mut Vec<Action>| {
-            let pb = procs[from].on_app_send(p(to as u16), MsgId(msg), pl);
-            procs[to].on_app_receive(p(from as u16), MsgId(msg), pl, &pb, out).unwrap();
+            let pb = procs[from].on_app_send(p(to as u32), MsgId(msg), pl);
+            procs[to].on_app_receive(p(from as u32), MsgId(msg), pl, &pb, out).unwrap();
         };
 
     relay(0, 1, 2, &mut procs, &mut out);

@@ -22,19 +22,19 @@ fn main() {
 
     for round in 1..=3u64 {
         // Some cross traffic...
-        for i in 0..n as u16 {
-            for j in 0..n as u16 {
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
                 if i != j {
                     cluster.send_app(ProcessId(i), ProcessId(j), 512);
                 }
             }
         }
         // ...then someone initiates a checkpoint (a different node each round).
-        cluster.checkpoint(ProcessId((round % n as u64) as u16));
+        cluster.checkpoint(ProcessId((round % n as u64) as u32));
         // More traffic spreads the piggybacked knowledge; the convergence
         // timer covers whatever the traffic misses.
-        for i in 0..n as u16 {
-            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u16), 256);
+        for i in 0..n as u32 {
+            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u32), 256);
         }
         cluster
             .wait_for_round(round, Duration::from_secs(10))

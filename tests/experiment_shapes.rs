@@ -74,7 +74,7 @@ fn e3_control_messages_appear_under_sparse_traffic() {
 fn e5_selective_logging_is_a_small_fraction() {
     let r = run_checked(&Algo::ocpt(), base(8, 5));
     let logged = r.counters.get("log.flushed_bytes");
-    let everything = 2 * (r.app_payload_bytes + r.app_messages * 23);
+    let everything = 2 * (r.app_payload_bytes + r.app_messages * ocpt_core::log::ENTRY_META_BYTES);
     assert!(
         logged * 3 < everything,
         "selective logging ({logged}) should be well under full logging ({everything})"
@@ -82,14 +82,25 @@ fn e5_selective_logging_is_a_small_fraction() {
     assert!(logged > 0, "some messages must fall inside checkpoint windows");
 }
 
-/// E6: measured piggyback bytes match the ⌈N/8⌉ + 9 formula exactly.
+/// E6: measured piggyback bytes never exceed the dense ⌈N/8⌉ + 9 formula
+/// (the adaptive encoding picks whichever representation is smallest). At
+/// tiny N the dense bitmap always wins, so the match is exact there.
 #[test]
-fn e6_piggyback_matches_formula() {
+fn e6_piggyback_bounded_by_dense_formula() {
     for n in [4usize, 16, 64] {
         let r = run_checked(&Algo::ocpt(), base(n, 6));
         let per_msg = r.piggyback_bytes as f64 / r.app_messages as f64;
-        let theory = ocpt::protocol::Piggyback::wire_bytes_for(n) as f64;
-        assert!((per_msg - theory).abs() < 1e-9, "n={n}: measured {per_msg} vs theory {theory}");
+        let dense = ocpt::protocol::Piggyback::dense_wire_bytes_for(n) as f64;
+        assert!(per_msg <= dense + 1e-9, "n={n}: measured {per_msg} vs dense bound {dense}");
+        if n <= 16 {
+            // 1-byte tag + ≤2-byte bitmap beats any sparse list here.
+            assert!((per_msg - dense).abs() < 1e-9, "n={n}: {per_msg} != {dense}");
+        } else {
+            // Sparse-era messages (empty or few-member tentSets between
+            // rounds) must drag the average strictly below the dense
+            // formula — the whole point of the adaptive encoding.
+            assert!(per_msg < dense - 1e-9, "n={n}: adaptive encoding never beat dense");
+        }
     }
 }
 

@@ -1,0 +1,85 @@
+//! The hierarchical control wave is an *optimization*, not a protocol
+//! change: a grouped run and a flat run of the same workload must collect
+//! the same consistent global checkpoints and converge to the same
+//! recovery line. The flat ring doubles as the differential oracle here.
+
+use ocpt::prelude::*;
+
+fn sparse_cfg(n: usize, seed: u64, gap_ms: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(n, seed);
+    cfg.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(gap_ms));
+    cfg.checkpoint_interval = SimDuration::from_millis(200);
+    cfg.workload_duration = SimDuration::from_millis(800);
+    cfg.state_bytes = 64 * 1024;
+    cfg
+}
+
+fn with_topology(t: ControlTopology) -> Algo {
+    Algo::Ocpt(OcptConfig { control_topology: t, ..OcptConfig::default() })
+}
+
+/// Flat vs Grouped{4} at N = 12: same recovery line, same completed
+/// rounds, both fully consistent (run_checked verifies the oracle).
+#[test]
+fn grouped_and_flat_reach_same_recovery_line() {
+    for seed in [31u64, 32, 33] {
+        // Sparse enough that the control wave actually runs.
+        let flat = run_checked(&with_topology(ControlTopology::Flat), sparse_cfg(12, seed, 120));
+        let hier = run_checked(
+            &with_topology(ControlTopology::Grouped { group_size: 4 }),
+            sparse_cfg(12, seed, 120),
+        );
+        assert_eq!(hier.recovery_line, flat.recovery_line, "seed {seed}");
+        assert_eq!(hier.complete_rounds, flat.complete_rounds, "seed {seed}");
+        assert_eq!(
+            hier.counters.get("ckpt.finalized"),
+            flat.counters.get("ckpt.finalized"),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The grouped wave actually runs through its two tiers under sparse
+/// traffic: group rings complete and report to P0.
+#[test]
+fn grouped_wave_reports_group_completion() {
+    let r = run_checked(
+        &with_topology(ControlTopology::Grouped { group_size: 4 }),
+        sparse_cfg(12, 77, 150),
+    );
+    assert!(r.complete_rounds >= 1);
+    assert!(
+        r.counters.get("ctrl.grp_done_sent") > 0,
+        "two-tier wave should have produced CK_GRP_DONE reports"
+    );
+}
+
+/// Below the Auto threshold the default config runs the paper-exact flat
+/// ring: a run under `Auto` is byte-identical to an explicit `Flat` run.
+#[test]
+fn auto_below_threshold_is_exactly_flat() {
+    let auto = run_checked(
+        &with_topology(ControlTopology::Auto { threshold: 512 }),
+        sparse_cfg(12, 9, 120),
+    );
+    let flat = run_checked(&with_topology(ControlTopology::Flat), sparse_cfg(12, 9, 120));
+    assert_eq!(auto.app_messages, flat.app_messages);
+    assert_eq!(auto.piggyback_bytes, flat.piggyback_bytes);
+    assert_eq!(auto.ctrl_messages, flat.ctrl_messages);
+    assert_eq!(auto.ctrl_bytes, flat.ctrl_bytes);
+    assert_eq!(auto.makespan, flat.makespan);
+    assert_eq!(auto.recovery_line, flat.recovery_line);
+}
+
+/// Above the threshold Auto shards: same consistency, fewer control
+/// messages through any single process. N = 30 with threshold 16 resolves
+/// to ⌈√30⌉ = 6-sized groups.
+#[test]
+fn auto_above_threshold_shards_and_still_converges() {
+    let r = run_checked(
+        &with_topology(ControlTopology::Auto { threshold: 16 }),
+        sparse_cfg(30, 14, 150),
+    );
+    assert!(r.complete_rounds >= 1);
+    assert_eq!(r.counters.get("ckpt.tentative"), r.counters.get("ckpt.finalized"));
+}

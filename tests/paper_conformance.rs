@@ -103,7 +103,8 @@ fn minimal_two_process_system() {
 }
 
 /// A large system: N = 64 with scaled state still collects consistent
-/// rounds and keeps the piggyback at 9 + ⌈64/8⌉ = 17 bytes.
+/// rounds and keeps the piggyback under the dense 9 + ⌈64/8⌉ = 17-byte
+/// formula — the adaptive encoding ships sparse tentSets for less.
 #[test]
 fn large_system_n64() {
     let mut c = cfg(64, 27);
@@ -113,7 +114,8 @@ fn large_system_n64() {
     c.state_bytes = 64 * 1024;
     let r = run_checked(&Algo::ocpt(), c);
     assert!(r.complete_rounds >= 1);
-    assert_eq!(r.piggyback_bytes / r.app_messages, 17);
+    let per_msg = r.piggyback_bytes / r.app_messages;
+    assert!((13..=17).contains(&per_msg), "adaptive piggyback out of range: {per_msg}");
 }
 
 /// The recovery line never exceeds the least finalized round and catches

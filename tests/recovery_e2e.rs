@@ -14,7 +14,7 @@ fn crash_cfg(n: usize, seed: u64, crash_ms: u64) -> RunConfig {
     cfg.workload_duration = SimDuration::from_millis(crash_ms + 500);
     cfg.state_bytes = 128 * 1024;
     cfg.faults = FaultPlan::single(
-        ProcessId((n / 2) as u16),
+        ProcessId((n / 2) as u32),
         SimTime::from_millis(crash_ms),
         SimDuration::from_millis(10),
     );

@@ -19,11 +19,11 @@ fn cfg() -> OcptConfig {
 #[test]
 fn one_round_with_traffic() {
     let cluster = Cluster::start(3, cfg());
-    for i in 0..3u16 {
+    for i in 0..3u32 {
         cluster.send_app(ProcessId(i), ProcessId((i + 1) % 3), 128);
     }
     cluster.checkpoint(ProcessId(0));
-    for i in 0..3u16 {
+    for i in 0..3u32 {
         cluster.send_app(ProcessId(i), ProcessId((i + 2) % 3), 128);
     }
     cluster.wait_for_round(1, Duration::from_secs(10)).expect("round 1");
@@ -50,16 +50,16 @@ fn several_rounds_alternating_initiators() {
     let n = 4usize;
     let cluster = Cluster::start(n, cfg());
     for round in 1..=4u64 {
-        for i in 0..n as u16 {
-            for j in 0..n as u16 {
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
                 if i != j {
                     cluster.send_app(ProcessId(i), ProcessId(j), 64);
                 }
             }
         }
-        cluster.checkpoint(ProcessId((round % n as u64) as u16));
-        for i in 0..n as u16 {
-            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u16), 64);
+        cluster.checkpoint(ProcessId((round % n as u64) as u32));
+        for i in 0..n as u32 {
+            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u32), 64);
         }
         cluster.wait_for_round(round, Duration::from_secs(10)).unwrap();
     }
@@ -80,15 +80,15 @@ fn several_rounds_alternating_initiators() {
 #[test]
 fn durable_blobs_decode_and_replay() {
     let cluster = Cluster::start(3, cfg());
-    for i in 0..3u16 {
+    for i in 0..3u32 {
         cluster.send_app(ProcessId(i), ProcessId((i + 1) % 3), 256);
     }
     cluster.checkpoint(ProcessId(1));
-    for i in 0..3u16 {
+    for i in 0..3u32 {
         cluster.send_app(ProcessId(i), ProcessId((i + 2) % 3), 256);
     }
     cluster.wait_for_round(1, Duration::from_secs(10)).unwrap();
-    for i in 0..3u16 {
+    for i in 0..3u32 {
         let d = cluster.store().get(ProcessId(i), 1).expect("durable");
         let plan =
             ocpt::protocol::plan_recovery(1, d.state, d.log).expect("blobs decode and replay");
@@ -102,14 +102,14 @@ fn stress_many_messages_many_rounds() {
     let n = 6usize;
     let cluster = Cluster::start(n, cfg());
     for round in 1..=3u64 {
-        for burst in 0..20u16 {
-            for i in 0..n as u16 {
-                cluster.send_app(ProcessId(i), ProcessId((i + 1 + burst % 3) % n as u16), 200);
+        for burst in 0..20u32 {
+            for i in 0..n as u32 {
+                cluster.send_app(ProcessId(i), ProcessId((i + 1 + burst % 3) % n as u32), 200);
             }
         }
         cluster.checkpoint(ProcessId(0));
-        for i in 0..n as u16 {
-            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u16), 64);
+        for i in 0..n as u32 {
+            cluster.send_app(ProcessId(i), ProcessId((i + 1) % n as u32), 64);
         }
         cluster.wait_for_round(round, Duration::from_secs(15)).unwrap();
     }
