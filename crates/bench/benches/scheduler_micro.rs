@@ -4,9 +4,9 @@
 //! numbers come from `exp_all --sched-json BENCH_sched.json`; this group
 //! gives per-workload timing distributions (and a CI smoke path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ocpt_bench::sched_bench;
-use ocpt_sim::SchedulerKind;
+use ocpt_sim::{Event, MsgId, ProcessId, Scheduler, SchedulerKind, SimDuration, SimRng};
 
 const KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::ReferenceHeap];
 
@@ -26,9 +26,78 @@ fn scheduler_micro(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("far_future", kind.name()), &kind, |b, &k| {
             b.iter(|| std::hint::black_box(sched_bench::far_future(k, 100_000)));
         });
+        g.bench_with_input(BenchmarkId::new("burst_window", kind.name()), &kind, |b, &k| {
+            b.iter(|| std::hint::black_box(sched_bench::burst_window(k, 5_000, 16)));
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, scheduler_micro);
+/// Steady-state schedule/pop on one long-lived wheel, with the slab
+/// arena's own counters proving the hot loop allocates nothing: every
+/// insert after warm-up must be a free-list reuse, so `allocs` is frozen
+/// for the entire measured region (the event-storage analogue of
+/// `protocol_micro`'s `TentSet::deep_copies` zero-copy assert).
+fn arena_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arena_churn");
+    g.throughput(Throughput::Elements(1));
+    for depth in [1_024u64, 16_384] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop", depth), &depth, |b, &depth| {
+            let mut s: Scheduler<u64> = Scheduler::with_kind(SchedulerKind::Wheel);
+            let mut rng = SimRng::derive(0xA4E4, depth);
+            let mut id = 0u64;
+            let mut step = |s: &mut Scheduler<u64>, refill: bool| {
+                if !refill {
+                    s.pop().expect("queue stays primed");
+                }
+                let src = ProcessId((id % 8) as u32);
+                let dst = ProcessId(((id + 1) % 8) as u32);
+                s.schedule_after(
+                    SimDuration::from_micros(rng.next_u64_below(5_000)),
+                    Event::Deliver { src, dst, msg_id: MsgId(id), msg: id },
+                );
+                id += 1;
+            };
+            for _ in 0..depth {
+                step(&mut s, true);
+            }
+            // Warm-up: cycle the whole queue once so the free list is
+            // primed and the high-water mark is reached.
+            for _ in 0..depth {
+                step(&mut s, false);
+            }
+            let before = s.arena_stats();
+            b.iter(|| {
+                step(&mut s, false);
+                std::hint::black_box(s.pending())
+            });
+            let after = s.arena_stats();
+            assert_eq!(
+                after.allocs, before.allocs,
+                "depth={depth}: steady-state schedule/pop allocated new arena slots"
+            );
+            assert!(after.reuses > before.reuses, "depth={depth}: free list never used");
+            assert_eq!(after.hwm, before.hwm, "depth={depth}: high-water mark moved");
+        });
+    }
+    g.finish();
+}
+
+/// Batched delivery windows against the per-event baseline: the same
+/// clustered `(instant, target)` population drained via `pop_matching`
+/// windows vs one general pop per event.
+fn batched_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_delivery");
+    for (name, f) in [
+        ("windowed", sched_bench::burst_window as fn(SchedulerKind, u64, u64) -> u64),
+        ("per_event", sched_bench::burst_per_event as fn(SchedulerKind, u64, u64) -> u64),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, "wheel"), &name, |b, _| {
+            b.iter(|| std::hint::black_box(f(SchedulerKind::Wheel, 5_000, 16)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_micro, arena_churn, batched_delivery);
 criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Dev probe: time one scheduler workload (min-of-reps, heap then
+//! wheel) outside the full suite — for perf work where `exp_all
+//! --sched-json` is too coarse.
+//!
+//! Usage: `probe <workload> [reps]` where workload is one of
+//! `churn|cancel|crash|far|burst|nodrop` (timed head-to-head),
+//! `stats` (crash run printing arena counters), or `phases`
+//! (crash run printing a schedule/drop/pop wall-clock breakdown).
+
+use ocpt_bench::sched_bench;
+use ocpt_sim::scheduler::{Scheduler, SchedulerKind};
+use ocpt_sim::{Event, MsgId, ProcessId, SimDuration, SimRng};
+
+fn crash_probe(per_round: u64, rounds: u64) {
+    const N: u64 = 8;
+    let mut s: Scheduler<u64> = Scheduler::with_kind(SchedulerKind::Wheel);
+    let mut rng = SimRng::derive(0xC4A5, 0);
+    let mut i = 0u64;
+    for r in 0..rounds {
+        for _ in 0..per_round {
+            let src = ProcessId(rng.next_u64_below(N) as u32);
+            let dst = ProcessId(rng.next_u64_below(N) as u32);
+            s.schedule_after(
+                SimDuration::from_micros(1 + rng.next_u64_below(20_000)),
+                Event::Deliver { src, dst, msg_id: MsgId(i), msg: i },
+            );
+            i += 1;
+        }
+        let victim = ProcessId(rng.next_u64_below(N) as u32);
+        s.drop_events_for(victim);
+        for _ in 0..per_round / 16 {
+            s.pop();
+        }
+        if r % 50 == 0 || r == rounds - 1 {
+            let st = s.arena_stats();
+            println!(
+                "round {r}: pending={} arena_live={} hwm={} allocs={} reuses={} frees={}",
+                s.pending(),
+                st.live,
+                st.hwm,
+                st.allocs,
+                st.reuses,
+                st.frees
+            );
+        }
+    }
+}
+
+/// Same op mix as crash_purge but no drops: isolates the base wheel
+/// machinery cost at a ~100k population with a 20 ms spread.
+fn nodrop(kind: SchedulerKind, per_round: u64, rounds: u64) -> u64 {
+    const N: u64 = 8;
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xC4A5, 0);
+    let mut i = 0u64;
+    for _ in 0..6 {
+        // prime ~100k pending
+        for _ in 0..per_round {
+            let src = ProcessId(rng.next_u64_below(N) as u32);
+            let dst = ProcessId(rng.next_u64_below(N) as u32);
+            s.schedule_after(
+                SimDuration::from_micros(1 + rng.next_u64_below(20_000)),
+                Event::Deliver { src, dst, msg_id: MsgId(i), msg: i },
+            );
+            i += 1;
+        }
+    }
+    for _ in 0..rounds {
+        for _ in 0..per_round {
+            let src = ProcessId(rng.next_u64_below(N) as u32);
+            let dst = ProcessId(rng.next_u64_below(N) as u32);
+            s.schedule_after(
+                SimDuration::from_micros(1 + rng.next_u64_below(20_000)),
+                Event::Deliver { src, dst, msg_id: MsgId(i), msg: i },
+            );
+            i += 1;
+        }
+        for _ in 0..per_round {
+            s.pop();
+        }
+    }
+    s.events_dispatched()
+}
+
+/// crash_purge with a per-phase wall-clock breakdown.
+fn crash_phases(per_round: u64, rounds: u64) {
+    const N: u64 = 8;
+    let mut s: Scheduler<u64> = Scheduler::with_kind(SchedulerKind::Wheel);
+    let mut rng = SimRng::derive(0xC4A5, 0);
+    let mut i = 0u64;
+    let (mut t_sched, mut t_drop, mut t_pop) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        for _ in 0..per_round {
+            let src = ProcessId(rng.next_u64_below(N) as u32);
+            let dst = ProcessId(rng.next_u64_below(N) as u32);
+            s.schedule_after(
+                SimDuration::from_micros(1 + rng.next_u64_below(20_000)),
+                Event::Deliver { src, dst, msg_id: MsgId(i), msg: i },
+            );
+            i += 1;
+        }
+        let t1 = std::time::Instant::now();
+        let victim = ProcessId(rng.next_u64_below(N) as u32);
+        s.drop_events_for(victim);
+        let t2 = std::time::Instant::now();
+        for _ in 0..per_round / 16 {
+            s.pop();
+        }
+        let t3 = std::time::Instant::now();
+        t_sched += (t1 - t0).as_secs_f64();
+        t_drop += (t2 - t1).as_secs_f64();
+        t_pop += (t3 - t2).as_secs_f64();
+    }
+    println!("sched {t_sched:.4}s  drop+sweep {t_drop:.4}s  pop {t_pop:.4}s");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("crash");
+    let reps: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    if which == "stats" {
+        crash_probe(16_384, 300);
+        return;
+    }
+    if which == "phases" {
+        for _ in 0..reps {
+            crash_phases(16_384, 300);
+        }
+        return;
+    }
+    for kind in [SchedulerKind::ReferenceHeap, SchedulerKind::Wheel] {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            events = match which {
+                "churn" => sched_bench::churn(kind, 4_096, 2_000_000),
+                "cancel" => sched_bench::cancel_heavy(kind, 131_072, 1_000_000),
+                "crash" => sched_bench::crash_purge(kind, 16_384, 300),
+                "far" => sched_bench::far_future(kind, 1_000_000),
+                "burst" => sched_bench::burst_window(kind, 60_000, 16),
+                "nodrop" => nodrop(kind, 16_384, 294),
+                _ => panic!("unknown workload {which}"),
+            };
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "{which} {kind:?}: {} events, {:.4}s, {:.0} ev/s",
+            events,
+            best,
+            events as f64 / best
+        );
+    }
+}

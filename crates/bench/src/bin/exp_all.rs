@@ -9,8 +9,17 @@
 //! With `--sched-json <path>`, the scheduler microbench suite (timing
 //! wheel vs reference `BinaryHeap`, identical op sequences) runs first
 //! and its head-to-head report is written to the path.
+//!
+//! With `--par-json <path>`, the multi-core gate runs: one grid of
+//! uniform heavy cells at `--jobs` 1, 2 and 4, output byte-identity
+//! asserted across the three, wall-clock scaling written to the path
+//! (the committed `BENCH_par.json` — interpret `speedup` against
+//! `host.cores`; a single-core host honestly reports ~1.0).
 
-use ocpt_bench::{bench_report_json, sched_bench, sched_report_json, BenchEntry, ExpArgs};
+use ocpt_bench::{
+    bench_report_json, par_gate_grid, par_report_json, sched_bench, sched_report_json, BenchEntry,
+    ExpArgs, ParRow,
+};
 use ocpt_harness::experiments as exp;
 use ocpt_harness::{GridOptions, RunGrid};
 use ocpt_sim::SimDuration;
@@ -26,6 +35,29 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("wrote scheduler microbench to {path}");
+        eprint!("{report}");
+    }
+    if let Some(path) = &args.par_json {
+        let g = par_gate_grid(args.quick, args.seed);
+        let mut rows = Vec::new();
+        let mut baseline: Option<String> = None;
+        for jobs in [1usize, 2, 4] {
+            let out = g.run(&GridOptions { jobs, replicates: 1 });
+            let rendered = out.table.render();
+            match &baseline {
+                None => baseline = Some(rendered),
+                Some(b) => {
+                    assert_eq!(b, &rendered, "jobs={jobs}: gate output diverged from serial")
+                }
+            }
+            rows.push(ParRow { jobs, wall_secs: out.wall_secs, sim_events: out.sim_events });
+        }
+        let report = par_report_json(&rows, g.cell_count());
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote multi-core gate to {path}");
         eprint!("{report}");
     }
     let p = args.params();

@@ -74,6 +74,10 @@ pub struct ExpArgs {
     /// `exp_all` only: run the scheduler microbench suite (timing wheel
     /// vs reference heap) and write its report here.
     pub sched_json: Option<String>,
+    /// `exp_all` only: run the multi-core grid gate (one heavy uniform
+    /// grid at `--jobs` 1/2/4, byte-identity asserted) and write its
+    /// scaling report here (the committed `BENCH_par.json`).
+    pub par_json: Option<String>,
     /// Record every run's flight data (trace JSONL + metrics snapshot)
     /// into this directory.
     pub trace_out: Option<String>,
@@ -90,6 +94,7 @@ impl ExpArgs {
             replicates: 1,
             bench_json: None,
             sched_json: None,
+            par_json: None,
             trace_out: None,
         };
         let mut it = std::env::args().skip(1);
@@ -126,6 +131,10 @@ impl ExpArgs {
                 "--sched-json" => {
                     args.sched_json =
                         Some(it.next().unwrap_or_else(|| usage("--sched-json needs a path")));
+                }
+                "--par-json" => {
+                    args.par_json =
+                        Some(it.next().unwrap_or_else(|| usage("--par-json needs a path")));
                 }
                 "--trace-out" => {
                     args.trace_out =
@@ -290,6 +299,69 @@ pub fn bench_report_json(jobs: usize, entries: &[BenchEntry]) -> String {
     out
 }
 
+/// The number of uniform cells in the multi-core gate grid.
+pub const PAR_GATE_CELLS: usize = 8;
+
+/// The multi-core gate grid: [`PAR_GATE_CELLS`] identical-cost cells, so
+/// wall-clock at `--jobs j` isolates the work-stealing pool's scaling
+/// from any cell-size skew. Cells differ only by seed.
+pub fn par_gate_grid(quick: bool, seed: u64) -> RunGrid {
+    use ocpt_harness::{Algo, RunConfig, WorkloadSpec};
+    let mut g = RunGrid::new(
+        "par_gate",
+        &["cell"],
+        &[("msgs", ocpt_harness::ColFmt::Int), ("events", ocpt_harness::ColFmt::Int)],
+    );
+    for i in 0..PAR_GATE_CELLS {
+        let mut cfg = RunConfig::new(8, seed.wrapping_add(i as u64));
+        cfg.workload = WorkloadSpec::uniform_mesh(SimDuration::from_millis(2));
+        cfg.workload_duration = SimDuration::from_millis(if quick { 400 } else { 2_000 });
+        cfg.checkpoint_interval = SimDuration::from_millis(250);
+        cfg.state_bytes = 512 * 1024;
+        g.cell(&[i.to_string()], Algo::ocpt(), cfg, |r| {
+            vec![r.app_messages as f64, r.sim_events as f64]
+        });
+    }
+    g
+}
+
+/// One worker-count measurement of the multi-core gate.
+#[derive(Clone, Debug)]
+pub struct ParRow {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole gate grid.
+    pub wall_secs: f64,
+    /// Simulator events dispatched (identical for every `jobs`).
+    pub sim_events: u64,
+}
+
+/// Render the multi-core gate as JSON — the committed `BENCH_par.json`.
+/// Speedups are relative to the `jobs = 1` row; `host.cores` is the
+/// number a reader must check before interpreting them (on a single-core
+/// host every speedup is honestly ~1.0 — real scaling numbers come from
+/// CI's `bench-multicore` job on a ≥4-core runner).
+pub fn par_report_json(rows: &[ParRow], runs: usize) -> String {
+    let base = rows.first().map(|r| r.wall_secs).unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", HostMeta::detect().json_fragment()));
+    out.push_str(&format!("  \"grid\": \"par_gate ({runs} uniform heavy cells)\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"jobs\": {}, \"wall_secs\": {:.6}, \"speedup\": {:.3}, \
+             \"events_per_sec\": {:.1}}}{sep}\n",
+            r.jobs,
+            r.wall_secs,
+            if r.wall_secs > 0.0 { base / r.wall_secs } else { 0.0 },
+            if r.wall_secs > 0.0 { r.sim_events as f64 / r.wall_secs } else { 0.0 },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One system size of the E9 scale sweep, for `BENCH_scale.json`.
 #[derive(Clone, Debug)]
 pub struct ScaleRow {
@@ -364,7 +436,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
          [--replicates <r>] [--trace-out <dir>] [--bench-json <path>] \
-         [--sched-json <path>]"
+         [--sched-json <path>] [--par-json <path>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -472,6 +544,34 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn par_json_shape() {
+        let rows = vec![
+            ParRow { jobs: 1, wall_secs: 8.0, sim_events: 4_000_000 },
+            ParRow { jobs: 2, wall_secs: 4.0, sim_events: 4_000_000 },
+            ParRow { jobs: 4, wall_secs: 2.0, sim_events: 4_000_000 },
+        ];
+        let j = par_report_json(&rows, PAR_GATE_CELLS);
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(j.contains("\"grid\": \"par_gate (8 uniform heavy cells)\""));
+        assert!(j.contains("\"jobs\": 1"));
+        assert!(j.contains("\"speedup\": 1.000"));
+        assert!(j.contains("\"speedup\": 4.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn par_gate_grid_is_uniform_and_deterministic() {
+        let g = par_gate_grid(true, 42);
+        assert_eq!(g.cell_count(), PAR_GATE_CELLS);
+        let a = g.run(&GridOptions { jobs: 2, replicates: 1 });
+        let b = par_gate_grid(true, 42).run(&GridOptions { jobs: 4, replicates: 1 });
+        assert_eq!(a.table.render(), b.table.render());
+        assert_eq!(a.sim_events, b.sim_events);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * `crash_purge` — repeated `drop_events_for` over a deep queue (fault
 //!   injection: O(1) tombstone vs O(n log n) drain-and-rebuild);
 //! * `far_future` — a mix of near deliveries and far-future timers that
-//!   exercises the wheel's overflow heap and cascade path.
+//!   exercises the wheel's overflow heap and cascade path;
+//! * `burst_window` — deliveries clustered on shared `(instant, target)`
+//!   windows, drained with `pop_matching` (the run loop's batched
+//!   delivery pattern) instead of the general pop path.
 //!
 //! The same op sequence (same derived RNG streams) runs on both kinds, so
 //! the dispatched-event counts match exactly and wall-clock is the only
@@ -115,6 +118,64 @@ pub fn far_future(kind: SchedulerKind, ops: u64) -> u64 {
     s.events_dispatched()
 }
 
+/// Schedule `bursts` clusters of `burst_size` deliveries, each cluster
+/// landing on one `(instant, target)` pair — exactly the population shape
+/// the run loop's batched delivery windows exploit. Shared with
+/// [`burst_per_event`], which drains the same population through plain
+/// pops, so the two are a direct head-to-head on the window fast path.
+fn burst_population(s: &mut Scheduler<u64>, rng: &mut SimRng, next_id: &mut u64, burst_size: u64) {
+    let dst = ProcessId(rng.next_u64_below(N as u64) as u32);
+    let at = SimDuration::from_micros(1 + rng.next_u64_below(5_000));
+    for _ in 0..burst_size {
+        let src = ProcessId(rng.next_u64_below(N as u64) as u32);
+        s.schedule_after(at, Event::Deliver { src, dst, msg_id: MsgId(*next_id), msg: *next_id });
+        *next_id += 1;
+    }
+}
+
+/// Clustered deliveries drained window-at-a-time: one general pop opens
+/// each `(instant, target)` window, then `pop_matching` claims the rest
+/// with a front-of-queue compare instead of a full scheduling decision.
+pub fn burst_window(kind: SchedulerKind, bursts: u64, burst_size: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xB057, 0);
+    let mut id = 0u64;
+    let drain = |s: &mut Scheduler<u64>| {
+        if let Some((at, ev)) = s.pop() {
+            if !ev.is_fault() {
+                let pid = ev.target();
+                while s.pop_matching(at, pid).is_some() {}
+            }
+        }
+    };
+    for _ in 0..bursts {
+        burst_population(&mut s, &mut rng, &mut id, burst_size);
+        drain(&mut s);
+    }
+    while s.peek_time().is_some() {
+        drain(&mut s);
+    }
+    s.events_dispatched()
+}
+
+/// The same clustered population as [`burst_window`], drained one general
+/// pop at a time — the baseline the batching exists to beat.
+pub fn burst_per_event(kind: SchedulerKind, bursts: u64, burst_size: u64) -> u64 {
+    let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+    let mut rng = SimRng::derive(0xB057, 0);
+    let mut id = 0u64;
+    for _ in 0..bursts {
+        burst_population(&mut s, &mut rng, &mut id, burst_size);
+        for _ in 0..burst_size {
+            if s.pop().is_none() {
+                break;
+            }
+        }
+    }
+    while s.pop().is_some() {}
+    s.events_dispatched()
+}
+
 /// One workload's head-to-head measurement.
 #[derive(Clone, Debug)]
 pub struct SchedBenchRow {
@@ -178,6 +239,7 @@ pub fn run_suite(scale: u64) -> Vec<SchedBenchRow> {
         ("cancel_heavy", Box::new(move |k| cancel_heavy(k, 131_072, 1_000_000 / scale))),
         ("crash_purge", Box::new(move |k| crash_purge(k, 16_384, (300 / scale).max(2)))),
         ("far_future", Box::new(move |k| far_future(k, 1_000_000 / scale))),
+        ("burst_window", Box::new(move |k| burst_window(k, (60_000 / scale).max(1), 16))),
     ];
     workloads
         .into_iter()
@@ -211,11 +273,23 @@ mod tests {
             assert!(cancel_heavy(k, 64, 500) > 0);
             assert!(crash_purge(k, 128, 4) > 0);
             assert!(far_future(k, 500) > 0);
+            assert!(burst_window(k, 50, 8) > 0);
         }
         let rows = run_suite(1_000);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         for r in rows {
             assert!(r.events > 0, "{}: no events", r.name);
+        }
+    }
+
+    /// Window drain and per-event drain cover the same population: every
+    /// scheduled event is dispatched exactly once either way, on either
+    /// kernel.
+    #[test]
+    fn burst_drain_styles_dispatch_identically() {
+        for k in [SchedulerKind::Wheel, SchedulerKind::ReferenceHeap] {
+            assert_eq!(burst_window(k, 40, 8), 40 * 8, "windowed drain lost events");
+            assert_eq!(burst_per_event(k, 40, 8), 40 * 8, "per-event drain lost events");
         }
     }
 }

@@ -14,12 +14,17 @@
 //! `derive_seed(seed, GRID_REPLICATE_STREAM + k)`), and each metric column
 //! expands into `mean`/`min`/`max`/`sd` columns over the replicates.
 //!
-//! The pool is hand-rolled on `std::thread::scope` + an atomic work index
-//! (no external thread-pool dependency is available offline); workers pull
-//! the next `(cell, replicate)` job until the queue drains.
+//! The pool is hand-rolled on `std::thread::scope` (no external
+//! thread-pool dependency is available offline) with a work-stealing
+//! queue: each worker starts with a contiguous chunk of the job list held
+//! in a packed-atomic `[lo, hi)` range, pops from the bottom of its own
+//! chunk, and — once empty — steals the top half of the fullest victim's
+//! range. Long cells therefore never strand a worker idle behind a
+//! statically unlucky partition, and because each job writes only its own
+//! result slot, the schedule has no effect on the aggregated output.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use ocpt_metrics::{f2, f3, Table};
@@ -284,15 +289,48 @@ impl RunGrid {
                 run_job(job);
             }
         } else {
-            let next = AtomicUsize::new(0);
+            // Work-stealing pool. Worker `w` owns the contiguous chunk
+            // `[w·J/W, (w+1)·J/W)` of the job list, held as a packed
+            // `(lo, hi)` pair in one atomic word so both claim and steal
+            // are single CAS operations. Owners pop from the bottom of
+            // their chunk; a worker whose chunk drains steals the top
+            // half of the fullest victim's range and installs it as its
+            // own, so a handful of slow cells cannot strand the rest of
+            // the pool idle. `remaining` counts *completed* jobs — an
+            // empty-looking pool may still have work in flight that a
+            // thief will re-expose, so workers only exit on zero.
+            let total = jobs.len();
+            let ranges: Vec<AtomicU64> = (0..workers)
+                .map(|w| {
+                    AtomicU64::new(pack(
+                        (w * total / workers) as u32,
+                        ((w + 1) * total / workers) as u32,
+                    ))
+                })
+                .collect();
+            let remaining = AtomicUsize::new(total);
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= jobs.len() {
+                for w in 0..workers {
+                    let (ranges, remaining, run_job) = (&ranges, &remaining, &run_job);
+                    scope.spawn(move || loop {
+                        if let Some(job) = pop_own(&ranges[w]) {
+                            run_job(job);
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                            continue;
+                        }
+                        if remaining.load(Ordering::Acquire) == 0 {
                             break;
                         }
-                        run_job(job);
+                        if let Some(stolen) = steal(ranges, w) {
+                            // A plain store is race-free here: thieves
+                            // only CAS ranges they observed non-empty,
+                            // and ours is empty until this install.
+                            ranges[w].store(stolen, Ordering::Release);
+                            continue;
+                        }
+                        // Work is in flight but nothing is stealable yet;
+                        // an install by another thief may change that.
+                        std::thread::yield_now();
                     });
                 }
             });
@@ -359,6 +397,77 @@ impl RunGrid {
     /// Convenience: execute and return only the table.
     pub fn table(&self, opts: &GridOptions) -> Table {
         self.run(opts).table
+    }
+}
+
+/// Pack a half-open job range `[lo, hi)` into one atomic word.
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+/// Inverse of [`pack`].
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Claim the bottom job of a worker's own range, or `None` if drained.
+///
+/// The packed CAS is ABA-safe without tags: every job index lives in at
+/// most one range at any instant (chunks start disjoint; steals move a
+/// sub-range, never duplicate it), so a range value containing
+/// already-claimed indices can never be re-installed — the bytes a
+/// pending CAS compares against cannot recur with different meaning.
+fn pop_own(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            pack(lo + 1, hi),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(lo as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Steal the top half (rounded down, minimum one job) of the fullest
+/// victim's range. Returns the stolen range packed, ready to install.
+fn steal(ranges: &[AtomicU64], me: usize) -> Option<u64> {
+    let mut best = None;
+    let mut best_size = 0u32;
+    for (i, r) in ranges.iter().enumerate() {
+        let (lo, hi) = unpack(r.load(Ordering::Acquire));
+        let size = hi.saturating_sub(lo);
+        if i != me && size > best_size {
+            best_size = size;
+            best = Some(i);
+        }
+    }
+    let victim = &ranges[best?];
+    let mut cur = victim.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        // Take from the top so the owner keeps popping its cache-warm
+        // bottom; leave the larger half with the owner.
+        let k = ((hi - lo) / 2).max(1);
+        match victim.compare_exchange_weak(
+            cur,
+            pack(lo, hi - k),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(pack(hi - k, hi)),
+            Err(seen) => cur = seen,
+        }
     }
 }
 
@@ -501,6 +610,84 @@ mod tests {
             assert_eq!(metrics, std::fs::read_to_string(&m8).unwrap(), "cell {c} metrics");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn packed_range_roundtrips() {
+        for (lo, hi) in [(0u32, 0u32), (0, 7), (3, 3), (100, u32::MAX)] {
+            assert_eq!(unpack(pack(lo, hi)), (lo, hi));
+        }
+    }
+
+    #[test]
+    fn pop_own_drains_bottom_up() {
+        let r = AtomicU64::new(pack(2, 5));
+        assert_eq!(pop_own(&r), Some(2));
+        assert_eq!(pop_own(&r), Some(3));
+        assert_eq!(pop_own(&r), Some(4));
+        assert_eq!(pop_own(&r), None);
+        assert_eq!(pop_own(&r), None, "empty range stays empty");
+    }
+
+    #[test]
+    fn steal_takes_top_half_of_fullest_victim() {
+        let ranges = vec![
+            AtomicU64::new(pack(0, 0)),   // me (empty)
+            AtomicU64::new(pack(0, 2)),   // small victim
+            AtomicU64::new(pack(10, 20)), // fullest victim
+        ];
+        let stolen = steal(&ranges, 0).expect("work available");
+        assert_eq!(unpack(stolen), (15, 20), "top half of the fullest range");
+        assert_eq!(unpack(ranges[2].load(Ordering::Relaxed)), (10, 15), "owner keeps the bottom");
+        // A single-job victim is still stealable (k is at least one).
+        ranges[2].store(pack(0, 0), Ordering::Relaxed);
+        ranges[1].store(pack(4, 5), Ordering::Relaxed);
+        assert_eq!(unpack(steal(&ranges, 0).expect("one job left")), (4, 5));
+        assert_eq!(steal(&ranges, 0), None, "nothing left anywhere");
+    }
+
+    #[test]
+    fn stealing_pool_runs_every_job_exactly_once() {
+        // Skewed per-job cost so static chunking alone would leave
+        // workers idle — the schedule must still cover each job once.
+        let total = 97usize;
+        let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        let workers = 7usize;
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                AtomicU64::new(pack(
+                    (w * total / workers) as u32,
+                    ((w + 1) * total / workers) as u32,
+                ))
+            })
+            .collect();
+        let remaining = AtomicUsize::new(total);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (ranges, remaining, hits) = (&ranges, &remaining, &hits);
+                scope.spawn(move || loop {
+                    if let Some(job) = pop_own(&ranges[w]) {
+                        if job % 13 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        hits[job].fetch_add(1, Ordering::Relaxed);
+                        remaining.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    }
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    if let Some(stolen) = steal(ranges, w) {
+                        ranges[w].store(stolen, Ordering::Release);
+                        continue;
+                    }
+                    std::thread::yield_now();
+                });
+            }
+        });
+        for (job, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "job {job} ran a wrong number of times");
+        }
     }
 
     #[test]

@@ -103,6 +103,13 @@ enum WriteKind {
     Extra,
 }
 
+/// Run-loop control flow returned by event dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Break,
+}
+
 #[derive(Debug)]
 struct PendingWrite {
     pid: ProcessId,
@@ -217,6 +224,15 @@ pub struct RunResult {
     pub protocol_error: Option<String>,
     /// Simulator events dispatched over the whole run.
     pub sim_events: u64,
+    /// Peak in-flight event population (high-water mark of the
+    /// scheduler's pending count). Kind-independent: both scheduler
+    /// implementations observe the same pending count at every step.
+    pub peak_pending: u64,
+    /// High-water mark of the timing wheel's payload-arena occupancy —
+    /// peak physical slots, including tombstoned corpses awaiting lazy
+    /// reclamation. Implementation telemetry: 0 under the reference
+    /// heap, and `>= peak_pending` under the wheel.
+    pub arena_hwm: u64,
     /// Events scheduled into the past and clamped to `now` (release-build
     /// timing-model bug detector; always 0 in debug builds, which panic).
     pub clamped_events: u64,
@@ -251,7 +267,9 @@ impl RunResult {
     /// headline numbers, the storage report, checkpoint-latency summary
     /// and every counter. Wall-clock self-measurements (`wall_secs`,
     /// events/sec) are deliberately excluded so the snapshot, like the
-    /// trace, is a pure function of `(config, seed)`.
+    /// trace, is a pure function of `(config, seed)` — except the
+    /// `scheduler` stamp and `arena_hwm`, which identify (and are
+    /// telemetry of) the event-queue implementation that drove the run.
     pub fn metrics_json(&self) -> String {
         use ocpt_telemetry::json::Obj;
         let mut counters = Obj::new();
@@ -277,7 +295,7 @@ impl RunResult {
             .finish();
         Obj::new()
             .str("schema", "ocpt-metrics")
-            .u64("version", 1)
+            .u64("version", 2)
             .str("algo", self.algo)
             .u64("n", self.n as u64)
             .u64("seed", self.seed)
@@ -294,6 +312,8 @@ impl RunResult {
             .u64("recovery_line", self.recovery_line)
             .u64("staging_peak", self.staging_peak)
             .u64("sim_events", self.sim_events)
+            .u64("peak_pending", self.peak_pending)
+            .u64("arena_hwm", self.arena_hwm)
             .raw("ckpt_latency", &latency)
             .raw("storage", &storage)
             .raw("counters", &counters.finish())
@@ -375,6 +395,10 @@ pub struct Runner<P: CheckpointProtocol> {
     crash: Option<(ProcessId, SimTime)>,
     protocol_error: Option<String>,
     algo: &'static str,
+    /// Reusable action buffer: every protocol callback fills it and
+    /// `execute` drains it, so the dispatch loop allocates nothing at
+    /// steady state (callbacks never nest — actions only schedule).
+    scratch: Vec<ProtoAction<P::Env>>,
 }
 
 impl<P: CheckpointProtocol> Runner<P> {
@@ -430,6 +454,7 @@ impl<P: CheckpointProtocol> Runner<P> {
             procs,
             cfg,
             algo,
+            scratch: Vec::new(),
         }
     }
 
@@ -470,7 +495,15 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
 
         let hard_stop = SimTime::ZERO + self.cfg.sim.horizon;
-        while let Some((now, ev)) = self.sched.pop() {
+        // Batched delivery windows: every pop opens a `(now, target)`
+        // window, and `pop_matching` drains every further event of the
+        // same instant and process as one batch — one trip through the
+        // loop preamble per window instead of per event. Only the front
+        // event can ever match, so the `(at, seq)` dispatch order (and
+        // with it every trace byte) is untouched. Faults dispatch alone:
+        // they mutate `crashed`/purge the queue, which must not happen
+        // mid-window.
+        'run: while let Some((now, ev)) = self.sched.pop() {
             if now > hard_stop {
                 self.counters.inc("run.hit_horizon");
                 break;
@@ -478,46 +511,65 @@ impl<P: CheckpointProtocol> Runner<P> {
             if self.protocol_error.is_some() {
                 break;
             }
-            match ev {
-                Event::Tick { pid, kind: TICK_SEND } => self.on_send_tick(now, pid),
-                Event::Tick { pid, kind: TICK_CKPT } => self.on_ckpt_tick(now, pid),
-                Event::Tick { .. } => unreachable!("unknown tick"),
-                Event::Deliver { src, dst, msg_id, msg } => {
-                    self.on_deliver(now, src, dst, msg_id, msg)
-                }
-                Event::Timer { pid, tag, .. } => {
-                    if self.crashed[pid.index()] {
-                        continue;
-                    }
-                    self.timers[pid.index()].remove(&tag);
-                    let mut out = Vec::new();
-                    self.procs[pid.index()].on_timer(tag, &mut out);
-                    self.execute(now, pid, out);
-                }
-                Event::StorageDone { .. } => self.pump_storage(now),
-                Event::Crash { pid } => {
-                    self.counters.inc("fault.crashes");
-                    self.crashed[pid.index()] = true;
-                    self.crash.get_or_insert((pid, now));
-                    self.trace.record(now, pid, TraceKind::Crash, "fail-stop");
-                    // Volatile state (unfinalized tentative checkpoints and
-                    // in-memory logs) is lost.
-                    self.sched.drop_events_for(pid);
-                    if self.cfg.stop_on_crash {
+            let window = (!ev.is_fault()).then(|| ev.target());
+            if self.dispatch(now, ev) == Flow::Break {
+                break;
+            }
+            if let Some(pid) = window {
+                while self.protocol_error.is_none() {
+                    let Some(ev) = self.sched.pop_matching(now, pid) else {
                         break;
-                    }
-                }
-                Event::Recover { pid } => {
-                    self.counters.inc("fault.recover_events");
-                    self.trace.record(now, pid, TraceKind::Recover, "system rollback");
-                    if let Err(e) = self.perform_system_recovery(now, pid) {
-                        self.protocol_error = Some(e);
-                        break;
+                    };
+                    if self.dispatch(now, ev) == Flow::Break {
+                        break 'run;
                     }
                 }
             }
         }
         self.finish(wall_start)
+    }
+
+    /// Dispatch one popped event. Returns [`Flow::Break`] when the run
+    /// loop must stop (crash with `stop_on_crash`, failed recovery).
+    fn dispatch(&mut self, now: SimTime, ev: Event<P::Env>) -> Flow {
+        match ev {
+            Event::Tick { pid, kind: TICK_SEND } => self.on_send_tick(now, pid),
+            Event::Tick { pid, kind: TICK_CKPT } => self.on_ckpt_tick(now, pid),
+            Event::Tick { .. } => unreachable!("unknown tick"),
+            Event::Deliver { src, dst, msg_id, msg } => self.on_deliver(now, src, dst, msg_id, msg),
+            Event::Timer { pid, tag, .. } => {
+                if self.crashed[pid.index()] {
+                    return Flow::Continue;
+                }
+                self.timers[pid.index()].remove(&tag);
+                let mut out = std::mem::take(&mut self.scratch);
+                self.procs[pid.index()].on_timer(tag, &mut out);
+                self.execute(now, pid, &mut out);
+                self.scratch = out;
+            }
+            Event::StorageDone { .. } => self.pump_storage(now),
+            Event::Crash { pid } => {
+                self.counters.inc("fault.crashes");
+                self.crashed[pid.index()] = true;
+                self.crash.get_or_insert((pid, now));
+                self.trace.record(now, pid, TraceKind::Crash, "fail-stop");
+                // Volatile state (unfinalized tentative checkpoints and
+                // in-memory logs) is lost.
+                self.sched.drop_events_for(pid);
+                if self.cfg.stop_on_crash {
+                    return Flow::Break;
+                }
+            }
+            Event::Recover { pid } => {
+                self.counters.inc("fault.recover_events");
+                self.trace.record(now, pid, TraceKind::Recover, "system rollback");
+                if let Err(e) = self.perform_system_recovery(now, pid) {
+                    self.protocol_error = Some(e);
+                    return Flow::Break;
+                }
+            }
+        }
+        Flow::Continue
     }
 
     fn on_send_tick(&mut self, now: SimTime, pid: ProcessId) {
@@ -553,7 +605,7 @@ impl<P: CheckpointProtocol> Runner<P> {
         let msg_id = MsgId(self.next_msg);
         self.next_msg += 1;
         let payload = ocpt_core::AppPayload { id: msg_id.0, len };
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch);
         let env = self.procs[pid.index()].wrap_app(dst, msg_id, payload, &mut out);
         if let Some(obs) = self.observer.as_mut() {
             obs.on_send(pid, msg_id);
@@ -561,21 +613,24 @@ impl<P: CheckpointProtocol> Runner<P> {
         self.prev_app[pid.index()] = self.app[pid.index()];
         self.app[pid.index()].apply_send(payload);
         let bytes = self.procs[pid.index()].env_wire_bytes(&env);
-        let tel = self.procs[pid.index()].env_telemetry(&env);
         self.app_payload_bytes += len as u64;
         self.piggyback_bytes += bytes - wire_cost::app(len, 0);
         self.counters.inc("app.messages");
         let at = self.net.send(now, pid, dst, bytes);
+        if self.trace.is_enabled() {
+            let tel = self.procs[pid.index()].env_telemetry(&env);
+            self.trace.record_coded(
+                now,
+                pid,
+                TraceKind::AppSend,
+                TraceKind::AppSend.default_code(),
+                tel.seq,
+                format!("M{} -> {dst}", msg_id.0),
+            );
+        }
         self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
-        self.trace.record_coded(
-            now,
-            pid,
-            TraceKind::AppSend,
-            TraceKind::AppSend.default_code(),
-            tel.seq,
-            format!("M{} -> {dst}", msg_id.0),
-        );
-        self.execute(now, pid, out);
+        self.execute(now, pid, &mut out);
+        self.scratch = out;
         // Draw the next send.
         let gap = self.wl[pid.index()].next_gap(&mut self.wl_rng[pid.index()]);
         self.sched.schedule_after(gap, Event::Tick { pid, kind: TICK_SEND });
@@ -590,9 +645,10 @@ impl<P: CheckpointProtocol> Runner<P> {
         // (the convergence-in-silence behaviour has dedicated tests).
         let workload_end = SimTime::ZERO + self.cfg.workload_duration;
         if now + self.cfg.checkpoint_interval <= workload_end {
-            let mut out = Vec::new();
+            let mut out = std::mem::take(&mut self.scratch);
             self.procs[pid.index()].initiate(&mut out);
-            self.execute(now, pid, out);
+            self.execute(now, pid, &mut out);
+            self.scratch = out;
             self.sched
                 .schedule_after(self.cfg.checkpoint_interval, Event::Tick { pid, kind: TICK_CKPT });
         }
@@ -615,16 +671,18 @@ impl<P: CheckpointProtocol> Runner<P> {
         } else {
             ocpt_baselines::api::EnvTelemetry::default()
         };
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch);
         let res = self.procs[dst.index()].on_arrival(src, msg_id, env, &mut out);
         let delivered = match res {
             Ok(d) => d,
             Err(e) => {
                 self.protocol_error = Some(e);
+                out.clear();
+                self.scratch = out;
                 return;
             }
         };
-        self.execute(now, dst, out);
+        self.execute(now, dst, &mut out);
         if let Some(payload) = delivered {
             if let Some(obs) = self.observer.as_mut() {
                 obs.on_recv(dst, msg_id);
@@ -632,31 +690,32 @@ impl<P: CheckpointProtocol> Runner<P> {
             self.prev_app[dst.index()] = self.app[dst.index()];
             self.app[dst.index()].apply_recv(payload);
             self.counters.inc("app.delivered");
-            self.trace.record_coded(
+            self.trace.record_coded_with(
                 now,
                 dst,
                 TraceKind::AppRecv,
                 TraceKind::AppRecv.default_code(),
                 tel.seq,
-                format!("M{} <- {src}", msg_id.0),
+                || format!("M{} <- {src}", msg_id.0),
             );
-            let mut out2 = Vec::new();
-            if let Err(e) = self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out2)
-            {
+            if let Err(e) = self.procs[dst.index()].after_delivery(src, msg_id, payload, &mut out) {
                 self.protocol_error = Some(e);
+                out.clear();
+                self.scratch = out;
                 return;
             }
-            self.execute(now, dst, out2);
+            self.execute(now, dst, &mut out);
         } else {
-            self.trace.record_coded(
+            self.trace.record_coded_with(
                 now,
                 dst,
                 TraceKind::CtrlRecv,
                 tel.code.unwrap_or(TraceKind::CtrlRecv.default_code()),
                 tel.seq,
-                format!("from {src}"),
+                || format!("from {src}"),
             );
         }
+        self.scratch = out;
     }
 
     /// Full-system rollback recovery: every process restores the state of
@@ -814,8 +873,10 @@ impl<P: CheckpointProtocol> Runner<P> {
         self.staged_now = self.staged_now.saturating_sub(bytes);
     }
 
-    fn execute(&mut self, now: SimTime, pid: ProcessId, actions: Vec<ProtoAction<P::Env>>) {
-        for a in actions {
+    /// Apply every queued protocol action, draining (but not freeing)
+    /// the buffer so callers can recycle it through `self.scratch`.
+    fn execute(&mut self, now: SimTime, pid: ProcessId, actions: &mut Vec<ProtoAction<P::Env>>) {
+        for a in actions.drain(..) {
             match a {
                 ProtoAction::Snapshot { seq } => {
                     let snap = self.app[pid.index()];
@@ -823,13 +884,9 @@ impl<P: CheckpointProtocol> Runner<P> {
                     self.stage(self.cfg.state_bytes);
                     self.counters.inc("ckpt.snapshots");
                     self.first_snapshot_at.entry(seq).or_insert(now);
-                    self.trace.record_seq(
-                        now,
-                        pid,
-                        TraceKind::TentativeCkpt,
-                        seq,
-                        format!("CT({seq})"),
-                    );
+                    self.trace.record_seq_with(now, pid, TraceKind::TentativeCkpt, seq, || {
+                        format!("CT({seq})")
+                    });
                 }
                 ProtoAction::MarkCut { seq, back } => {
                     if let Some(obs) = self.observer.as_mut() {
@@ -866,33 +923,31 @@ impl<P: CheckpointProtocol> Runner<P> {
                         self.last_complete_at.insert(seq, t);
                         *self.complete_count.entry(seq).or_insert(0) += 1;
                         self.counters.inc("ckpt.completes");
-                        self.trace.record_seq(
-                            now,
-                            pid,
-                            TraceKind::FinalizeCkpt,
-                            seq,
-                            format!("C({seq})"),
-                        );
+                        self.trace.record_seq_with(now, pid, TraceKind::FinalizeCkpt, seq, || {
+                            format!("C({seq})")
+                        });
                         self.maybe_durable(now, pid, seq);
                     }
                 }
                 ProtoAction::Send { dst, env } => {
                     let bytes = self.procs[pid.index()].env_wire_bytes(&env);
-                    let tel = self.procs[pid.index()].env_telemetry(&env);
                     self.ctrl_messages += 1;
                     self.ctrl_bytes += bytes;
                     let msg_id = MsgId(self.next_msg);
                     self.next_msg += 1;
                     let at = self.net.send(now, pid, dst, bytes);
+                    if self.trace.is_enabled() {
+                        let tel = self.procs[pid.index()].env_telemetry(&env);
+                        self.trace.record_coded(
+                            now,
+                            pid,
+                            TraceKind::CtrlSend,
+                            tel.code.unwrap_or(TraceKind::CtrlSend.default_code()),
+                            tel.seq,
+                            format!("-> {dst}"),
+                        );
+                    }
                     self.sched.schedule_at(at, Event::Deliver { src: pid, dst, msg_id, msg: env });
-                    self.trace.record_coded(
-                        now,
-                        pid,
-                        TraceKind::CtrlSend,
-                        tel.code.unwrap_or(TraceKind::CtrlSend.default_code()),
-                        tel.seq,
-                        format!("-> {dst}"),
-                    );
                 }
                 ProtoAction::SetTimer { tag, delay } => {
                     let id = self.sched.set_timer(pid, delay, tag);
@@ -942,13 +997,14 @@ impl<P: CheckpointProtocol> Runner<P> {
         // `in_flight()` is sampled right after submit, so the detail
         // records the concurrent-writer count *including* this write —
         // the contention signal the paper's E1 is about.
-        self.trace.record_coded(
+        let writers = self.server.in_flight();
+        self.trace.record_coded_with(
             now,
             pid,
             TraceKind::StorageStart,
             TraceKind::StorageStart.default_code(),
             Some(w.seq),
-            format!("{:?} {}B writers={}", w.kind, w.bytes, self.server.in_flight()),
+            || format!("{:?} {}B writers={writers}", w.kind, w.bytes),
         );
         self.pending_writes.insert(req, w);
         self.schedule_storage_wakeup(now);
@@ -966,13 +1022,9 @@ impl<P: CheckpointProtocol> Runner<P> {
                 WriteKind::Extra => w.bytes,
             };
             self.unstage(released);
-            self.trace.record_seq(
-                c.at,
-                w.pid,
-                TraceKind::StorageDone,
-                w.seq,
-                format!("{:?} {}B", w.kind, w.bytes),
-            );
+            self.trace.record_seq_with(c.at, w.pid, TraceKind::StorageDone, w.seq, || {
+                format!("{:?} {}B", w.kind, w.bytes)
+            });
             let notify = {
                 let p = self.progress.entry((w.pid.0, w.seq)).or_default();
                 match w.kind {
@@ -992,9 +1044,10 @@ impl<P: CheckpointProtocol> Runner<P> {
                 notify
             };
             if notify {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 self.procs[w.pid.index()].on_storage_done(w.seq, &mut out);
-                self.execute(now, w.pid, out);
+                self.execute(now, w.pid, &mut out);
+                self.scratch = out;
             }
             self.maybe_durable(now, w.pid, w.seq);
             // Free the connection and start the next queued write.
@@ -1059,6 +1112,8 @@ impl<P: CheckpointProtocol> Runner<P> {
         let makespan = self.sched.now();
         let n = self.cfg.sim.n;
         let sim_events = self.sched.events_dispatched();
+        let peak_pending = self.sched.peak_pending();
+        let arena_hwm = self.sched.arena_stats().hwm;
         let clamped_events = self.sched.clamped_events();
         let messages_lost_at_crash = self.sched.messages_lost_at_crash();
         let mut counters = self.counters;
@@ -1120,6 +1175,8 @@ impl<P: CheckpointProtocol> Runner<P> {
             crash: self.crash,
             protocol_error: self.protocol_error,
             sim_events,
+            peak_pending,
+            arena_hwm,
             clamped_events,
             messages_lost_at_crash,
             wall_secs: wall_start.elapsed().as_secs_f64(),

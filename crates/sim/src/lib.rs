@@ -45,7 +45,7 @@ pub use fault::{Fault, FaultPlan};
 pub use id::{MsgId, ProcessId, StorageReqId, TimerId};
 pub use network::{DelayModel, Network, NetworkStats};
 pub use rng::{derive_seed, SimRng};
-pub use scheduler::{Scheduler, SchedulerKind};
+pub use scheduler::{ArenaStats, Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent, TraceKind, TRACE_KINDS};

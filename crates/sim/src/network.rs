@@ -148,9 +148,10 @@ mod tests {
             let at = n.send(SimTime::from_micros(i), ProcessId(0), ProcessId(1), 8);
             times.push(at);
         }
-        let mut sorted = times.clone();
-        sorted.sort();
-        assert_ne!(times, sorted, "expected at least one reordering with this seed");
+        // An adjacent inversion is exactly "not sorted" — no need to
+        // clone and sort the whole sample to detect one.
+        let reordered = times.windows(2).any(|w| w[1] < w[0]);
+        assert!(reordered, "expected at least one reordering with this seed");
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod reference;
 pub mod wheel;
 
 pub use reference::HeapScheduler;
-pub use wheel::WheelScheduler;
+pub use wheel::{ArenaStats, WheelScheduler};
 
 use crate::event::Event;
 use crate::id::{ProcessId, TimerId};
@@ -119,6 +119,26 @@ impl<M> Scheduler<M> {
         delegate!(self, s => s.pending())
     }
 
+    /// High-water mark of [`Self::pending`] over the scheduler's life —
+    /// the peak in-flight event population. Kind-independent: both
+    /// implementations observe the same pending count at every step.
+    #[inline]
+    pub fn peak_pending(&self) -> u64 {
+        delegate!(self, s => s.peak_pending())
+    }
+
+    /// Allocation counters of the wheel's payload arena. The reference
+    /// heap boxes events in its `BinaryHeap` nodes (no arena) and
+    /// reports all-zero stats — callers comparing across kinds must
+    /// treat this as implementation telemetry, not observable behaviour.
+    #[inline]
+    pub fn arena_stats(&self) -> ArenaStats {
+        match self {
+            Scheduler::Wheel(s) => s.arena_stats(),
+            Scheduler::Reference(_) => ArenaStats::default(),
+        }
+    }
+
     /// Schedule `event` at the absolute instant `at`.
     ///
     /// Scheduling in the past is a logic error and panics in debug builds;
@@ -171,6 +191,17 @@ impl<M> Scheduler<M> {
     /// queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
         delegate!(self, s => s.pop())
+    }
+
+    /// Pop the next due event only if it is due at exactly `at`, targets
+    /// `pid`, and is not a fault. The delivery-window primitive: after a
+    /// normal [`Self::pop`] the run loop keeps draining the same
+    /// `(time, process)` window as one batch, amortising per-event
+    /// dispatch overhead. Never reorders — only the front event can
+    /// match, so `(at, seq)` order (and thus every trace byte) is
+    /// preserved.
+    pub fn pop_matching(&mut self, at: SimTime, pid: ProcessId) -> Option<Event<M>> {
+        delegate!(self, s => s.pop_matching(at, pid))
     }
 
     /// Peek at the due time of the next (non-cancelled) event without

@@ -28,6 +28,8 @@ pub struct HeapScheduler<M> {
     heap: BinaryHeap<Scheduled<M>>,
     /// Timers that have been set and not yet fired or cancelled.
     live_timers: HashSet<TimerId>,
+    /// High-water mark of `heap.len()` over the run.
+    peak: u64,
     popped: u64,
     /// Past-scheduled events clamped to `now` (release builds only reach
     /// here; debug builds panic first). Nonzero means a model bug that
@@ -53,6 +55,7 @@ impl<M> HeapScheduler<M> {
             next_timer: 0,
             heap: BinaryHeap::new(),
             live_timers: HashSet::new(),
+            peak: 0,
             popped: 0,
             clamped: 0,
             messages_lost: 0,
@@ -78,6 +81,13 @@ impl<M> HeapScheduler<M> {
         self.heap.len()
     }
 
+    /// High-water mark of [`Self::pending`] over the scheduler's life —
+    /// the peak in-flight event population.
+    #[inline]
+    pub fn peak_pending(&self) -> u64 {
+        self.peak
+    }
+
     /// Schedule `event` at the absolute instant `at`.
     ///
     /// Scheduling in the past is a logic error and panics in debug builds;
@@ -92,6 +102,7 @@ impl<M> HeapScheduler<M> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.peak = self.peak.max(self.heap.len() as u64);
     }
 
     /// Number of events that were scheduled into the past and clamped to
@@ -155,6 +166,34 @@ impl<M> HeapScheduler<M> {
             return Some((s.at, s.event));
         }
         None
+    }
+
+    /// Pop the next due event only if it is due at exactly `at`, targets
+    /// `pid`, and is not a fault — the delivery-window primitive (see
+    /// [`super::wheel::WheelScheduler::pop_matching`]). Stale timer
+    /// firings ahead of the probe are skipped, exactly as `peek_time`
+    /// would skip them.
+    pub fn pop_matching(&mut self, at: SimTime, pid: ProcessId) -> Option<Event<M>> {
+        loop {
+            let s = self.heap.peek()?;
+            if let Event::Timer { id, .. } = &s.event {
+                if !self.live_timers.contains(id) {
+                    self.heap.pop();
+                    continue;
+                }
+            }
+            if s.at != at || s.event.is_fault() || s.event.target() != pid {
+                return None;
+            }
+            let s = self.heap.pop().expect("peeked");
+            if let Event::Timer { id, .. } = &s.event {
+                self.live_timers.remove(id);
+            }
+            debug_assert!(s.at >= self.now, "time went backwards");
+            self.now = s.at;
+            self.popped += 1;
+            return Some(s.event);
+        }
     }
 
     /// Peek at the due time of the next (non-cancelled) event without

@@ -206,6 +206,55 @@ impl Trace {
         }
     }
 
+    /// Lazy variant of [`Self::record`]: the detail closure runs only
+    /// when recording is on, so hot paths never pay for `format!` of a
+    /// detail string that a disabled trace would drop. (Benchmark and
+    /// experiment runs disable tracing; this keeps their dispatch loop
+    /// allocation-free.)
+    #[inline]
+    pub fn record_with(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record_coded(at, pid, kind, kind.default_code(), None, detail());
+        }
+    }
+
+    /// Lazy variant of [`Self::record_seq`] (see [`Self::record_with`]).
+    #[inline]
+    pub fn record_seq_with(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        seq: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record_coded(at, pid, kind, kind.default_code(), Some(seq), detail());
+        }
+    }
+
+    /// Lazy variant of [`Self::record_coded`] (see [`Self::record_with`]).
+    #[inline]
+    pub fn record_coded_with(
+        &mut self,
+        at: SimTime,
+        pid: ProcessId,
+        kind: TraceKind,
+        code: &'static str,
+        seq: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record_coded(at, pid, kind, code, seq, detail());
+        }
+    }
+
     /// Record an algorithm-specific note. Notes are structured: `code` is
     /// the stable machine-readable label (`"recovery.rollback"`, …) and
     /// `detail` is auxiliary prose that consumers never parse.

@@ -35,6 +35,10 @@ enum Op {
     SetTimer(ProcessId, SimDuration, u64),
     CancelTimer(u64),
     Pop,
+    /// Pop-then-drain-window: one normal pop followed by `pop_matching`
+    /// probes for the popped event's `(time, target)` window — exactly
+    /// the batched-delivery pattern the run loop uses.
+    PopWindow,
     Peek,
     DropFor(ProcessId),
     Clear,
@@ -42,7 +46,7 @@ enum Op {
 
 fn decode(sel: u8, a: u64, b: u64) -> Op {
     let pid = ProcessId((a % N as u64) as u32);
-    match sel % 12 {
+    match sel % 13 {
         // Scheduling dominates so queues grow deep enough to stress
         // cascades and purges.
         0..=3 => {
@@ -64,6 +68,7 @@ fn decode(sel: u8, a: u64, b: u64) -> Op {
         7 | 8 => Op::Pop,
         9 => Op::Peek,
         10 => Op::DropFor(pid),
+        11 => Op::PopWindow,
         _ => Op::Clear,
     }
 }
@@ -96,6 +101,26 @@ fn apply(
         Op::Pop => {
             prop_assert_eq!(wheel.pop(), heap.pop(), "pop diverged");
         }
+        Op::PopWindow => {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&w, &h, "window-opening pop diverged");
+            if let Some((at, ev)) = w {
+                if !ev.is_fault() {
+                    let pid = ev.target();
+                    loop {
+                        let (we, he) = (wheel.pop_matching(at, pid), heap.pop_matching(at, pid));
+                        prop_assert_eq!(&we, &he, "pop_matching diverged");
+                        if we.is_none() {
+                            break;
+                        }
+                    }
+                    // A drained window really is drained: the next live
+                    // event (if any) is a different (time, target) window
+                    // or a fault.
+                    prop_assert!(wheel.pop_matching(at, pid).is_none());
+                }
+            }
+        }
         Op::Peek => {
             prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged");
         }
@@ -111,6 +136,12 @@ fn apply(
     // Observable state must agree after every single operation.
     prop_assert_eq!(wheel.now(), heap.now(), "clock diverged");
     prop_assert_eq!(wheel.pending(), heap.pending(), "pending diverged");
+    prop_assert_eq!(wheel.peak_pending(), heap.peak_pending(), "peak pending diverged");
+    // Arena slot accounting: every insert was an alloc or a reuse, every
+    // removal a free, and whatever is neither freed nor live has leaked.
+    let a = wheel.arena_stats();
+    prop_assert_eq!(a.allocs + a.reuses, a.frees + a.live, "arena slots leaked");
+    prop_assert!(a.live <= a.hwm, "arena high-water mark below occupancy");
     prop_assert_eq!(wheel.events_dispatched(), heap.events_dispatched());
     prop_assert_eq!(wheel.clamped_events(), heap.clamped_events());
     prop_assert_eq!(
@@ -148,6 +179,12 @@ proptest! {
         }
         prop_assert_eq!(wheel.pending(), 0);
         prop_assert_eq!(heap.pending(), 0);
+        // After exhaustion every payload slot has been reclaimed: the
+        // arena holds no live events and the free list accounts for every
+        // slot ever created.
+        let a = wheel.arena_stats();
+        prop_assert_eq!(a.live, 0, "arena payloads survived a full drain");
+        prop_assert_eq!(a.allocs + a.reuses, a.frees, "reclaimed-slot accounting broken");
     }
 
     /// Deep-queue variant: build a large population first (scheduling

@@ -1,20 +1,29 @@
-//! A minimal JSON writer and flat-object parser.
+//! A minimal JSON writer and object parser.
 //!
-//! The `ocpt-trace` schema only ever uses flat objects whose values are
-//! strings or unsigned integers, so this module implements exactly that
-//! subset — deliberately, not as a stopgap: a ~150-line parser we own is
-//! auditable against the byte-determinism guarantee, and the build
-//! environment has no crates.io access anyway.
+//! The `ocpt-trace` schema uses flat objects whose values are strings or
+//! unsigned integers; the `ocpt-metrics` schema adds non-negative floats,
+//! one level of nested objects and `null` (the writer's spelling of a
+//! non-finite float). This module implements exactly that subset —
+//! deliberately, not as a stopgap: a ~200-line parser we own is auditable
+//! against the byte-determinism guarantee, and the build environment has
+//! no crates.io access anyway. Negative numbers, booleans and arrays are
+//! rejected because no exporter emits them.
 
 use std::fmt::Write as _;
 
-/// A value in a flat schema object.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A value in a schema object.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// A JSON string (unescaped).
     Str(String),
     /// A non-negative JSON integer.
     UInt(u64),
+    /// A finite JSON number with a fraction or exponent part.
+    F64(f64),
+    /// A nested object, fields in document order.
+    Obj(Vec<(String, Value)>),
+    /// JSON `null` (how [`Obj::f64`] writes a non-finite value).
+    Null,
 }
 
 impl Value {
@@ -22,16 +31,38 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
-            Value::UInt(_) => None,
+            _ => None,
         }
     }
 
     /// The integer, if this is an integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Value::Str(_) => None,
             Value::UInt(u) => Some(*u),
+            _ => None,
         }
+    }
+
+    /// The numeric value, if this is any number (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The nested fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field by key in a nested object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
 
@@ -123,19 +154,30 @@ impl Default for Obj {
     }
 }
 
-/// Parse one flat JSON object (string / unsigned-integer values only)
-/// into its fields, in document order. Errors carry a human-readable
-/// reason; positions are byte offsets into `line`.
+/// Parse one JSON object into its fields, in document order. Errors
+/// carry a human-readable reason; positions are byte offsets into
+/// `line`.
 pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     let b = line.as_bytes();
-    let mut i = skip_ws(b, 0);
+    let (fields, next) = parse_object_at(line, skip_ws(b, 0))?;
+    let i = skip_ws(b, next);
+    if i != b.len() {
+        return Err(format!("trailing content at byte {i}"));
+    }
+    Ok(fields)
+}
+
+/// Parse an object starting at the `{` at byte `i`; returns the fields
+/// and the index just past the closing `}`.
+fn parse_object_at(line: &str, mut i: usize) -> Result<(Vec<(String, Value)>, usize), String> {
+    let b = line.as_bytes();
     if b.get(i) != Some(&b'{') {
         return Err(format!("expected '{{' at byte {i}"));
     }
     i = skip_ws(b, i + 1);
     let mut fields = Vec::new();
     if b.get(i) == Some(&b'}') {
-        return finish_object(b, i, fields);
+        return Ok((fields, i + 1));
     }
     loop {
         let (key, next) = parse_string(line, i)?;
@@ -149,22 +191,10 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
         i = skip_ws(b, next);
         match b.get(i) {
             Some(b',') => i = skip_ws(b, i + 1),
-            Some(b'}') => return finish_object(b, i, fields),
+            Some(b'}') => return Ok((fields, i + 1)),
             _ => return Err(format!("expected ',' or '}}' at byte {i}")),
         }
     }
-}
-
-fn finish_object(
-    b: &[u8],
-    close: usize,
-    fields: Vec<(String, Value)>,
-) -> Result<Vec<(String, Value)>, String> {
-    let i = skip_ws(b, close + 1);
-    if i != b.len() {
-        return Err(format!("trailing content at byte {i}"));
-    }
-    Ok(fields)
 }
 
 fn skip_ws(b: &[u8], mut i: usize) -> usize {
@@ -178,16 +208,57 @@ fn parse_value(line: &str, i: usize) -> Result<(Value, usize), String> {
     let b = line.as_bytes();
     match b.get(i) {
         Some(b'"') => parse_string(line, i).map(|(s, n)| (Value::Str(s), n)),
-        Some(c) if c.is_ascii_digit() => {
-            let mut j = i;
-            while matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
-                j += 1;
-            }
-            let num: u64 =
-                line[i..j].parse().map_err(|_| format!("integer out of range at byte {i}"))?;
-            Ok((Value::UInt(num), j))
+        Some(b'{') => parse_object_at(line, i).map(|(f, n)| (Value::Obj(f), n)),
+        Some(b'n') if line[i..].starts_with("null") => Ok((Value::Null, i + 4)),
+        Some(c) if c.is_ascii_digit() => parse_number(line, i),
+        _ => Err(format!("expected string, number, object or null at byte {i}")),
+    }
+}
+
+/// Parse a non-negative JSON number. A bare digit run is a `UInt`; a
+/// fraction or exponent part makes it an `F64` (Rust's `parse::<f64>`
+/// accepts exactly the forms the shortest-round-trip `Display` emits, so
+/// writer output always round-trips).
+fn parse_number(line: &str, i: usize) -> Result<(Value, usize), String> {
+    let b = line.as_bytes();
+    let mut j = i;
+    while matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+        j += 1;
+    }
+    let mut float = false;
+    if b.get(j) == Some(&b'.') {
+        float = true;
+        j += 1;
+        if !matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("digit must follow '.' at byte {j}"));
         }
-        _ => Err(format!("expected string or integer at byte {i}")),
+        while matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+            j += 1;
+        }
+    }
+    if matches!(b.get(j), Some(b'e' | b'E')) {
+        float = true;
+        j += 1;
+        if matches!(b.get(j), Some(b'+' | b'-')) {
+            j += 1;
+        }
+        if !matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("digit must follow exponent at byte {j}"));
+        }
+        while matches!(b.get(j), Some(c) if c.is_ascii_digit()) {
+            j += 1;
+        }
+    }
+    if float {
+        let num: f64 = line[i..j].parse().map_err(|_| format!("bad number at byte {i}"))?;
+        if !num.is_finite() {
+            return Err(format!("non-finite number at byte {i}"));
+        }
+        Ok((Value::F64(num), j))
+    } else {
+        let num: u64 =
+            line[i..j].parse().map_err(|_| format!("integer out of range at byte {i}"))?;
+        Ok((Value::UInt(num), j))
     }
 }
 
@@ -280,6 +351,35 @@ mod tests {
         {
             assert!(parse_object(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn floats_nested_objects_and_null_parse() {
+        let line = Obj::new()
+            .f64("mean_s", 0.007738017)
+            .f64("tiny", 3.5e-9)
+            .raw("inner", &Obj::new().u64("count", 2).f64("sd", 0.25).finish())
+            .f64("nan", f64::NAN)
+            .finish();
+        let f = parse_object(&line).expect("writer output parses");
+        assert_eq!(f[0].1, Value::F64(0.007738017));
+        assert_eq!(f[1].1, Value::F64(3.5e-9));
+        assert_eq!(f[2].1.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(f[2].1.get("sd").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(f[3].1, Value::Null);
+        // Integers widen through as_f64; strings do not.
+        assert_eq!(Value::UInt(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Str("7".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn number_edge_cases_reject() {
+        for bad in ["{\"a\":1.}", "{\"a\":1e}", "{\"a\":.5}", "{\"a\":1e+}", "{\"a\":nul}"] {
+            assert!(parse_object(bad).is_err(), "{bad:?} should fail");
+        }
+        // Whitespace inside nested objects is fine; unclosed ones are not.
+        assert!(parse_object("{\"a\": { \"b\" : 1 } }").is_ok());
+        assert!(parse_object("{\"a\":{\"b\":1}").is_err());
     }
 
     #[test]

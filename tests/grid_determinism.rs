@@ -110,6 +110,50 @@ fn wheel_scheduler_matches_reference_heap_under_faults() {
 }
 
 #[test]
+fn work_stealing_is_byte_identical_across_jobs_counts() {
+    // The work-stealing pool changes only *which worker* runs a job.
+    // Pin that across a spread of worker counts — including jobs=7,
+    // which leaves one chunk empty-ish and forces actual steals on a
+    // 8-job grid — and include a fault-injection cell, whose crash
+    // purge is the heaviest scheduler path a stolen job can exercise.
+    let mk = || {
+        let mut g =
+            RunGrid::new("steal", &["kind"], &[("msgs", ColFmt::Int), ("line", ColFmt::Int)]);
+        for (i, label) in ["a", "b", "c", "d"].iter().enumerate() {
+            let mut cfg = RunConfig::new(4, 31 + i as u64);
+            cfg.workload_duration = SimDuration::from_millis(600);
+            cfg.checkpoint_interval = SimDuration::from_millis(200);
+            cfg.state_bytes = 128 * 1024;
+            g.cell(&[label.to_string()], Algo::ocpt(), cfg, |r| {
+                vec![r.app_messages as f64, r.recovery_line as f64]
+            });
+        }
+        let mut cfg = RunConfig::new(4, 59);
+        cfg.workload_duration = SimDuration::from_millis(900);
+        cfg.checkpoint_interval = SimDuration::from_millis(200);
+        cfg.state_bytes = 128 * 1024;
+        cfg.stop_on_crash = false;
+        cfg.faults = FaultPlan::single(
+            ProcessId(1),
+            SimTime::ZERO + SimDuration::from_millis(450),
+            SimDuration::from_millis(40),
+        );
+        g.cell(&["crash".to_string()], Algo::ocpt(), cfg, |r| {
+            vec![r.app_messages as f64, r.recovery_line as f64]
+        });
+        g
+    };
+    let g = mk();
+    let baseline = g.run(&GridOptions { jobs: 1, replicates: 2 });
+    for jobs in [2, 7] {
+        let par = g.run(&GridOptions { jobs, replicates: 2 });
+        assert_eq!(baseline.table.render(), par.table.render(), "jobs={jobs} table diverged");
+        assert_eq!(baseline.table.to_csv(), par.table.to_csv(), "jobs={jobs} CSV diverged");
+        assert_eq!(baseline.sim_events, par.sim_events, "jobs={jobs} event totals diverged");
+    }
+}
+
+#[test]
 fn replicate_seeds_are_stable_and_distinct() {
     let g = sweep_grid();
     let g2 = sweep_grid();

@@ -47,6 +47,19 @@ fn tmp(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("ocpt_trace_det_{}_{tag}", std::process::id()))
 }
 
+/// Blank out the two fields that legitimately vary with the scheduler
+/// kernel: the provenance stamp and the wheel-only `arena_hwm` gauge.
+fn normalize_metrics(bytes: &str) -> String {
+    let s = bytes.replace("\"scheduler\":\"reference_heap\"", "\"scheduler\":\"wheel\"");
+    let Some(start) = s.find("\"arena_hwm\":") else {
+        return s;
+    };
+    let digits = start + "\"arena_hwm\":".len();
+    let end =
+        s[digits..].find(|c: char| !c.is_ascii_digit()).map(|i| digits + i).unwrap_or(s.len());
+    format!("{}0{}", &s[..digits], &s[end..])
+}
+
 #[test]
 fn trace_bytes_identical_across_jobs_and_schedulers() {
     let baseline = record(&tmp("base"), 1, SchedulerKind::Wheel);
@@ -73,11 +86,17 @@ fn trace_bytes_identical_across_jobs_and_schedulers() {
                 // Traces never mention the scheduler: byte-identical.
                 assert_eq!(bytes, &other[name], "{tag}: {name} bytes diverged");
             } else {
-                // Metrics stamp the scheduler as provenance; everything
-                // else must agree bit for bit.
-                let norm = other[name]
-                    .replace("\"scheduler\":\"reference_heap\"", "\"scheduler\":\"wheel\"");
-                assert_eq!(bytes, &norm, "{tag}: {name} diverged beyond the scheduler stamp");
+                // Metrics stamp the scheduler as provenance, and
+                // `arena_hwm` is a wheel-internal gauge (the reference
+                // heap has no arena and reports 0); everything else must
+                // agree bit for bit — including `peak_pending`, which is
+                // defined identically for both kernels.
+                let norm = normalize_metrics(&other[name]);
+                assert_eq!(
+                    &normalize_metrics(bytes),
+                    &norm,
+                    "{tag}: {name} diverged beyond the scheduler stamp"
+                );
             }
         }
     }
@@ -96,9 +115,45 @@ fn recorded_traces_are_schema_valid_and_spanful() {
         );
     }
     for (name, bytes) in arts.iter().filter(|(n, _)| n.ends_with(".metrics.json")) {
-        assert!(bytes.starts_with("{\"schema\":\"ocpt-metrics\",\"version\":1,"), "{name}");
+        assert!(bytes.starts_with("{\"schema\":\"ocpt-metrics\",\"version\":2,"), "{name}");
         assert!(bytes.ends_with("}\n"), "{name}: not newline-terminated");
     }
+}
+
+#[test]
+fn metrics_v2_round_trips_through_the_parser() {
+    // The schema bump's contract: everything `metrics_json` writes —
+    // floats, nested objects, counters — survives a parse and re-render
+    // byte for byte, and the new memory-pressure gauges are present.
+    fn render(fields: &[(String, telemetry::json::Value)]) -> String {
+        use telemetry::json::{Obj, Value};
+        let mut o = Obj::new();
+        for (k, v) in fields {
+            o = match v {
+                Value::Str(s) => o.str(k, s),
+                Value::UInt(u) => o.u64(k, *u),
+                Value::F64(f) => o.f64(k, *f),
+                Value::Obj(inner) => o.raw(k, &render(inner)),
+                Value::Null => o.raw(k, "null"),
+            };
+        }
+        o.finish()
+    }
+    let mut cfg = RunConfig::new(4, 29);
+    cfg.workload_duration = SimDuration::from_millis(600);
+    cfg.checkpoint_interval = SimDuration::from_millis(200);
+    cfg.state_bytes = 64 * 1024;
+    let m = run_checked(&Algo::ocpt(), cfg).metrics_json();
+    let fields = telemetry::json::parse_object(m.trim_end()).expect("metrics v2 parses");
+    let get = |k: &str| {
+        fields.iter().find(|(n, _)| n == k).map(|(_, v)| v).unwrap_or_else(|| panic!("no {k}"))
+    };
+    assert_eq!(get("version").as_u64(), Some(2));
+    assert!(get("peak_pending").as_u64().expect("peak_pending is an integer") > 0);
+    assert!(get("arena_hwm").as_u64().expect("arena_hwm is an integer") > 0, "wheel run has arena");
+    assert!(get("storage").get("mean_writers").and_then(|v| v.as_f64()).is_some());
+    assert!(get("counters").as_obj().is_some_and(|c| !c.is_empty()));
+    assert_eq!(render(&fields) + "\n", m, "parse → re-render must be the identity");
 }
 
 #[test]
