@@ -781,7 +781,6 @@ impl<P: CheckpointProtocol> Runner<P> {
 
         // Flush channels, timers and ticks; keep only future faults.
         self.sched.clear_except_faults();
-        // simlint: allow(unordered-iter, "iterates the outer per-process Vec in index order; the inner hash maps are cleared, never iterated")
         for t in &mut self.timers {
             t.clear();
         }

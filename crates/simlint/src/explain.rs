@@ -1,0 +1,202 @@
+//! `--explain <rule>`: the rationale, scope and a minimal good/bad pair
+//! for every rule, so a CI failure is self-serve debuggable without
+//! opening DESIGN.md. Examples mirror the fixture corpus in
+//! `tests/fixtures.rs` — each bad snippet is one the test suite pins as
+//! failing, each good snippet as passing.
+
+/// One rule's documentation.
+struct RuleDoc {
+    /// Canonical rule id (what findings print).
+    id: &'static str,
+    /// Short alias (`D1` … `D7`).
+    alias: &'static str,
+    /// Which code the rule applies to.
+    scope: &'static str,
+    /// Why the rule exists.
+    rationale: &'static str,
+    /// A failing snippet.
+    bad: &'static str,
+    /// The corrected snippet.
+    good: &'static str,
+}
+
+const DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        id: "wall-clock",
+        alias: "D1",
+        scope: "deterministic-tier crates, non-test code; transitive through calls",
+        rationale: "Simulation results must replay bit-identically from a seed. `Instant`, \
+                    `SystemTime` and `thread::sleep` read the host clock, so two runs of the \
+                    same seed diverge. Sim code must take time from the simulated clock only. \
+                    The check is transitive: calling a helper (in any crate) that reaches a \
+                    wall-clock source is reported at the call site with the full chain.",
+        bad: "let t0 = Instant::now();          // host time leaks into sim state\n\
+              run_round(&mut cluster);\n\
+              metrics.round_ns = t0.elapsed().as_nanos();",
+        good: "let t0 = cluster.now();           // simulated clock\n\
+               run_round(&mut cluster);\n\
+               metrics.round_ticks = cluster.now() - t0;",
+    },
+    RuleDoc {
+        id: "unordered-iter",
+        alias: "D2",
+        scope: "deterministic-tier crates, non-test code; transitive through calls, returns \
+                and struct fields",
+        rationale: "HashMap/HashSet iteration order depends on RandomState and allocation \
+                    history, so iterating one in protocol or metrics code produces run-to-run \
+                    drift. Deterministic crates use BTreeMap/BTreeSet (or sort before \
+                    iterating). Hash bindings are tracked through let-types, turbofish \
+                    collects, function returns and struct fields across files.",
+        bad: "let peers: HashMap<ProcessId, Peer> = connect_all();\n\
+              for (id, p) in &peers { send(id, p); } // order varies per run",
+        good: "let peers: BTreeMap<ProcessId, Peer> = connect_all();\n\
+               for (id, p) in &peers { send(id, p); } // sorted, stable",
+    },
+    RuleDoc {
+        id: "ambient-entropy",
+        alias: "D3",
+        scope: "deterministic-tier crates, non-test code; transitive through calls",
+        rationale: "`thread_rng`, `from_entropy` and `RandomState` pull OS entropy, which no \
+                    seed controls. All randomness in sim code must come from the run's seeded \
+                    RNG so a trace can be replayed from its config. As with D1, helper chains \
+                    that reach an entropy source are reported at the boundary call site.",
+        bad: "let jitter = thread_rng().gen_range(0..10);",
+        good: "let jitter = self.rng.gen_range(0..10); // seeded per-run RNG",
+    },
+    RuleDoc {
+        id: "forbid-unsafe",
+        alias: "D4",
+        scope: "every crate except explicitly exempt ones",
+        rationale: "Crate roots must carry `#![forbid(unsafe_code)]` so determinism arguments \
+                    only have to reason about safe Rust. The paired `anchor` rule keeps the \
+                    OCPT section markers in code and DESIGN.md in sync, both directions.",
+        bad: "// lib.rs with no forbid attribute",
+        good: "#![forbid(unsafe_code)]\n//! Crate docs …",
+    },
+    RuleDoc {
+        id: "unwrap-budget",
+        alias: "D5",
+        scope: "whole workspace, via the committed `simlint.baseline` (v2)",
+        rationale: "`.unwrap()` panics carry no invariant message. Each crate has a committed \
+                    budget that can only ratchet down; new unwraps must become \
+                    `.expect(\"<invariant>\")`. The v2 baseline also carries `accept` lines \
+                    for reviewed workspace-graph findings; stale entries of either kind are \
+                    themselves findings.",
+        bad: "let ck = store.latest(pid).unwrap();",
+        good: "let ck = store.latest(pid).expect(\"recovery always follows a checkpoint\");",
+    },
+    RuleDoc {
+        id: "lock-order",
+        alias: "D6",
+        scope: "every tier, non-test code (concurrency hazards ignore the sim boundary)",
+        rationale: "Nested lock acquisitions form a workspace-wide graph; a cycle means two \
+                    threads can deadlock by taking the same locks in different orders. \
+                    Re-acquiring a held lock deadlocks immediately, and holding a guard \
+                    across a channel `.send()` or `.join()` extends the critical section \
+                    across a synchronous handoff. Drop guards in a scoped block first.",
+        bad: "let g = self.observers.lock();\n\
+              self.status_tx.send(Snapshot::from(&*g)); // guard held across send",
+        good: "let snap = { let g = self.observers.lock(); Snapshot::from(&*g) };\n\
+               self.status_tx.send(snap); // guard dropped before the handoff",
+    },
+    RuleDoc {
+        id: "protocol-exhaustiveness",
+        alias: "D7",
+        scope: "workspace enums referenced by both an encoder and a decoder in their crate \
+                (`*Error` enums exempt), non-test code",
+        rationale: "rustc's match exhaustiveness stops at the function boundary: it cannot \
+                    see that a variant is serialized but never reconstructed, and a `_` arm \
+                    silences it entirely — exactly how a new control-message kind slips \
+                    through an old handler. Every protocol variant must round-trip through \
+                    the codecs and every protocol match must list variants explicitly (or \
+                    justify a catch-all with an allow). Wire-tag consts must be used by both \
+                    codec sides.",
+        bad: "match cm.kind {\n    CtrlKind::CkBgn => begin(),\n    _ => {} // swallows CkReq, \
+              CkEnd, CkGrpDone and anything added later\n}",
+        good: "match cm.kind {\n    CtrlKind::CkBgn => begin(),\n    CtrlKind::CkReq => \
+               request(),\n    CtrlKind::CkEnd => finish(),\n    CtrlKind::CkGrpDone => \
+               group_done(),\n}",
+    },
+];
+
+/// All canonical rule ids, in D-number order.
+pub fn rule_ids() -> Vec<&'static str> {
+    DOCS.iter().map(|d| d.id).collect()
+}
+
+/// Render the documentation for `rule` (canonical id or `D1`…`D7` alias,
+/// case-insensitive for the alias). `None` for unknown rules.
+pub fn explain(rule: &str) -> Option<String> {
+    let doc = DOCS.iter().find(|d| d.id == rule || d.alias.eq_ignore_ascii_case(rule))?;
+    let mut s = String::new();
+    s.push_str(&format!("{} ({})\n", doc.id, doc.alias));
+    s.push_str(&"=".repeat(doc.id.len() + doc.alias.len() + 3));
+    s.push('\n');
+    s.push_str(&format!("\napplies to: {}\n", doc.scope));
+    s.push_str(&format!("\n{}\n", doc.rationale));
+    s.push_str("\nfails:\n");
+    for line in doc.bad.lines() {
+        s.push_str(&format!("    {line}\n"));
+    }
+    s.push_str("\npasses:\n");
+    for line in doc.good.lines() {
+        s.push_str(&format!("    {line}\n"));
+    }
+    s.push_str(
+        "\nsuppression: `// simlint: allow(<rule>, \"<why>\")` on (or directly above) the \
+         line; unused or unjustified allows are findings themselves.\n",
+    );
+    Some(s)
+}
+
+/// The listing printed for `--explain` with no/unknown rule.
+pub fn listing() -> String {
+    let mut s = String::from("rules:\n");
+    for d in DOCS {
+        s.push_str(&format!("  {:28} {}  {}\n", d.id, d.alias, first_sentence(d.rationale)));
+    }
+    s.push_str("\nuse `--explain <rule>` (id or D-number) for details.\n");
+    s
+}
+
+fn first_sentence(text: &str) -> &str {
+    match text.find(". ") {
+        Some(i) => &text[..i + 1],
+        None => text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_docs_with_both_examples() {
+        for id in rule_ids() {
+            let text = explain(id).expect("documented rule");
+            assert!(text.contains("fails:"), "{id}");
+            assert!(text.contains("passes:"), "{id}");
+            assert!(text.contains("applies to:"), "{id}");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_case_insensitively() {
+        assert_eq!(explain("D6"), explain("lock-order"));
+        assert_eq!(explain("d7"), explain("protocol-exhaustiveness"));
+    }
+
+    #[test]
+    fn unknown_rule_yields_listing_path() {
+        assert!(explain("no-such-rule").is_none());
+        let l = listing();
+        assert!(l.contains("lock-order"));
+        assert!(l.contains("D7"));
+    }
+
+    #[test]
+    fn d_numbers_cover_one_through_seven() {
+        let aliases: Vec<&str> = DOCS.iter().map(|d| d.alias).collect();
+        assert_eq!(aliases, vec!["D1", "D2", "D3", "D4", "D5", "D6", "D7"]);
+    }
+}

@@ -13,6 +13,12 @@
 pub enum Tok {
     /// An identifier or keyword.
     Ident(String),
+    /// A raw identifier `r#name`. Kept distinct from [`Tok::Ident`]
+    /// because `r#match`/`r#fn` are *names*, never keywords — structural
+    /// passes (match-site and item parsing) must not treat them as the
+    /// keyword they spell. Hazard scans treat them like the plain
+    /// identifier, since `r#Instant` resolves to the same item.
+    RawIdent(String),
     /// A single punctuation character (`::` arrives as two `:`).
     Punct(char),
     /// A numeric literal (value irrelevant to every rule).
@@ -21,6 +27,22 @@ pub enum Tok {
     Str,
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
+}
+
+impl Tok {
+    /// The identifier name, raw or not. Rule scans that care about *which
+    /// item* is referenced (not about keyword-ness) go through this.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(w) | Tok::RawIdent(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the plain (non-raw) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(w) if w == kw)
+    }
 }
 
 /// A token with the 1-based line it starts on.
@@ -190,6 +212,23 @@ pub fn lex(src: &str) -> Lexed {
                 j += 1;
             }
             let word: String = chars[i..j].iter().collect();
+            // Byte-char literal b'x' / b'\n': without this, the `b` would
+            // leak as a stray identifier and the quote would be
+            // re-classified from scratch (historically as a lifetime for
+            // b'a-like shapes).
+            if word == "b" && j < n && chars[j] == '\'' {
+                i = j + 1;
+                if i < n && chars[i] == '\\' {
+                    i += 1; // skip the escaped char, then scan to the quote
+                }
+                i += 1;
+                while i < n && chars[i] != '\'' && chars[i] != '\n' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token { tok: Tok::Str, line: start_line });
+                continue;
+            }
             // Raw / byte string prefixes.
             if (word == "r" || word == "b" || word == "br" || word == "rb")
                 && j < n
@@ -247,13 +286,15 @@ pub fn lex(src: &str) -> Lexed {
                     && k < n
                     && (chars[k].is_alphabetic() || chars[k] == '_')
                 {
-                    // Raw identifier r#ident.
+                    // Raw identifier r#ident: a distinct token kind, so
+                    // `r#match` is never mistaken for the `match` keyword
+                    // by the structural passes.
                     let mut m = k;
                     while m < n && (chars[m].is_alphanumeric() || chars[m] == '_') {
                         m += 1;
                     }
                     let raw: String = chars[k..m].iter().collect();
-                    out.tokens.push(Token { tok: Tok::Ident(raw), line: start_line });
+                    out.tokens.push(Token { tok: Tok::RawIdent(raw), line: start_line });
                     i = m;
                     continue;
                 }
@@ -470,6 +511,48 @@ mod tests {
         let src = "let a = r##\"end\"# not yet\"##; let tail = 9;";
         let ids = idents(src);
         assert_eq!(ids, vec!["let", "a", "let", "tail"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        let src = "fn r#match(r#fn: u32) { let r#in = r#fn; }";
+        let lx = lex(src);
+        assert!(
+            !lx.tokens.iter().any(|t| t.tok.is_kw("match") || t.tok.is_kw("in")),
+            "raw identifiers must not surface as keywords: {:?}",
+            lx.tokens
+        );
+        let raws: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::RawIdent(w) => Some(w.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raws, vec!["match", "fn", "in", "fn"]);
+        // Hazard scans still see the underlying name through ident().
+        assert_eq!(Tok::RawIdent("Instant".into()).ident(), Some("Instant"));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_a_stray_b() {
+        let src = "let a = b'x'; let b2 = b'\\n'; let c = b'\\''; let tail = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b2", "let", "c", "let", "tail"]);
+        let strs = lex(src).tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars_in_nested_turbofish() {
+        // Every quote here is a lifetime except the final char literal.
+        let src = "let v = Vec::<&'a str>::with::<Map<&'b str, u8>>(); let c = '<';";
+        let lx = lex(src);
+        let lifetimes = lx.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let strs = lx.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(strs, 1);
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! D6 `lock-order`: lock-acquisition order and guard-lifetime hazards.
+//!
+//! The threaded runtime (`ocpt-runtime`), the work-stealing harness grid
+//! and the telemetry sinks all hold real locks. Three shapes of bug are
+//! caught here, on *every* tier (concurrency hazards do not care about
+//! the simulation boundary), excluding test code:
+//!
+//! 1. **Acquisition cycles** — if one function acquires `a` then `b`
+//!    while another acquires `b` then `a`, the interleaving deadlocks.
+//!    Every nested acquisition contributes an edge `outer → inner` to a
+//!    workspace-wide acquisition graph; any cycle is a finding.
+//! 2. **Double-acquire** — re-acquiring a lock already held on the same
+//!    path (a self-edge) deadlocks immediately with a non-reentrant
+//!    mutex.
+//! 3. **Guard across send/join** — holding a guard across a channel
+//!    `.send(…)` or a `.join()` extends the critical section across a
+//!    synchronous handoff; if the receiving side ever needs the same
+//!    lock, that is a deadlock, and even when it does not it serializes
+//!    the receiver against the critical section. The repo convention is
+//!    to drop the guard first (scoped `{ … }` block), so surviving
+//!    instances are findings.
+//!
+//! Locks are discovered by *name*: a struct field or binding whose type
+//! resolves to `Mutex`/`RwLock` (`runtime::sync::Mutex`, `std::sync::
+//! {Mutex,RwLock}`, wrapped in `Arc` or not), or a binding assigned from
+//! `Mutex::new`/`RwLock::new`. An acquisition is `name.lock()`,
+//! `name.read()` or `name.write()` where `name` is in the pool of the
+//! file's crate — pool-gating keeps io `.write(buf)` and str `.read()`
+//! lookalikes out. Guard lifetimes follow Rust scopes: a `let`-bound
+//! guard lives to the end of its block (or an explicit `drop(g)`); a
+//! temporary lives to the end of its statement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::lexer::{Lexed, Tok, Token};
+use crate::report::Finding;
+use crate::rules::Allows;
+
+/// Rule id.
+pub const RULE: &str = "lock-order";
+
+/// Methods that acquire a lock when called on a pooled name.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One acquisition edge's representative site.
+#[derive(Clone, Debug)]
+struct Edge {
+    file: String,
+    line: u32,
+}
+
+/// A held guard.
+#[derive(Clone, Debug)]
+struct Held {
+    lock: String,
+    /// Binding name, when `let`-bound.
+    guard: Option<String>,
+    /// Brace depth at declaration; the guard dies when the depth drops
+    /// below it. `None` for statement-scoped temporaries.
+    depth: Option<i32>,
+}
+
+/// Run D6 over the workspace. Returns `(findings, locks_tracked)`.
+pub fn run(g: &Graph, lexed: &[(String, Lexed)], allows: &mut Allows) -> (Vec<Finding>, usize) {
+    // -- lock pools per crate ------------------------------------------
+    let mut pools: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (fi, (_, lx)) in lexed.iter().enumerate() {
+        let key = &g.files[fi].crate_key;
+        let pool = pools.entry(key.clone()).or_default();
+        collect_lock_names(&lx.tokens, pool);
+    }
+    let locks_tracked = pools.values().map(|p| p.len()).sum();
+
+    // -- per-function guard tracking -----------------------------------
+    let mut findings = Vec::new();
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for f in &g.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        let (rel, lx) = &lexed[f.file];
+        let pool = &pools[&g.files[f.file].crate_key];
+        if pool.is_empty() {
+            continue;
+        }
+        scan_body(rel, &lx.tokens[a..b], pool, allows, &mut edges, &mut findings);
+    }
+
+    // -- cycle detection over the acquisition graph --------------------
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        // Report at one edge of the cycle, deterministically: the
+        // lexicographically smallest (from, to) pair on it.
+        let mut pairs: Vec<(String, String)> =
+            cycle.windows(2).map(|w| (w[0].clone(), w[1].clone())).collect();
+        pairs.sort();
+        let site = &edges[&pairs[0]];
+        if !allows.suppress(&site.file, RULE, site.line) {
+            findings.push(Finding::new(
+                &site.file,
+                site.line,
+                RULE,
+                format!(
+                    "lock acquisition cycle: {} — concurrent paths taking these locks in \
+                     different orders deadlock; pick one global order",
+                    cycle.join(" \u{2192} ")
+                ),
+            ));
+        }
+    }
+
+    (findings, locks_tracked)
+}
+
+/// Names in `toks` declared with a lock type (`name: [Arc<]Mutex<…>` /
+/// `RwLock<…>`) or assigned a lock constructor (`name = Mutex::new`).
+fn collect_lock_names(toks: &[Token], pool: &mut BTreeSet<String>) {
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].tok.ident() else { continue };
+        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+            && type_is_lock(toks, i + 2)
+        {
+            pool.insert(name.to_string());
+        }
+        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('='))
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct('='))
+        {
+            // `name = Mutex::new(…)`, possibly through `Arc::new(…)`:
+            // accept a lock constructor anywhere before the statement ends.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') if depth > 0 => depth -= 1,
+                    Tok::Punct(';') | Tok::Punct('}') if depth == 0 => break,
+                    Tok::Ident(w) if w == "Mutex" || w == "RwLock" => {
+                        pool.insert(name.to_string());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// True when the type starting at `start` is a lock, looking through
+/// `&`, `Arc`, `Rc`, `Box`, lifetimes and path prefixes.
+fn type_is_lock(toks: &[Token], start: usize) -> bool {
+    let mut i = start;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('&') | Tok::Punct('<') | Tok::Lifetime => i += 1,
+            Tok::Ident(w) if w == "mut" || w == "dyn" => i += 1,
+            Tok::Ident(w) if w == "Arc" || w == "Rc" || w == "Box" => i += 1,
+            t => {
+                let Some(w) = t.ident() else { return false };
+                if w == "Mutex" || w == "RwLock" {
+                    return true;
+                }
+                // A path prefix (`sync::Mutex`): skip segment + `::`.
+                if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                {
+                    i += 3;
+                    continue;
+                }
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Walk one function body, tracking held guards and emitting edges,
+/// double-acquire and guard-across-send findings.
+fn scan_body(
+    rel: &str,
+    toks: &[Token],
+    pool: &BTreeSet<String>,
+    allows: &mut Allows,
+    edges: &mut BTreeMap<(String, String), Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth.is_none_or(|d| d <= depth));
+            }
+            Tok::Punct(';') => {
+                // Temporaries die at statement end.
+                held.retain(|h| h.depth.is_some());
+            }
+            Tok::Ident(w) if w == "drop" => {
+                // `drop ( g )` releases g early.
+                if let (Some(Tok::Punct('(')), Some(Tok::Ident(gname))) =
+                    (toks.get(i + 1).map(|t| &t.tok), toks.get(i + 2).map(|t| &t.tok))
+                {
+                    if toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')')) {
+                        held.retain(|h| h.guard.as_deref() != Some(gname.as_str()));
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Acquisition: `name . lock|read|write (` with name in the pool.
+        if let (Some(name), Some(Tok::Punct('.')), Some(Tok::Ident(m)), Some(Tok::Punct('('))) = (
+            toks[i].tok.ident(),
+            toks.get(i + 1).map(|t| &t.tok),
+            toks.get(i + 2).map(|t| &t.tok),
+            toks.get(i + 3).map(|t| &t.tok),
+        ) {
+            if pool.contains(name) && ACQUIRE_METHODS.contains(&m.as_str()) {
+                let line = toks[i + 2].line;
+                for h in &held {
+                    if h.lock == name {
+                        if !allows.suppress(rel, RULE, line) {
+                            findings.push(Finding::new(
+                                rel,
+                                line,
+                                RULE,
+                                format!(
+                                    "`{name}` is acquired again while a guard on `{name}` is \
+                                     still live — immediate deadlock with a non-reentrant lock"
+                                ),
+                            ));
+                        }
+                    } else {
+                        edges
+                            .entry((h.lock.clone(), name.to_string()))
+                            .or_insert(Edge { file: rel.to_string(), line });
+                    }
+                }
+                // `let [mut] g = name.lock()…` binds a guard; otherwise
+                // the acquisition is a statement-scoped temporary.
+                let guard = guard_binding(toks, i);
+                held.push(Held {
+                    lock: name.to_string(),
+                    depth: guard.as_ref().map(|_| depth),
+                    guard,
+                });
+                i += 3;
+                continue;
+            }
+        }
+
+        // Guard across a synchronous handoff: `.send(` (channels) or
+        // `.join()` (thread handles; the empty-paren requirement keeps
+        // `Vec::join(", ")` out).
+        if toks[i].tok == Tok::Punct('.') {
+            if let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) {
+                let is_send =
+                    m == "send" && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('));
+                let is_join = m == "join"
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')'));
+                if is_send || is_join {
+                    let line = toks[i + 1].line;
+                    // Only let-bound guards count: a temporary guard in
+                    // the same statement (e.g. `m.lock().send(x)` on a
+                    // locked queue) *is* the handoff, not a held lock.
+                    if let Some(h) = held.iter().find(|h| h.depth.is_some()) {
+                        if !allows.suppress(rel, RULE, line) {
+                            findings.push(Finding::new(
+                                rel,
+                                line,
+                                RULE,
+                                format!(
+                                    "guard on `{}` is still live across `.{m}(…)` — drop it \
+                                     first (scoped block) so the critical section does not \
+                                     extend across the handoff",
+                                    h.lock
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// When the acquisition at token `i` (the pooled name) is the rhs of a
+/// `let` in the same statement, return the bound guard name.
+fn guard_binding(toks: &[Token], i: usize) -> Option<String> {
+    // Scan back over path/field segments to the `=`:
+    // `let g = self.state.lock()` → the pooled name is the segment tail.
+    let mut j = i;
+    while j > 0 {
+        match &toks[j - 1].tok {
+            Tok::Punct('.') | Tok::Punct(':') | Tok::Punct('&') => j -= 1,
+            Tok::Ident(_) | Tok::RawIdent(_) => j -= 1,
+            _ => break,
+        }
+    }
+    if j == 0 || toks[j - 1].tok != Tok::Punct('=') {
+        return None;
+    }
+    // `… let [mut] g =`
+    let mut k = j - 1;
+    let name = loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match &toks[k].tok {
+            Tok::Ident(w) if w == "mut" => continue,
+            Tok::Ident(w) => break w.clone(),
+            _ => return None,
+        }
+    };
+    while k > 0 {
+        k -= 1;
+        match &toks[k].tok {
+            Tok::Ident(w) if w == "mut" => continue,
+            Tok::Ident(w) if w == "let" => return Some(name),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Any cycle in `adj`, as a node path `[a, b, …, a]`; deterministic
+/// (nodes and successors visited in sorted order).
+fn find_cycle<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        let mut succs: Vec<&str> = adj.get(node).cloned().unwrap_or_default();
+        succs.sort_unstable();
+        for s in succs {
+            match marks.get(s).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let start = stack
+                        .iter()
+                        .position(|&n| n == s)
+                        .expect("grey nodes are on the DFS stack");
+                    let mut cycle: Vec<String> =
+                        stack[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(s.to_string());
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(s, adj, marks, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if marks.get(n).copied().unwrap_or(Mark::White) == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(n, adj, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(files: &[(&str, &str)]) -> (Vec<Finding>, usize) {
+        let lexed: Vec<(String, Lexed)> =
+            files.iter().map(|(rel, src)| (rel.to_string(), lex(src))).collect();
+        let g = Graph::build(&lexed);
+        let mut allows = Allows::default();
+        for (rel, lx) in &lexed {
+            allows.parse_file(rel, &lx.comments);
+        }
+        run(&g, &lexed, &mut allows)
+    }
+
+    #[test]
+    fn nested_acquisition_in_opposite_orders_is_a_cycle() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                   fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }";
+        let (fs, locks) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert_eq!(locks, 2);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, RULE);
+        assert!(fs[0].message.contains("cycle"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn consistent_hierarchy_is_clean() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                   fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn double_acquire_is_immediate() {
+        let src = "struct S { a: Mutex<u32> }\n\
+                   fn f(s: &S) { let g1 = s.a.lock(); let g2 = s.a.lock(); }";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("acquired again"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn guard_across_send_found_scoped_drop_clean() {
+        let bad = "struct S { obs: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u32>) {\n    let g = s.obs.lock();\n    tx.send(1);\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", bad)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("across `.send"), "{}", fs[0].message);
+        assert_eq!(fs[0].line, 4);
+
+        let good = "struct S { obs: Mutex<u32> }\n\
+                    fn f(s: &S, tx: &Sender<u32>) {\n    { let g = s.obs.lock(); }\n    tx.send(1);\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", good)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "struct S { obs: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u32>) {\n    let g = s.obs.lock();\n    drop(g);\n    tx.send(1);\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn join_with_args_is_not_a_thread_join() {
+        let src = "struct S { a: Mutex<u32> }\n\
+                   fn f(s: &S, parts: &[String]) {\n    let g = s.a.lock();\n    let j = parts.join(\", \");\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+
+        let bad = "struct S { a: Mutex<u32> }\n\
+                   fn f(s: &S, h: Handle) {\n    let g = s.a.lock();\n    h.join();\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", bad)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn pool_gating_keeps_io_write_out() {
+        let src = "fn f(mut file: File, buf: &[u8]) { file.write(buf); let r = reader.read(); }";
+        let (fs, locks) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert_eq!(locks, 0);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_acquisitions_count() {
+        let src = "struct S { idx: RwLock<u32>, log: Mutex<u32> }\n\
+                   fn f(s: &S) { let g = s.idx.read(); let h = s.log.lock(); }\n\
+                   fn g(s: &S) { let h = s.log.lock(); let g = s.idx.write(); }";
+        let (fs, locks) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert_eq!(locks, 2);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn arc_mutex_constructor_binding_is_pooled() {
+        let src = "fn f() { let shared = Arc::new(Mutex::new(0)); let g = shared.lock(); let h = shared.lock(); }";
+        let (fs, locks) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert_eq!(locks, 1);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("acquired again"));
+    }
+
+    #[test]
+    fn allow_suppresses_a_known_send_site() {
+        let src = "struct S { obs: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u32>) {\n    let g = s.obs.lock();\n    // simlint: allow(lock-order, \"receiver never takes obs\")\n    tx.send(1);\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "struct S { a: Mutex<u32> }\n#[cfg(test)]\nmod t {\n    fn f(s: &super::S) { let g1 = s.a.lock(); let g2 = s.a.lock(); }\n}";
+        let (fs, _) = analyze(&[("crates/runtime/src/x.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

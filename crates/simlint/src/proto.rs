@@ -1,0 +1,388 @@
+//! D7 `protocol-exhaustiveness`: protocol enums cross-checked against
+//! their codecs and their match sites.
+//!
+//! The protocol surface of this repo is a handful of enums (`Envelope`,
+//! `Status`, `CtrlKind`, `Direction`) that must round-trip through
+//! `wire.rs`-style codecs and be handled by every consumer. rustc's own
+//! match exhaustiveness stops at the function boundary: it cannot see
+//! that a variant is serialized but never reconstructed, and it is
+//! silenced entirely by a `_` arm — which is exactly how a newly added
+//! control-message kind slips through an old handler unprocessed.
+//!
+//! A **protocol enum** is any workspace enum (test code and `*Error`
+//! enums excluded) whose variants are referenced by at least one
+//! *encoder* function (`encode*`, `to_bytes*`, `to_wire*`, `serialize*`)
+//! AND at least one *decoder* function (`decode*`, `from_wire*`,
+//! `from_bytes*`, `deserialize*`) in its defining crate. For each one:
+//!
+//! 1. **Codec reconciliation** — every variant must be referenced by
+//!    ≥1 encoder and ≥1 decoder. Expression-position refs count (the
+//!    decoder's tag `match` constructs variants on the arm bodies).
+//! 2. **Handler coverage** — every non-test `match` whose patterns
+//!    reference the enum must either list every variant explicitly or
+//!    carry an allow-justified catch-all.
+//! 3. **Wildcard suppression** — a catch-all arm in a protocol match is
+//!    a finding (allow-able with justification): it swallows future
+//!    variants without a compile error.
+//! 4. **Tag symmetry** — in a file that contains both an encoder and a
+//!    decoder, every `*TAG*` const must be referenced by both sides;
+//!    a one-sided tag means the codec pair has drifted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::report::Finding;
+use crate::rules::Allows;
+
+/// Rule id.
+pub const RULE: &str = "protocol-exhaustiveness";
+
+/// Function-name prefixes that mark wire writers.
+const ENCODER_PREFIXES: &[&str] = &["encode", "to_bytes", "to_wire", "serialize"];
+/// Function-name prefixes that mark wire readers.
+const DECODER_PREFIXES: &[&str] = &["decode", "from_wire", "from_bytes", "deserialize"];
+
+/// `name` is `prefix` or `prefix_…` for one of the prefixes.
+fn is_codec_name(name: &str, prefixes: &[&str]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| name == *p || name.strip_prefix(p).is_some_and(|rest| rest.starts_with('_')))
+}
+
+/// Run D7 over the workspace. Returns `(findings, protocol_enums)`.
+pub fn run(g: &Graph, allows: &mut Allows) -> (Vec<Finding>, usize) {
+    // -- codec function classification ---------------------------------
+    let mut encoders: BTreeSet<usize> = BTreeSet::new();
+    let mut decoders: BTreeSet<usize> = BTreeSet::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        if is_codec_name(&f.name, ENCODER_PREFIXES) {
+            encoders.insert(i);
+        }
+        if is_codec_name(&f.name, DECODER_PREFIXES) {
+            decoders.insert(i);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut protocol_enums = 0usize;
+
+    for e in &g.enums {
+        if e.name.ends_with("Error") || g.files[e.file].is_test_path {
+            continue;
+        }
+        let crate_key = &g.files[e.file].crate_key;
+
+        // Variants seen on each codec side, within the defining crate.
+        let mut enc_vars: BTreeSet<&str> = BTreeSet::new();
+        let mut dec_vars: BTreeSet<&str> = BTreeSet::new();
+        for r in g.vrefs.iter().filter(|r| r.enum_name == e.name) {
+            let Some(fi) = r.in_fn else { continue };
+            if g.files[g.fns[fi].file].crate_key != *crate_key {
+                continue;
+            }
+            if encoders.contains(&fi) {
+                enc_vars.insert(&r.variant);
+            }
+            if decoders.contains(&fi) {
+                dec_vars.insert(&r.variant);
+            }
+        }
+        if enc_vars.is_empty() || dec_vars.is_empty() {
+            continue; // plain data enum, not protocol surface
+        }
+        protocol_enums += 1;
+        let decl_rel = &g.files[e.file].rel;
+
+        // 1. Codec reconciliation.
+        for v in &e.variants {
+            if !enc_vars.contains(v.as_str()) && !allows.suppress(decl_rel, RULE, e.line) {
+                findings.push(Finding::new(
+                    decl_rel,
+                    e.line,
+                    RULE,
+                    format!(
+                        "variant `{}::{v}` is never written by an encoder \
+                         (encode*/to_bytes*/to_wire*/serialize*) — it cannot appear on the wire",
+                        e.name
+                    ),
+                ));
+            }
+            if !dec_vars.contains(v.as_str()) && !allows.suppress(decl_rel, RULE, e.line) {
+                findings.push(Finding::new(
+                    decl_rel,
+                    e.line,
+                    RULE,
+                    format!(
+                        "variant `{}::{v}` is never reconstructed by a decoder \
+                         (decode*/from_wire*/from_bytes*/deserialize*) — round-trips drop it",
+                        e.name
+                    ),
+                ));
+            }
+        }
+
+        // 2 + 3. Handler coverage and wildcard suppression, per match
+        // site whose patterns reference this enum.
+        for m in &g.matches {
+            if m.is_test {
+                continue;
+            }
+            let references = m.arms.iter().any(|a| a.pats.iter().any(|(en, _)| en == &e.name));
+            if !references {
+                continue;
+            }
+            let m_rel = &g.files[m.file].rel;
+            if let Some(arm) = m.arms.iter().find(|a| a.catch_all) {
+                if !allows.suppress(m_rel, RULE, arm.line) {
+                    findings.push(Finding::new(
+                        m_rel,
+                        arm.line,
+                        RULE,
+                        format!(
+                            "match on protocol enum `{}` has a catch-all arm — a future variant \
+                             would be silently absorbed; list every variant, or justify with an \
+                             allow",
+                            e.name
+                        ),
+                    ));
+                }
+            } else {
+                let handled: BTreeSet<&str> = m
+                    .arms
+                    .iter()
+                    .flat_map(|a| a.pats.iter())
+                    .filter(|(en, _)| en == &e.name)
+                    .map(|(_, v)| v.as_str())
+                    .collect();
+                for v in &e.variants {
+                    if !handled.contains(v.as_str()) && !allows.suppress(m_rel, RULE, m.line) {
+                        findings.push(Finding::new(
+                            m_rel,
+                            m.line,
+                            RULE,
+                            format!(
+                                "match on protocol enum `{}` does not handle variant `{}::{v}` — \
+                                 add an explicit arm",
+                                e.name, e.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Tag symmetry in codec files.
+    let mut file_enc: BTreeSet<usize> = BTreeSet::new();
+    let mut file_dec: BTreeSet<usize> = BTreeSet::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if encoders.contains(&i) {
+            file_enc.insert(f.file);
+        }
+        if decoders.contains(&i) {
+            file_dec.insert(f.file);
+        }
+    }
+    // const name → (encoder-side ref seen, decoder-side ref seen)
+    let mut tag_refs: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    for r in &g.const_refs {
+        let Some(fi) = r.in_fn else { continue };
+        let entry = tag_refs.entry(r.name.as_str()).or_default();
+        entry.0 |= encoders.contains(&fi);
+        entry.1 |= decoders.contains(&fi);
+    }
+    for c in &g.consts {
+        if !c.name.contains("TAG")
+            || g.files[c.file].is_test_path
+            || !(file_enc.contains(&c.file) && file_dec.contains(&c.file))
+        {
+            continue;
+        }
+        let (enc, dec) = tag_refs.get(c.name.as_str()).copied().unwrap_or((false, false));
+        // Only one-sided use is codec drift; a const no codec touches is
+        // not a wire tag at all (digest salts, log markers, …).
+        if enc == dec {
+            continue;
+        }
+        let rel = &g.files[c.file].rel;
+        if !allows.suppress(rel, RULE, c.line) {
+            let side = if enc { "a decoder" } else { "an encoder" };
+            findings.push(Finding::new(
+                rel,
+                c.line,
+                RULE,
+                format!(
+                    "wire tag `{}` is not referenced by {side} — one-sided tags mean the \
+                     encoder and decoder have drifted apart",
+                    c.name
+                ),
+            ));
+        }
+    }
+
+    (findings, protocol_enums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, Lexed};
+
+    fn analyze(files: &[(&str, &str)]) -> (Vec<Finding>, usize) {
+        let lexed: Vec<(String, Lexed)> =
+            files.iter().map(|(rel, src)| (rel.to_string(), lex(src))).collect();
+        let g = Graph::build(&lexed);
+        let mut allows = Allows::default();
+        for (rel, lx) in &lexed {
+            allows.parse_file(rel, &lx.comments);
+        }
+        run(&g, &mut allows)
+    }
+
+    const CLEAN: &str = "pub enum K { A, B }\n\
+                         fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                         fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }\n\
+                         fn handle(k: &K) { match k { K::A => {}, K::B => {} } }";
+
+    #[test]
+    fn clean_round_trip_with_exhaustive_handler_passes() {
+        let (fs, n) = analyze(&[("crates/core/src/k.rs", CLEAN)]);
+        assert_eq!(n, 1);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_decoder_arm_is_found() {
+        let src = "pub enum K { A, B }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                   fn decode_k(_x: u8) -> K { K::A }";
+        let (fs, n) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert_eq!(n, 1);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("never reconstructed"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("K::B"));
+    }
+
+    #[test]
+    fn missing_encoder_ref_is_found() {
+        let src = "pub enum K { A, B }\n\
+                   fn encode_k(_k: &K) -> u8 { let _ = K::A; 0 }\n\
+                   fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("never written"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn missing_handler_arm_is_found() {
+        let src = "pub enum K { A, B, C }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1, K::C => 2 } }\n\
+                   fn decode_k(x: u8) -> K { if x == 0 { K::A } else if x == 1 { K::B } else { K::C } }\n\
+                   fn handle(k: &K) { match k { K::A => {}, K::B => {} } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("does not handle variant `K::C`"), "{}", fs[0].message);
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn wildcard_match_is_a_finding_unless_allowed() {
+        let bad = "pub enum K { A, B }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                   fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }\n\
+                   fn handle(k: &K) { match k { K::A => {}, _ => {} } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", bad)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("catch-all"), "{}", fs[0].message);
+
+        let allowed = "pub enum K { A, B }\n\
+                       fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                       fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }\n\
+                       fn handle(k: &K) {\n    match k {\n        K::A => {},\n\
+                       // simlint: allow(protocol-exhaustiveness, \"B and future kinds are opaque here\")\n\
+                       _ => {},\n    }\n}";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", allowed)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn decoder_tag_match_over_bytes_is_not_a_protocol_match() {
+        // The decode-side `match x { 0 => K::A, … t => K::A }` has number
+        // patterns and a bare-binding fallback: its catch-all must not be
+        // flagged, because the patterns never reference the enum.
+        let src = "pub enum K { A, B }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                   fn decode_k(x: u8) -> K { match x { 0 => K::A, 1 => K::B, _ => K::A } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn data_enums_without_codecs_are_out_of_scope() {
+        let src = "pub enum Mode { Fast, Slow }\n\
+                   fn pick(m: &Mode) -> u8 { match m { Mode::Fast => 0, _ => 1 } }";
+        let (fs, n) = analyze(&[("crates/core/src/m.rs", src)]);
+        assert_eq!(n, 0);
+        assert!(fs.is_empty(), "wildcards on data enums are fine: {fs:?}");
+    }
+
+    #[test]
+    fn error_enums_are_exempt() {
+        let src = "pub enum WireError { Truncated, BadTag }\n\
+                   fn encode_e(e: &WireError) -> u8 { match e { WireError::Truncated => 0, _ => 1 } }\n\
+                   fn decode_e(_x: u8) -> WireError { WireError::Truncated }";
+        let (fs, n) = analyze(&[("crates/core/src/w.rs", src)]);
+        assert_eq!(n, 0);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn one_sided_tag_const_is_found() {
+        let src = "pub const FRAME_TAG_A: u8 = 0;\npub const FRAME_TAG_B: u8 = 1;\n\
+                   pub enum K { A, B }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => FRAME_TAG_A, K::B => FRAME_TAG_B } }\n\
+                   fn decode_k(x: u8) -> K { if x == FRAME_TAG_A { K::A } else { K::B } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("FRAME_TAG_B"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("an encoder") || fs[0].message.contains("a decoder"));
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn symmetric_tags_pass() {
+        let src = "pub const FRAME_TAG_A: u8 = 0;\n\
+                   pub enum K { A }\n\
+                   fn encode_k(_k: &K) -> u8 { let _ = K::A; FRAME_TAG_A }\n\
+                   fn decode_k(x: u8) -> K { if x == FRAME_TAG_A { K::A } else { K::A } }";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_matches_are_exempt() {
+        let src = "pub enum K { A, B }\n\
+                   fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                   fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }\n\
+                   #[cfg(test)]\nmod t {\n    use super::K;\n\
+                   fn probe(k: &K) -> bool { match k { K::A => true, _ => false } }\n}";
+        let (fs, _) = analyze(&[("crates/core/src/k.rs", src)]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn cross_file_handler_in_same_crate_is_seen() {
+        let codec = "pub enum K { A, B }\n\
+                     pub fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                     pub fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }";
+        let handler = "use crate::k::K;\nfn route(k: &K) { match k { K::A => {}, _ => {} } }";
+        let (fs, _) =
+            analyze(&[("crates/core/src/k.rs", codec), ("crates/core/src/route.rs", handler)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].file, "crates/core/src/route.rs");
+        assert!(fs[0].message.contains("catch-all"));
+    }
+}

@@ -3,6 +3,21 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// One hop of a taint/provenance chain, innermost first: the functions a
+/// finding travelled through before reaching the nondeterministic source
+/// (whose identifier is the last step).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStep {
+    /// Qualified function name (`crate::Owner::fn`) or, for the final
+    /// step, the source identifier (`Instant`, `thread_rng`, …).
+    pub func: String,
+    /// Root-relative file of the step.
+    pub file: String,
+    /// 1-based line: the call into the *next* step, or the source line
+    /// for the final step.
+    pub line: u32,
+}
+
 /// One diagnostic. `file` is root-relative with forward slashes so the
 /// output is stable across machines.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -15,6 +30,37 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Call chain from the reported site to the source; empty for
+    /// purely local findings.
+    pub chain: Vec<ChainStep>,
+}
+
+impl Finding {
+    /// A chain-less finding.
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding { file: file.to_string(), line, rule, message, chain: Vec::new() }
+    }
+
+    /// Attach a provenance chain.
+    pub fn with_chain(mut self, chain: Vec<ChainStep>) -> Finding {
+        self.chain = chain;
+        self
+    }
+}
+
+/// Analyzer observability counters, printed in the report footer and in
+/// `--json` so a silently-degenerate graph (zero functions parsed, zero
+/// edges resolved) is visible instead of masquerading as a clean run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Functions discovered across the workspace.
+    pub functions: usize,
+    /// Call sites that resolved to at least one workspace function.
+    pub call_edges: usize,
+    /// Protocol enums cross-checked by D7.
+    pub enums_checked: usize,
+    /// Distinct locks tracked by D6.
+    pub locks_tracked: usize,
 }
 
 /// The full result of one lint run.
@@ -26,6 +72,12 @@ pub struct Report {
     pub unwraps: BTreeMap<String, usize>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Graph/analysis counters.
+    pub stats: Stats,
+    /// Accepted baseline entries that matched a live finding this run,
+    /// as `(rule, file, fingerprint)` — carried so a rewritten baseline
+    /// does not drop them.
+    pub applied_accepts: Vec<(String, String, String)>,
 }
 
 impl Report {
@@ -37,15 +89,24 @@ impl Report {
     /// Canonical ordering for deterministic output.
     pub fn sort(&mut self) {
         self.findings.sort_by(|a, b| {
-            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+            (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+            ))
         });
     }
 
-    /// `file:line: [rule] message` lines plus a summary footer.
+    /// `file:line: [rule] message` lines (chains indented below their
+    /// finding) plus a summary footer.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         for f in &self.findings {
             let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            for step in &f.chain {
+                let _ = writeln!(s, "    via {} ({}:{})", step.func, step.file, step.line);
+            }
         }
         let _ = writeln!(
             s,
@@ -55,6 +116,14 @@ impl Report {
             self.unwraps.values().sum::<usize>(),
             self.unwraps.len()
         );
+        let _ = writeln!(
+            s,
+            "simlint: graph: {} function(s), {} call edge(s), {} protocol enum(s), {} lock(s)",
+            self.stats.functions,
+            self.stats.call_edges,
+            self.stats.enums_checked,
+            self.stats.locks_tracked
+        );
         s
     }
 
@@ -63,19 +132,43 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"clean\": ");
         s.push_str(if self.clean() { "true" } else { "false" });
-        let _ = write!(s, ",\n  \"files_scanned\": {},\n  \"findings\": [", self.files_scanned);
+        let _ = write!(s, ",\n  \"files_scanned\": {},", self.files_scanned);
+        let _ = write!(
+            s,
+            "\n  \"stats\": {{\"functions\": {}, \"call_edges\": {}, \"enums_checked\": {}, \
+             \"locks_tracked\": {}}},",
+            self.stats.functions,
+            self.stats.call_edges,
+            self.stats.enums_checked,
+            self.stats.locks_tracked
+        );
+        s.push_str("\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             let _ = write!(
                 s,
-                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+                 \"chain\": [",
                 escape(&f.file),
                 f.line,
                 f.rule,
                 escape(&f.message)
             );
+            for (j, step) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"func\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                    escape(&step.func),
+                    escape(&step.file),
+                    step.line
+                );
+            }
+            s.push_str("]}");
         }
         if !self.findings.is_empty() {
             s.push_str("\n  ");
@@ -96,7 +189,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -121,16 +214,15 @@ mod tests {
     fn sample() -> Report {
         let mut r = Report {
             findings: vec![
-                Finding {
-                    file: "b.rs".into(),
-                    line: 2,
-                    rule: "wall-clock",
-                    message: "x \"quoted\"".into(),
-                },
-                Finding { file: "a.rs".into(), line: 9, rule: "anchor", message: "y".into() },
+                Finding::new("b.rs", 2, "wall-clock", "x \"quoted\"".into()).with_chain(vec![
+                    ChainStep { func: "core::helper".into(), file: "c.rs".into(), line: 7 },
+                    ChainStep { func: "Instant".into(), file: "c.rs".into(), line: 9 },
+                ]),
+                Finding::new("a.rs", 9, "anchor", "y".into()),
             ],
             unwraps: BTreeMap::from([("core".to_string(), 3usize)]),
             files_scanned: 2,
+            ..Report::default()
         };
         r.sort();
         r
@@ -144,11 +236,13 @@ mod tests {
     }
 
     #[test]
-    fn text_has_file_line_rule() {
+    fn text_has_file_line_rule_and_chain() {
         let r = sample();
         let t = r.to_text();
         assert!(t.contains("a.rs:9: [anchor] y"));
         assert!(t.contains("2 finding(s)"));
+        assert!(t.contains("    via core::helper (c.rs:7)"));
+        assert!(t.contains("    via Instant (c.rs:9)"));
     }
 
     #[test]
@@ -158,6 +252,10 @@ mod tests {
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("x \\\"quoted\\\""));
         assert!(j.contains("\"core\": 3"));
+        assert!(
+            j.contains("\"chain\": [{\"func\": \"core::helper\", \"file\": \"c.rs\", \"line\": 7}")
+        );
+        assert!(j.contains("\"stats\""));
     }
 
     #[test]

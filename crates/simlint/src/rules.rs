@@ -1,30 +1,36 @@
 //! The rule set.
 //!
-//! | id                | tier          | what it catches                                   |
-//! |-------------------|---------------|---------------------------------------------------|
-//! | `wall-clock`      | deterministic | `Instant`, `SystemTime`, `thread::sleep`          |
-//! | `unordered-iter`  | deterministic | iterating a `HashMap`/`HashSet` binding           |
-//! | `ambient-entropy` | deterministic | `thread_rng`, `from_entropy`, `RandomState`       |
-//! | `forbid-unsafe`   | all           | crate root missing `#![forbid(unsafe_code)]`      |
-//! | `anchor`          | all           | `[OCPT` §x.y`]` anchors out of sync with DESIGN.md|
-//! | `unwrap-budget`   | all           | per-crate `.unwrap()` count above the baseline    |
-//! | `allow-*`         | all           | malformed / unjustified / unused escape hatches   |
+//! | id                       | tier          | what it catches                                   |
+//! |--------------------------|---------------|---------------------------------------------------|
+//! | `wall-clock`             | deterministic | `Instant`, `SystemTime`, `thread::sleep` — direct or through a call chain |
+//! | `unordered-iter`         | deterministic | iterating a `HashMap`/`HashSet` binding, field or hash-returning call |
+//! | `ambient-entropy`        | deterministic | `thread_rng`, `from_entropy`, `RandomState` — direct or through a call chain |
+//! | `forbid-unsafe`          | all           | crate root missing `#![forbid(unsafe_code)]`      |
+//! | `anchor`                 | all           | `[OCPT` §x.y`]` anchors out of sync with DESIGN.md|
+//! | `unwrap-budget`          | all           | per-crate `.unwrap()` count above the baseline    |
+//! | `lock-order`             | all           | lock-acquisition cycles, double-acquire, guard held across send/join |
+//! | `protocol-exhaustiveness`| all           | protocol enum variants without handler or codec arms |
+//! | `allow-*`                | all           | malformed / unjustified / unused escape hatches   |
 //!
 //! Escape hatch: a line (or the line directly below) can be excused with
 //! a comment of the form `simlint: allow(<rule>, "<why>")` — the `<why>`
 //! is mandatory and unused allows are themselves findings, so the hatch
 //! cannot rot silently.
+//!
+//! This module owns the *per-file* rules; the workspace-graph rules live
+//! in [`crate::taint`] (transitive D1–D3), [`crate::locks`] (D6) and
+//! [`crate::proto`] (D7), all sharing the [`Allows`] table so one escape
+//! hatch grammar serves every rule.
 
+use std::collections::BTreeMap;
+
+use crate::graph::type_is_hash;
 use crate::lexer::{Comment, Lexed, Tok, Token};
 use crate::report::Finding;
 use crate::workspace::Tier;
 
-/// Hash-typed container names whose iteration order is a function of
-/// `RandomState`, not of the run.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
-
 /// Methods that observe iteration order when called on a hash container.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -38,7 +44,7 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 /// Identifiers that pull entropy from the environment.
-const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState"];
+pub(crate) const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState"];
 
 /// Result of linting one file in isolation (cross-file rules — anchors,
 /// unwrap budget, forbid-unsafe — are assembled by the caller from the
@@ -59,17 +65,82 @@ pub struct SourceCheck {
 
 /// One parsed escape-hatch comment.
 #[derive(Clone, Debug)]
-struct Allow {
-    rule: String,
-    why: String,
-    line: u32,
-    used: bool,
+pub struct Allow {
+    /// The rule it excuses.
+    pub rule: String,
+    /// The mandatory justification (may be empty — that is itself a
+    /// finding, emitted at parse time).
+    pub why: String,
+    /// 1-based line of the comment; it covers this line and the next.
+    pub line: u32,
+    /// Set when some finding was actually suppressed by it.
+    pub used: bool,
 }
 
-/// Lint one lexed file. `path_is_test` marks whole-file test contexts
-/// (integration tests, benches, examples); inline `#[cfg(test)]` regions
-/// come from the lexer.
-pub fn check_source(rel_path: &str, tier: Tier, lexed: &Lexed, path_is_test: bool) -> SourceCheck {
+/// The workspace-wide escape-hatch table. Per-file and workspace-graph
+/// passes all suppress through the same table, so `allow-unused` can only
+/// be decided once *every* rule has run.
+#[derive(Clone, Debug, Default)]
+pub struct Allows {
+    by_file: BTreeMap<String, Vec<Allow>>,
+}
+
+impl Allows {
+    /// Parse the escape hatches of one file into the table, returning
+    /// hygiene findings (malformed shape, empty justification).
+    pub fn parse_file(&mut self, rel_path: &str, comments: &[Comment]) -> Vec<Finding> {
+        let (allows, findings) = parse_allows(rel_path, comments);
+        self.by_file.entry(rel_path.to_string()).or_default().extend(allows);
+        findings
+    }
+
+    /// True when an allow for `rule` covers `line` of `file`; marks the
+    /// matching allow used.
+    pub fn suppress(&mut self, file: &str, rule: &str, line: u32) -> bool {
+        let Some(allows) = self.by_file.get_mut(file) else { return false };
+        match allows.iter_mut().find(|a| a.rule == rule && (a.line == line || a.line + 1 == line)) {
+            Some(a) => {
+                a.used = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `allow-unused` findings for every justified allow that never
+    /// suppressed anything. Call once, after all rules have run.
+    pub fn unused_findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (file, allows) in &self.by_file {
+            for a in allows {
+                if !a.used && !a.why.is_empty() {
+                    out.push(Finding::new(
+                        file,
+                        a.line,
+                        "allow-unused",
+                        format!(
+                            "allow({}) suppresses nothing on this or the next line — remove it",
+                            a.rule
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Lint one lexed file against a shared [`Allows`] table. Escape hatches
+/// are parsed into the table and D1–D3 suppression is recorded there;
+/// `allow-unused` is *not* emitted here — the caller decides once every
+/// pass (including the workspace-graph rules) has had its chance.
+pub fn check_file(
+    rel_path: &str,
+    tier: Tier,
+    lexed: &Lexed,
+    path_is_test: bool,
+    allows: &mut Allows,
+) -> SourceCheck {
     let mut out = SourceCheck {
         unwraps: count_unwraps(&lexed.tokens),
         anchors: extract_anchors_from_comments(&lexed.comments),
@@ -77,37 +148,17 @@ pub fn check_source(rel_path: &str, tier: Tier, lexed: &Lexed, path_is_test: boo
         ..SourceCheck::default()
     };
 
-    let (mut allows, mut findings) = parse_allows(rel_path, &lexed.comments);
+    let mut findings = allows.parse_file(rel_path, &lexed.comments);
 
     if tier == Tier::Deterministic && !path_is_test {
-        let in_test = |line: u32| lexed.in_test_code(line);
-        let raw = deterministic_findings(rel_path, lexed);
-        for f in raw {
-            if in_test(f.line) {
+        for f in deterministic_findings(rel_path, lexed) {
+            if lexed.in_test_code(f.line) {
                 continue;
             }
-            if let Some(a) = allows
-                .iter_mut()
-                .find(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
-            {
-                a.used = true;
+            if allows.suppress(rel_path, f.rule, f.line) {
                 continue;
             }
             findings.push(f);
-        }
-    }
-
-    for a in &allows {
-        if !a.used && !a.why.is_empty() {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: a.line,
-                rule: "allow-unused",
-                message: format!(
-                    "allow({}) suppresses nothing on this or the next line — remove it",
-                    a.rule
-                ),
-            });
         }
     }
 
@@ -115,21 +166,29 @@ pub fn check_source(rel_path: &str, tier: Tier, lexed: &Lexed, path_is_test: boo
     out
 }
 
+/// Lint one lexed file in isolation (the v1 entry point): same as
+/// [`check_file`] with a file-local allow table, with `allow-unused`
+/// decided immediately.
+pub fn check_source(rel_path: &str, tier: Tier, lexed: &Lexed, path_is_test: bool) -> SourceCheck {
+    let mut allows = Allows::default();
+    let mut out = check_file(rel_path, tier, lexed, path_is_test, &mut allows);
+    out.findings.extend(allows.unused_findings());
+    out
+}
+
 /// D1 + D2 + D3 for one file, before allow/test-region filtering.
-fn deterministic_findings(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+pub(crate) fn deterministic_findings(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
     let toks = &lexed.tokens;
     let mut out = Vec::new();
-    let mk = |line: u32, rule: &'static str, message: String| Finding {
-        file: rel_path.to_string(),
-        line,
-        rule,
-        message,
+    let mk = |line: u32, rule: &'static str, message: String| {
+        Finding::new(rel_path, line, rule, message)
     };
 
     // D1 wall-clock and D3 ambient entropy: single-identifier scans.
+    // Raw identifiers count too — `r#Instant` resolves to the same item.
     for (i, t) in toks.iter().enumerate() {
-        let Tok::Ident(w) = &t.tok else { continue };
-        match w.as_str() {
+        let Some(w) = t.tok.ident() else { continue };
+        match w {
             "Instant" | "SystemTime" => out.push(mk(
                 t.line,
                 "wall-clock",
@@ -151,47 +210,57 @@ fn deterministic_findings(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
 
     // D2: collect hash-typed binding names, then flag iterations of them.
     let hash_names = collect_hash_names(toks);
-    if !hash_names.is_empty() {
-        for i in 0..toks.len() {
-            // name.method( … ) where method observes iteration order.
-            if let (
-                Tok::Ident(name),
-                Some(Tok::Punct('.')),
-                Some(Tok::Ident(m)),
-                Some(Tok::Punct('(')),
-            ) = (
-                &toks[i].tok,
-                toks.get(i + 1).map(|t| &t.tok),
-                toks.get(i + 2).map(|t| &t.tok),
-                toks.get(i + 3).map(|t| &t.tok),
-            ) {
-                if hash_names.contains(name) && ITER_METHODS.contains(&m.as_str()) {
-                    out.push(mk(
-                        toks[i + 2].line,
-                        "unordered-iter",
-                        format!(
-                            "`{name}.{m}()` iterates a hash container — order is a function of \
-                             RandomState, not of the run; use BTreeMap/BTreeSet or sort first"
-                        ),
-                    ));
-                }
+    out.extend(iteration_findings(rel_path, toks, &hash_names, |name, method, line| {
+        let how = match method {
+            Some(m) => format!("`{name}.{m}()`"),
+            None => format!("`for … in {name}`"),
+        };
+        Finding::new(
+            rel_path,
+            line,
+            "unordered-iter",
+            format!(
+                "{how} iterates a hash container — order is a function of RandomState, not of \
+                 the run; use BTreeMap/BTreeSet or sort first"
+            ),
+        )
+    }));
+
+    out
+}
+
+/// Flag every iteration (method-style or `for … in`) of a name from
+/// `names`. The `mk` callback builds the finding: `(name, Some(method))`
+/// for `.iter()`-style sites, `(name, None)` for for-loops.
+pub(crate) fn iteration_findings(
+    _rel_path: &str,
+    toks: &[Token],
+    names: &[String],
+    mk: impl Fn(&str, Option<&str>, u32) -> Finding,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if names.is_empty() {
+        return out;
+    }
+    for i in 0..toks.len() {
+        // name.method( … ) where method observes iteration order.
+        if let (Some(name), Some(Tok::Punct('.')), Some(Tok::Ident(m)), Some(Tok::Punct('('))) = (
+            toks[i].tok.ident(),
+            toks.get(i + 1).map(|t| &t.tok),
+            toks.get(i + 2).map(|t| &t.tok),
+            toks.get(i + 3).map(|t| &t.tok),
+        ) {
+            if names.iter().any(|n| n == name) && ITER_METHODS.contains(&m.as_str()) {
+                out.push(mk(name, Some(m), toks[i + 2].line));
             }
-            // for … in [&[mut]] path::to::name {
-            if toks[i].tok == Tok::Ident("in".to_string()) && i > 0 {
-                if let Some((name, line)) = for_loop_hash_target(toks, i, &hash_names) {
-                    out.push(mk(
-                        line,
-                        "unordered-iter",
-                        format!(
-                            "`for … in {name}` iterates a hash container — order is a function \
-                             of RandomState, not of the run; use BTreeMap/BTreeSet or sort first"
-                        ),
-                    ));
-                }
+        }
+        // for … in [&[mut]] path::to::name {
+        if toks[i].tok.is_kw("in") && i > 0 {
+            if let Some((name, line)) = for_loop_hash_target(toks, i, names) {
+                out.push(mk(&name, None, line));
             }
         }
     }
-
     out
 }
 
@@ -200,62 +269,97 @@ fn path_prefix_is(toks: &[Token], i: usize, prefix: &str) -> bool {
     i >= 3
         && toks[i - 1].tok == Tok::Punct(':')
         && toks[i - 2].tok == Tok::Punct(':')
-        && matches!(&toks[i - 3].tok, Tok::Ident(w) if w == prefix)
+        && toks[i - 3].tok.ident() == Some(prefix)
 }
 
 /// Names bound with a hash-container type, from two shapes:
 ///
-///  * `name : … HashMap<…> …` (struct fields, fn params, typed lets) —
-///    scanned to the type's end at angle-depth 0;
-///  * `name = HashMap::…` / `name = HashSet::…` (inferred lets,
-///    assignments of constructor calls).
-fn collect_hash_names(toks: &[Token]) -> Vec<String> {
+///  * `name : TYPE` (struct fields, fn params, typed lets) — decided by
+///    [`type_is_hash`], which looks *through* deref wrappers
+///    (`Arc<HashMap<…>>` binds) but *not* into ordered containers
+///    (`Vec<HashMap<…>>` does not — iterating the Vec is ordered);
+///  * `name = HashMap::…` / `name = …collect::<HashSet<…>>()` (inferred
+///    lets, assignments of constructor or collector calls).
+pub(crate) fn collect_hash_names(toks: &[Token]) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..toks.len() {
-        let Tok::Ident(name) = &toks[i].tok else { continue };
+        let Some(name) = toks[i].tok.ident() else { continue };
         // `name :` but not `name ::`.
         if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
             && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
         {
-            let mut angle = 0i32;
-            let mut j = i + 2;
+            let ty_start = i + 2;
+            let ty_end = type_span_end(toks, ty_start);
+            if type_is_hash(&toks[ty_start..ty_end]) {
+                names.push(name.to_string());
+            }
+        }
+        // `name = RHS` (skip `==`, `!=`, `<=`, `>=`): binds when RHS
+        // starts with a hash constructor or contains a hash turbofish
+        // (`collect::<HashMap<…>>`).
+        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('='))
+            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct('='))
+        {
+            let rhs_start = i + 2;
+            if let Some(Tok::Ident(w)) = toks.get(rhs_start).map(|t| &t.tok) {
+                if w == "HashMap" || w == "HashSet" {
+                    names.push(name.to_string());
+                    continue;
+                }
+            }
+            // Scan the statement's rhs for a turbofish whose type is hash.
+            let mut j = rhs_start;
+            let mut depth = 0i32;
             while j < toks.len() {
                 match &toks[j].tok {
-                    Tok::Punct('<') => angle += 1,
-                    Tok::Punct('>') => angle -= 1,
-                    Tok::Punct(',')
-                    | Tok::Punct(';')
-                    | Tok::Punct(')')
-                    | Tok::Punct('{')
-                    | Tok::Punct('}')
-                    | Tok::Punct('=')
-                        if angle <= 0 =>
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') if depth > 0 => depth -= 1,
+                    Tok::Punct(';') | Tok::Punct('}') if depth == 0 => break,
+                    Tok::Punct('<')
+                        if j >= 2
+                            && toks[j - 1].tok == Tok::Punct(':')
+                            && toks[j - 2].tok == Tok::Punct(':') =>
                     {
-                        break;
-                    }
-                    Tok::Ident(w) if HASH_TYPES.contains(&w.as_str()) => {
-                        names.push(name.clone());
-                        break;
+                        let end = type_span_end(toks, j + 1);
+                        if type_is_hash(&toks[j + 1..end]) {
+                            names.push(name.to_string());
+                        }
                     }
                     _ => {}
                 }
                 j += 1;
             }
         }
-        // `name = HashMap` / `name = HashSet` (skip `==`, `!=`, `<=`, `>=`).
-        if toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('='))
-            && toks.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct('='))
-        {
-            if let Some(Tok::Ident(w)) = toks.get(i + 2).map(|t| &t.tok) {
-                if HASH_TYPES.contains(&w.as_str()) {
-                    names.push(name.clone());
-                }
-            }
-        }
     }
     names.sort_unstable();
     names.dedup();
     names
+}
+
+/// Extent of a type starting at `start`: up to the first
+/// `, ; ) { } =` at angle-depth 0.
+fn type_span_end(toks: &[Token], start: usize) -> usize {
+    let mut angle = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct(',')
+            | Tok::Punct(';')
+            | Tok::Punct(')')
+            | Tok::Punct('{')
+            | Tok::Punct('}')
+            | Tok::Punct('=')
+                if angle <= 0 =>
+            {
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
 }
 
 /// For a `for … in EXPR {` loop, return the hash-container name when the
@@ -270,7 +374,7 @@ fn for_loop_hash_target(
     // within the same statement (bounded lookbehind keeps this cheap).
     let mut saw_for = false;
     for k in in_idx.saturating_sub(12)..in_idx {
-        if toks[k].tok == Tok::Ident("for".to_string()) {
+        if toks[k].tok.is_kw("for") {
             saw_for = true;
         }
     }
@@ -370,24 +474,24 @@ fn parse_allows(rel_path: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Findin
         match parse_allow_body(body) {
             Some((rule, why)) => {
                 if why.trim().is_empty() {
-                    findings.push(Finding {
-                        file: rel_path.to_string(),
-                        line: c.line,
-                        rule: "allow-unjustified",
-                        message: format!(
+                    findings.push(Finding::new(
+                        rel_path,
+                        c.line,
+                        "allow-unjustified",
+                        format!(
                             "allow({rule}) has an empty justification — say why the rule is \
                              safe to break here"
                         ),
-                    });
+                    ));
                 }
                 allows.push(Allow { rule, why: why.trim().to_string(), line: c.line, used: false });
             }
-            None => findings.push(Finding {
-                file: rel_path.to_string(),
-                line: c.line,
-                rule: "allow-malformed",
-                message: "expected `simlint: allow(<rule>, \"<why>\")`".to_string(),
-            }),
+            None => findings.push(Finding::new(
+                rel_path,
+                c.line,
+                "allow-malformed",
+                "expected `simlint: allow(<rule>, \"<why>\")`".to_string(),
+            )),
         }
     }
     (allows, findings)
@@ -473,6 +577,36 @@ mod tests {
     }
 
     #[test]
+    fn vec_of_hashmaps_is_ordered_iteration() {
+        // Iterating the outer Vec yields elements in index order — only
+        // iterating the *inner* maps would be unordered, and that shows
+        // up as its own binding when it happens.
+        let src = "struct S { timers: Vec<HashMap<u64, u32>> }\n\
+                   fn f(s: &S) { for m in s.timers.iter() { } }";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn arc_wrapped_hashmap_still_binds() {
+        let src = "struct S { shared: Arc<HashMap<u64, u32>> }\n\
+                   fn f(s: &S) { for m in s.shared.iter() { } }";
+        let c = check(Tier::Deterministic, src);
+        assert_eq!(rules_of(&c), vec!["unordered-iter"]);
+    }
+
+    #[test]
+    fn collect_turbofish_into_hash_binds() {
+        let src = "let picked = xs.iter().collect::<HashSet<u32>>();\nfor x in &picked { }";
+        let c = check(Tier::Deterministic, src);
+        assert_eq!(rules_of(&c), vec!["unordered-iter"]);
+        // …but collecting into a Vec of maps does not.
+        let src = "let rows = xs.iter().collect::<Vec<HashMap<u32, u32>>>();\nfor r in &rows { }";
+        let c = check(Tier::Deterministic, src);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
     fn allow_suppresses_same_and_next_line_and_must_be_used() {
         let src = "// simlint: allow(wall-clock, \"self-measurement only\")\n\
                    let t = Instant::now();";
@@ -508,6 +642,12 @@ mod tests {
         let src = "let s = \"Instant::now() and thread_rng()\";\n// Instant is banned here\nlet r = r#\"HashMap .iter()\"#;";
         let c = check(Tier::Deterministic, src);
         assert!(c.findings.is_empty(), "{:?}", c.findings);
+    }
+
+    #[test]
+    fn raw_identifier_hazards_still_fire() {
+        let c = check(Tier::Deterministic, "let t = r#Instant::now();");
+        assert_eq!(rules_of(&c), vec!["wall-clock"]);
     }
 
     #[test]
@@ -548,5 +688,18 @@ mod tests {
         let c = check_source("crates/core/tests/x.rs", Tier::Deterministic, &lexed, true);
         assert!(c.findings.is_empty());
         assert_eq!(c.unwraps, 1);
+    }
+
+    #[test]
+    fn shared_allow_table_defers_unused_decision() {
+        let mut allows = Allows::default();
+        let lexed =
+            lex("// simlint: allow(lock-order, \"drops before send by construction\")\nlet x = 1;");
+        let c = check_file("fixture.rs", Tier::Deterministic, &lexed, false, &mut allows);
+        assert!(c.findings.is_empty(), "{:?}", c.findings);
+        // A later workspace pass suppresses through the same table…
+        assert!(allows.suppress("fixture.rs", "lock-order", 2));
+        // …so the final sweep reports nothing.
+        assert!(allows.unused_findings().is_empty());
     }
 }

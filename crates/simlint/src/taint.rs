@@ -1,0 +1,542 @@
+//! Inter-procedural nondeterminism taint: makes D1–D3 *transitive*.
+//!
+//! The per-file pass ([`crate::rules`]) flags a `Instant::now()` written
+//! directly inside a deterministic-tier crate. What it cannot see is a
+//! deterministic-tier function calling a helper — typically in an exempt
+//! crate, where wall-clock and hash iteration are legal — whose result
+//! depends on one of those sources. This module walks the workspace call
+//! graph backwards from every source and reports the *boundary edge*:
+//! the call, inside deterministic non-test code, into a tainted function
+//! that is not itself held to D1–D3. The full chain from that callee to
+//! the source is attached to the finding.
+//!
+//! Sources are, per rule:
+//!
+//! * `wall-clock` — `Instant`, `SystemTime`, `thread::sleep`;
+//! * `ambient-entropy` — `thread_rng`, `from_entropy`, `RandomState`;
+//! * `unordered-iter` — iteration of a hash-typed binding.
+//!
+//! Sources in test code never taint (test binaries are not replayed),
+//! and a `simlint: allow` at the source line kills every chain through
+//! it — excusing the source excuses its callers, which keeps one escape
+//! hatch per root cause instead of one per transitive caller.
+//!
+//! Two more D2 refinements live here because they need the graph:
+//!
+//! * a binding assigned from a call to a *hash-returning* function is a
+//!   hash binding — iterating it is a finding with the producer in the
+//!   chain;
+//! * hash-typed struct *fields* taint their field-access iterations
+//!   across files of the same crate (the per-file pass only sees fields
+//!   declared in the file it is looking at).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::graph::Graph;
+use crate::lexer::{Lexed, Tok};
+use crate::report::{ChainStep, Finding};
+use crate::rules::{self, Allows};
+use crate::workspace::Tier;
+
+/// The three transitive rules.
+const TAINT_RULES: [&str; 3] = ["wall-clock", "ambient-entropy", "unordered-iter"];
+
+/// Why a function is tainted for one rule.
+#[derive(Clone, Debug)]
+enum Cause {
+    /// The body touches the source itself.
+    Direct {
+        /// Source description (`Instant`, `` `m.iter()` ``, …).
+        what: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Via a call to a tainted function at `line`.
+    Via {
+        /// The tainted callee.
+        callee: usize,
+        /// Call line.
+        line: u32,
+    },
+}
+
+/// Run the transitive pass. `lexed` is parallel to `g.files`; `already`
+/// holds `(file, line)` pairs of per-file `unordered-iter` findings so
+/// the graph-level D2 refinements do not double-report.
+pub fn run(
+    g: &Graph,
+    lexed: &[(String, Lexed)],
+    allows: &mut Allows,
+    already: &BTreeSet<(String, u32)>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // -- direct sources per (fn, rule) ---------------------------------
+    let mut cause: BTreeMap<(&'static str, usize), Cause> = BTreeMap::new();
+    for (fid, f) in g.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        let (rel, lx) = &lexed[f.file];
+        let toks = &lx.tokens[a..b];
+        // D1/D3 ident scan.
+        for (i, t) in toks.iter().enumerate() {
+            let Some(w) = t.tok.ident() else { continue };
+            let rule = match w {
+                "Instant" | "SystemTime" => Some("wall-clock"),
+                "sleep"
+                    if i >= 3
+                        && toks[i - 1].tok == Tok::Punct(':')
+                        && toks[i - 2].tok == Tok::Punct(':')
+                        && toks[i - 3].tok.ident() == Some("thread") =>
+                {
+                    Some("wall-clock")
+                }
+                w if rules::ENTROPY_IDENTS.contains(&w) => Some("ambient-entropy"),
+                _ => None,
+            };
+            let Some(rule) = rule else { continue };
+            if cause.contains_key(&(rule, fid)) || allows.suppress(rel, rule, t.line) {
+                continue;
+            }
+            cause.insert((rule, fid), Cause::Direct { what: w.to_string(), line: t.line });
+        }
+        // D2 sources: iteration of this file's hash bindings inside the body.
+        let hash_names = rules::collect_hash_names(&lx.tokens);
+        for hit in rules::iteration_findings(rel, toks, &hash_names, |name, m, line| {
+            let what = match m {
+                Some(m) => format!("{name}.{m}()"),
+                None => format!("for … in {name}"),
+            };
+            Finding::new(rel, line, "unordered-iter", what)
+        }) {
+            if cause.contains_key(&("unordered-iter", fid))
+                || allows.suppress(rel, "unordered-iter", hit.line)
+            {
+                continue;
+            }
+            cause.insert(
+                ("unordered-iter", fid),
+                Cause::Direct { what: hit.message.clone(), line: hit.line },
+            );
+        }
+    }
+
+    // -- reverse edges and backwards BFS per rule ----------------------
+    let mut reverse: BTreeMap<usize, Vec<(usize, u32)>> = BTreeMap::new();
+    for c in &g.calls {
+        if g.fns[c.caller].is_test {
+            continue;
+        }
+        for target in g.resolve(c) {
+            if target != c.caller {
+                reverse.entry(target).or_default().push((c.caller, c.line));
+            }
+        }
+    }
+    for rule in TAINT_RULES {
+        let mut queue: VecDeque<usize> =
+            cause.iter().filter(|((r, _), _)| *r == rule).map(|((_, fid), _)| *fid).collect();
+        while let Some(t) = queue.pop_front() {
+            let Some(callers) = reverse.get(&t) else { continue };
+            for &(caller, line) in callers {
+                if let std::collections::btree_map::Entry::Vacant(e) = cause.entry((rule, caller)) {
+                    e.insert(Cause::Via { callee: t, line });
+                    queue.push_back(caller);
+                }
+            }
+        }
+    }
+
+    // -- boundary-edge findings ----------------------------------------
+    let mut seen: BTreeSet<(usize, usize, &'static str)> = BTreeSet::new();
+    for c in &g.calls {
+        let caller = &g.fns[c.caller];
+        let cf = &g.files[caller.file];
+        if cf.tier != Tier::Deterministic || caller.is_test {
+            continue;
+        }
+        for target in g.resolve(c) {
+            let tf = &g.fns[target];
+            // Findings land on the boundary: a callee that is itself
+            // deterministic-tier live code is held to D1–D3 directly (or
+            // is the boundary of its own finding), so edges into it are
+            // not re-reported.
+            if g.files[tf.file].tier == Tier::Deterministic && !tf.is_test {
+                continue;
+            }
+            for rule in TAINT_RULES {
+                if !cause.contains_key(&(rule, target)) {
+                    continue;
+                }
+                if !seen.insert((c.caller, target, rule)) {
+                    continue;
+                }
+                if allows.suppress(&cf.rel, rule, c.line) {
+                    continue;
+                }
+                let (chain, what) = build_chain(g, lexed, &cause, rule, target);
+                let noun = match rule {
+                    "wall-clock" => "wall-clock time",
+                    "ambient-entropy" => "ambient entropy",
+                    _ => "hash-order iteration",
+                };
+                findings.push(
+                    Finding::new(
+                        &cf.rel,
+                        c.line,
+                        rule,
+                        format!(
+                            "`{}` calls `{}`, which reaches {noun} (`{what}`) — the chain leaks \
+                             it into deterministic code",
+                            g.fq_name(c.caller),
+                            g.fq_name(target),
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+            }
+        }
+    }
+
+    findings.extend(hash_return_findings(g, lexed, allows, already));
+    findings.extend(hash_field_findings(g, lexed, allows, already));
+    findings
+}
+
+/// Walk `cause` links from `start` down to the source, rendering one
+/// [`ChainStep`] per hop plus a final step for the source itself.
+/// Returns `(chain, source description)`.
+fn build_chain(
+    g: &Graph,
+    lexed: &[(String, Lexed)],
+    cause: &BTreeMap<(&'static str, usize), Cause>,
+    rule: &'static str,
+    start: usize,
+) -> (Vec<ChainStep>, String) {
+    let mut chain = Vec::new();
+    let mut cur = start;
+    loop {
+        let rel = &lexed[g.fns[cur].file].0;
+        match cause.get(&(rule, cur)) {
+            Some(Cause::Via { callee, line }) => {
+                chain.push(ChainStep { func: g.fq_name(cur), file: rel.clone(), line: *line });
+                cur = *callee;
+            }
+            Some(Cause::Direct { what, line }) => {
+                chain.push(ChainStep { func: g.fq_name(cur), file: rel.clone(), line: *line });
+                chain.push(ChainStep { func: what.clone(), file: rel.clone(), line: *line });
+                return (chain, what.clone());
+            }
+            None => return (chain, String::from("?")),
+        }
+        if chain.len() > 64 {
+            // Cycles cannot happen (BFS visits once) but cap defensively.
+            return (chain, String::from("?"));
+        }
+    }
+}
+
+/// D2 refinement: a binding assigned from a call to a function whose
+/// declared return type is a hash container is itself a hash binding.
+fn hash_return_findings(
+    g: &Graph,
+    lexed: &[(String, Lexed)],
+    allows: &mut Allows,
+    already: &BTreeSet<(String, u32)>,
+) -> Vec<Finding> {
+    let mut producers: BTreeMap<&str, usize> = BTreeMap::new();
+    for (fid, f) in g.fns.iter().enumerate() {
+        if f.returns_hash && !f.is_test {
+            producers.entry(f.name.as_str()).or_insert(fid);
+        }
+    }
+    let mut out = Vec::new();
+    if producers.is_empty() {
+        return out;
+    }
+    for (fi, meta) in g.files.iter().enumerate() {
+        if meta.tier != Tier::Deterministic || meta.is_test_path {
+            continue;
+        }
+        let (rel, lx) = &lexed[fi];
+        let toks = &lx.tokens;
+        // Bindings whose rhs calls a hash-returning function.
+        let mut names: Vec<(String, usize)> = Vec::new(); // (binding, producer)
+        for i in 0..toks.len() {
+            let Some(name) = toks[i].tok.ident() else { continue };
+            if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('='))
+                || toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('='))
+            {
+                continue;
+            }
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') if depth > 0 => depth -= 1,
+                    Tok::Punct(';') | Tok::Punct('}') if depth == 0 => break,
+                    t => {
+                        if let (Some(w), Some(Tok::Punct('('))) =
+                            (t.ident(), toks.get(j + 1).map(|t| &t.tok))
+                        {
+                            if let Some(&pid) = producers.get(w) {
+                                names.push((name.to_string(), pid));
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        if names.is_empty() {
+            continue;
+        }
+        let name_list: Vec<String> = names.iter().map(|(n, _)| n.clone()).collect();
+        for hit in rules::iteration_findings(rel, toks, &name_list, |name, m, line| {
+            let how = match m {
+                Some(m) => format!("`{name}.{m}()`"),
+                None => format!("`for … in {name}`"),
+            };
+            Finding::new(rel, line, "unordered-iter", format!("{how}\u{1}{name}"))
+        }) {
+            if lx.in_test_code(hit.line) || already.contains(&(rel.clone(), hit.line)) {
+                continue;
+            }
+            if allows.suppress(rel, "unordered-iter", hit.line) {
+                continue;
+            }
+            let (how, name) =
+                hit.message.split_once('\u{1}').expect("marker inserted by the closure above");
+            let pid = names
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, p)| p)
+                .expect("names in hits come from the binding list");
+            let p = &g.fns[pid];
+            out.push(
+                Finding::new(
+                    rel,
+                    hit.line,
+                    "unordered-iter",
+                    format!(
+                        "{how} iterates a hash container built by `{}` — its order is a \
+                         function of RandomState; return/collect into an ordered type first",
+                        g.fq_name(pid)
+                    ),
+                )
+                .with_chain(vec![ChainStep {
+                    func: g.fq_name(pid),
+                    file: g.files[p.file].rel.clone(),
+                    line: p.line,
+                }]),
+            );
+        }
+    }
+    out
+}
+
+/// D2 refinement: hash-typed struct fields taint `.field` iterations in
+/// *other* files of the same crate.
+fn hash_field_findings(
+    g: &Graph,
+    lexed: &[(String, Lexed)],
+    allows: &mut Allows,
+    already: &BTreeSet<(String, u32)>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if g.hash_fields.is_empty() {
+        return out;
+    }
+    for (fi, meta) in g.files.iter().enumerate() {
+        if meta.tier != Tier::Deterministic || meta.is_test_path {
+            continue;
+        }
+        let fields: Vec<&crate::graph::HashField> = g
+            .hash_fields
+            .iter()
+            .filter(|h| g.files[h.file].crate_key == meta.crate_key && h.file != fi)
+            .collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = fields.iter().map(|h| h.name.clone()).collect();
+        let (rel, lx) = &lexed[fi];
+        for hit in rules::iteration_findings(rel, &lx.tokens, &names, |name, m, line| {
+            let how = match m {
+                Some(m) => format!("`{name}.{m}()`"),
+                None => format!("`for … in {name}`"),
+            };
+            Finding::new(rel, line, "unordered-iter", format!("{how}\u{1}{name}"))
+        }) {
+            if lx.in_test_code(hit.line) || already.contains(&(rel.clone(), hit.line)) {
+                continue;
+            }
+            if allows.suppress(rel, "unordered-iter", hit.line) {
+                continue;
+            }
+            let (how, name) =
+                hit.message.split_once('\u{1}').expect("marker inserted by the closure above");
+            let field = fields
+                .iter()
+                .find(|h| h.name == name)
+                .expect("names in hits come from the field list");
+            out.push(
+                Finding::new(
+                    rel,
+                    hit.line,
+                    "unordered-iter",
+                    format!(
+                        "{how} iterates hash-typed field `{}.{}` (declared in {}) — order is a \
+                         function of RandomState, not of the run",
+                        field.owner, field.name, g.files[field.file].rel
+                    ),
+                )
+                .with_chain(vec![ChainStep {
+                    func: format!("{}.{}", field.owner, field.name),
+                    file: g.files[field.file].rel.clone(),
+                    line: field.line,
+                }]),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let lexed: Vec<(String, Lexed)> =
+            files.iter().map(|(rel, src)| (rel.to_string(), lex(src))).collect();
+        let g = Graph::build(&lexed);
+        let mut allows = Allows::default();
+        for (rel, lx) in &lexed {
+            allows.parse_file(rel, &lx.comments);
+        }
+        run(&g, &lexed, &mut allows, &BTreeSet::new())
+    }
+
+    #[test]
+    fn wall_clock_leak_through_exempt_helper_is_found_with_chain() {
+        let fs = analyze(&[
+            (
+                "crates/runtime/src/clock.rs",
+                "pub fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+            ),
+            (
+                "crates/sim/src/engine.rs",
+                "use ocpt_runtime::clock::now_ms;\nfn step() { let t = now_ms(); }",
+            ),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let f = &fs[0];
+        assert_eq!(f.rule, "wall-clock");
+        assert_eq!(f.file, "crates/sim/src/engine.rs");
+        assert_eq!(f.line, 2);
+        assert_eq!(f.chain.len(), 2, "{:?}", f.chain);
+        assert_eq!(f.chain[0].func, "runtime::now_ms");
+        assert_eq!(f.chain[1].func, "Instant");
+    }
+
+    #[test]
+    fn multi_hop_chain_is_reported_once_at_the_boundary() {
+        let fs = analyze(&[
+            (
+                "crates/runtime/src/a.rs",
+                "pub fn deep() { let r = rand::thread_rng(); }\npub fn mid() { deep(); }",
+            ),
+            ("crates/core/src/b.rs", "fn top() { ocpt_runtime::mid(); }"),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "ambient-entropy");
+        let funcs: Vec<&str> = fs[0].chain.iter().map(|s| s.func.as_str()).collect();
+        assert_eq!(funcs, vec!["runtime::mid", "runtime::deep", "thread_rng"]);
+    }
+
+    #[test]
+    fn allow_at_the_source_kills_the_whole_chain() {
+        let fs = analyze(&[
+            (
+                "crates/runtime/src/a.rs",
+                "pub fn helper() {\n    // simlint: allow(wall-clock, \"telemetry timestamp, not replayed\")\n    let t = Instant::now();\n}",
+            ),
+            ("crates/core/src/b.rs", "fn top() { ocpt_runtime::helper(); }"),
+        ]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_neither_sources_nor_reports() {
+        let fs = analyze(&[
+            (
+                "crates/runtime/src/a.rs",
+                "#[cfg(test)]\nmod t {\n    pub fn helper() { let t = Instant::now(); }\n}",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "#[cfg(test)]\nmod t {\n    fn top() { ocpt_runtime::helper(); }\n}",
+            ),
+        ]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn hash_iteration_in_exempt_helper_taints_det_callers() {
+        let fs = analyze(&[
+            (
+                "crates/cli/src/dump.rs",
+                "pub fn summarize(m: &HashMap<u32, u32>) -> u32 {\n    let mut s = 0;\n    for (_, v) in m.iter() { s += v; }\n    s\n}",
+            ),
+            ("crates/metrics/src/agg.rs", "fn total() { ocpt_cli::summarize(&x); }"),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "unordered-iter");
+        assert!(fs[0].message.contains("hash-order"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn hash_returning_fn_taints_caller_bindings() {
+        let src = "fn make() -> HashMap<u32, u32> { x }\n\
+                   fn use_it() {\n    let m = make();\n    for (k, v) in m.iter() { }\n}";
+        let fs = analyze(&[("crates/sim/src/h.rs", src)]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "unordered-iter");
+        assert_eq!(fs[0].line, 4);
+        assert_eq!(fs[0].chain.len(), 1);
+        assert_eq!(fs[0].chain[0].func, "sim::make");
+    }
+
+    #[test]
+    fn cross_file_hash_field_iteration_is_found() {
+        let fs = analyze(&[
+            ("crates/sim/src/state.rs", "pub struct St { pub live: HashSet<u64> }"),
+            ("crates/sim/src/scan.rs", "fn f(s: &St) { for p in s.live.iter() { } }"),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "unordered-iter");
+        assert_eq!(fs[0].file, "crates/sim/src/scan.rs");
+        assert_eq!(fs[0].chain[0].func, "St.live");
+        // Other-crate fields of the same name do not leak across crates.
+        let fs = analyze(&[
+            ("crates/runtime/src/state.rs", "pub struct St { pub live: HashSet<u64> }"),
+            ("crates/sim/src/scan.rs", "fn f(s: &St) { for p in s.live.iter() { } }"),
+        ]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn det_tier_direct_sources_are_not_rereported_as_edges() {
+        // `leaf` is deterministic-tier live code: its own Instant is the
+        // per-file pass's finding; the call edge into it stays quiet.
+        let fs = analyze(&[(
+            "crates/sim/src/x.rs",
+            "fn leaf() { let t = Instant::now(); }\nfn top() { leaf(); }",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -191,7 +191,7 @@ fn d4_anchor_extraction_from_comments_not_strings() {
 #[test]
 fn d5_budget_fires_above_is_stale_below_and_quiet_at_exact() {
     let counts = |n: usize| std::collections::BTreeMap::from([("core".to_string(), n)]);
-    let base = baseline::format(&counts(2));
+    let base = baseline::format(&counts(2), &[]);
     assert!(baseline::compare(Some(&base), &counts(2)).is_empty());
     let over = baseline::compare(Some(&base), &counts(3));
     assert_eq!(rule_ids(&over), vec!["unwrap-budget"]);
@@ -215,11 +215,12 @@ fn d5_counts_unwraps_everywhere_but_not_in_literals() {
 fn report_output_is_sorted_and_json_parses_shape() {
     let mut r = Report {
         findings: vec![
-            Finding { file: "z.rs".into(), line: 1, rule: "wall-clock", message: "m".into() },
-            Finding { file: "a.rs".into(), line: 7, rule: "anchor", message: "q\"uote".into() },
+            Finding::new("z.rs", 1, "wall-clock", "m".into()),
+            Finding::new("a.rs", 7, "anchor", "q\"uote".into()),
         ],
         unwraps: std::collections::BTreeMap::from([("core".to_string(), 0usize)]),
         files_scanned: 2,
+        ..Report::default()
     };
     r.sort();
     assert_eq!(r.findings[0].file, "a.rs");
@@ -229,4 +230,199 @@ fn report_output_is_sorted_and_json_parses_shape() {
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("q\\\"uote"));
     assert!(json.contains("\"core\": 0"));
+}
+
+// ------------------------------------------ workspace analysis helpers
+
+/// Analyze an in-memory workspace with an empty (but valid v2) baseline.
+fn ws(files: &[(&str, &str)]) -> Report {
+    let files: Vec<(String, String)> =
+        files.iter().map(|&(rel, src)| (rel.to_string(), src.to_string())).collect();
+    let base = baseline::format(&std::collections::BTreeMap::new(), &[]);
+    simlint::analyze(&files, "", Some(&base))
+}
+
+// ----------------------------------------------- transitive D1–D3
+
+#[test]
+fn transitive_wall_clock_chain_crosses_crates_and_prints_via_lines() {
+    let r = ws(&[
+        ("crates/harness/src/x.rs", "fn drive() { helper(); }"),
+        ("crates/runtime/src/h.rs", "pub fn helper() { let t = Instant::now(); }"),
+    ]);
+    let leaks: Vec<&Finding> = r.findings.iter().filter(|f| f.rule == "wall-clock").collect();
+    assert_eq!(leaks.len(), 1, "{:?}", r.findings);
+    let f = leaks[0];
+    assert_eq!(f.file, "crates/harness/src/x.rs");
+    assert!(!f.chain.is_empty(), "boundary finding must carry its chain");
+    assert_eq!(f.chain.last().expect("chain has a source step").func, "Instant");
+    let text = r.to_text();
+    assert!(text.contains("via "), "{text}");
+    let json = r.to_json();
+    assert!(json.contains("\"chain\": [{\"func\""), "{json}");
+}
+
+#[test]
+fn clean_cross_crate_call_stays_quiet() {
+    let r = ws(&[
+        ("crates/harness/src/x.rs", "fn drive() { helper(); }"),
+        ("crates/runtime/src/h.rs", "pub fn helper() { let t = now_ticks(); }"),
+    ]);
+    assert!(r.clean(), "{:?}", r.findings);
+    assert!(r.stats.functions >= 2);
+    assert!(r.stats.call_edges >= 1);
+}
+
+// ------------------------------------------------------- D6 fixtures
+
+const D6_CYCLE: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                        fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                        fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }";
+
+#[test]
+fn d6_cycle_fires_and_consistent_hierarchy_is_clean() {
+    let r = ws(&[("crates/runtime/src/l.rs", D6_CYCLE)]);
+    assert_eq!(rule_ids(&r.findings), vec!["lock-order"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("cycle"));
+    assert_eq!(r.stats.locks_tracked, 2);
+
+    let clean = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                 fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                 fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }";
+    let r = ws(&[("crates/runtime/src/l.rs", clean)]);
+    assert!(r.clean(), "{:?}", r.findings);
+}
+
+#[test]
+fn d6_guard_across_send_fires_and_scoped_drop_is_clean() {
+    let bad = "struct S { obs: Mutex<u32> }\n\
+               fn f(s: &S, tx: &Sender<u32>) {\n    let g = s.obs.lock();\n    tx.send(1);\n}";
+    let r = ws(&[("crates/runtime/src/l.rs", bad)]);
+    assert_eq!(rule_ids(&r.findings), vec!["lock-order"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("across `.send"));
+
+    let good = "struct S { obs: Mutex<u32> }\n\
+                fn f(s: &S, tx: &Sender<u32>) {\n    { let g = s.obs.lock(); }\n    tx.send(1);\n}";
+    let r = ws(&[("crates/runtime/src/l.rs", good)]);
+    assert!(r.clean(), "{:?}", r.findings);
+}
+
+// ------------------------------------------------------- D7 fixtures
+
+const D7_CODECS: &str = "pub enum K { A, B }\n\
+                         pub fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+                         pub fn decode_k(x: u8) -> K { if x == 0 { K::A } else { K::B } }\n";
+
+#[test]
+fn d7_missing_handler_arm_fires_and_exhaustive_match_is_clean() {
+    let src = "pub enum K { A, B, C }\n\
+               pub fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1, K::C => 2 } }\n\
+               pub fn decode_k(x: u8) -> K { if x == 0 { K::A } else if x == 1 { K::B } else { K::C } }\n\
+               fn handle(k: &K) { match k { K::A => {}, K::B => {} } }";
+    let r = ws(&[("crates/core/src/k.rs", src)]);
+    assert_eq!(rule_ids(&r.findings), vec!["protocol-exhaustiveness"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("K::C"), "{}", r.findings[0].message);
+    assert_eq!(r.stats.enums_checked, 1);
+
+    let full =
+        format!("{D7_CODECS}fn handle(k: &K) {{ match k {{ K::A => {{}}, K::B => {{}} }} }}");
+    let r = ws(&[("crates/core/src/k.rs", &full)]);
+    assert!(r.clean(), "{:?}", r.findings);
+}
+
+#[test]
+fn d7_missing_decoder_arm_fires() {
+    let src = "pub enum K { A, B }\n\
+               pub fn encode_k(k: &K) -> u8 { match k { K::A => 0, K::B => 1 } }\n\
+               pub fn decode_k(_x: u8) -> K { K::A }";
+    let r = ws(&[("crates/core/src/k.rs", src)]);
+    assert_eq!(rule_ids(&r.findings), vec!["protocol-exhaustiveness"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("never reconstructed"), "{}", r.findings[0].message);
+}
+
+#[test]
+fn d7_wildcard_match_fires_and_justified_allow_silences_it() {
+    let bad = format!("{D7_CODECS}fn handle(k: &K) {{ match k {{ K::A => {{}}, _ => {{}} }} }}");
+    let r = ws(&[("crates/core/src/k.rs", &bad)]);
+    assert_eq!(rule_ids(&r.findings), vec!["protocol-exhaustiveness"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("catch-all"));
+
+    let allowed = format!(
+        "{D7_CODECS}fn handle(k: &K) {{\n    match k {{\n        K::A => {{}},\n\
+         // simlint: allow(protocol-exhaustiveness, \"only A is routed here; the rest are opaque\")\n\
+         _ => {{}},\n    }}\n}}"
+    );
+    let r = ws(&[("crates/core/src/k.rs", &allowed)]);
+    assert!(r.clean(), "{:?}", r.findings);
+}
+
+// --------------------------------------------- baseline v2 accepts
+
+#[test]
+fn baseline_v2_accept_round_trip_suppresses_then_goes_stale() {
+    let files = [("crates/runtime/src/l.rs", D6_CYCLE)];
+    let r1 = ws(&files);
+    assert_eq!(rule_ids(&r1.findings), vec!["lock-order"]);
+
+    // --write-baseline output: carries an accept line for the finding.
+    let base2 = simlint::render_baseline(&r1);
+    assert!(base2.contains("version 2"), "{base2}");
+    assert!(base2.contains("accept lock-order crates/runtime/src/l.rs"), "{base2}");
+
+    // Re-linting against the regenerated baseline is clean, and the
+    // accept is recorded as applied (so a further rewrite keeps it).
+    let files_owned: Vec<(String, String)> =
+        files.iter().map(|&(rel, src)| (rel.to_string(), src.to_string())).collect();
+    let r2 = simlint::analyze(&files_owned, "", Some(&base2));
+    assert!(r2.clean(), "{:?}", r2.findings);
+    assert_eq!(r2.applied_accepts.len(), 1);
+    assert!(simlint::render_baseline(&r2).contains("accept lock-order"), "rewrite keeps accepts");
+
+    // Fixing the cycle turns the accept stale.
+    let fixed = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                 fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                 fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }";
+    let fixed_owned = vec![("crates/runtime/src/l.rs".to_string(), fixed.to_string())];
+    let r3 = simlint::analyze(&fixed_owned, "", Some(&base2));
+    assert_eq!(rule_ids(&r3.findings), vec!["stale-accept"], "{:?}", r3.findings);
+    assert!(r3.findings[0].message.contains("regenerate"));
+}
+
+#[test]
+fn local_findings_cannot_be_baseline_accepted() {
+    // A direct (chain-less) D1 hit must not be acceptable: only source
+    // allows can excuse it.
+    let files =
+        vec![("crates/sim/src/t.rs".to_string(), "fn f() { let t = Instant::now(); }".to_string())];
+    let base = baseline::format(&std::collections::BTreeMap::new(), &[]);
+    let r1 = simlint::analyze(&files, "", Some(&base));
+    assert_eq!(rule_ids(&r1.findings), vec!["wall-clock"]);
+    let rewritten = simlint::render_baseline(&r1);
+    assert!(!rewritten.lines().any(|l| l.starts_with("accept ")), "{rewritten}");
+    let r2 = simlint::analyze(&files, "", Some(&rewritten));
+    assert_eq!(rule_ids(&r2.findings), vec!["wall-clock"], "still failing after rewrite");
+}
+
+// ------------------------------------------------------ explain docs
+
+#[test]
+fn explain_covers_every_rule_with_fixture_style_examples() {
+    for (alias, id) in [
+        ("D1", "wall-clock"),
+        ("D2", "unordered-iter"),
+        ("D3", "ambient-entropy"),
+        ("D4", "forbid-unsafe"),
+        ("D5", "unwrap-budget"),
+        ("D6", "lock-order"),
+        ("D7", "protocol-exhaustiveness"),
+    ] {
+        let text = simlint::explain::explain(id).expect(id);
+        assert_eq!(simlint::explain::explain(alias).expect(alias), text, "{alias}");
+        assert!(text.contains("fails:") && text.contains("passes:"), "{id}");
+    }
+    // The D6/D7 examples describe the same hazards the fixtures pin.
+    let d6 = simlint::explain::explain("D6").expect("d6");
+    assert!(d6.contains(".send"), "{d6}");
+    let d7 = simlint::explain::explain("D7").expect("d7");
+    assert!(d7.contains("CtrlKind"), "{d7}");
 }
