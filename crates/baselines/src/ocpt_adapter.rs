@@ -84,7 +84,11 @@ impl OcptAdapter {
             self.state_flushed_for = Some(csn);
             out.push(ProtoAction::FlushState { seq: csn });
         }
-        let bytes = 4 + log.flush_bytes();
+        // Durable size of the frozen log exactly as `MessageLog::encode`
+        // lays it out — for the default selective strategy this is the
+        // legacy `4 + flush_bytes()` framing, byte for byte; the extended
+        // strategies pay their window/clock header here too.
+        let bytes = log.encoded_len();
         out.push(ProtoAction::FlushExtra { seq: csn, bytes, log: Some(log) });
     }
 
@@ -272,11 +276,11 @@ impl CheckpointProtocol for OcptAdapter {
         // csn = line — exactly what it would have piggybacked had the
         // message been in flight across the recovery line.
         Some(Envelope::App {
-            pb: Piggyback {
-                csn: self.inner.csn(),
-                stat: Status::Normal,
-                tent_set: ocpt_core::TentSet::empty(self.inner.n()),
-            },
+            pb: Piggyback::new(
+                self.inner.csn(),
+                Status::Normal,
+                ocpt_core::TentSet::empty(self.inner.n()),
+            ),
             payload,
         })
     }
@@ -387,7 +391,7 @@ mod tests {
         let mut out = Vec::new();
         a1.initiate(&mut out);
         out.clear();
-        let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: ocpt_core::TentSet::empty(3) };
+        let pb = Piggyback::new(1, Status::Normal, ocpt_core::TentSet::empty(3));
         let env = Envelope::App { pb, payload: pl() };
         a1.on_arrival(ProcessId(0), MsgId(7), env, &mut out).unwrap();
         a1.after_delivery(ProcessId(0), MsgId(7), pl(), &mut out).unwrap();

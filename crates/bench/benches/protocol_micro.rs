@@ -93,11 +93,7 @@ fn bench_send_receive_path(c: &mut Criterion) {
             let mut p = OcptProcess::new(ProcessId(0), n, OcptConfig::basic_only());
             let mut out = Vec::new();
             p.initiate_checkpoint(&mut out);
-            let pb = Piggyback {
-                csn: 1,
-                stat: Status::Tentative,
-                tent_set: TentSet::singleton(n, ProcessId(1)),
-            };
+            let pb = Piggyback::new(1, Status::Tentative, TentSet::singleton(n, ProcessId(1)));
             let mut id = 0u64;
             b.iter(|| {
                 id += 1;
@@ -120,11 +116,7 @@ fn bench_wire_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     for n in [8usize, 256] {
         let env = Envelope::App {
-            pb: Piggyback {
-                csn: 42,
-                stat: Status::Tentative,
-                tent_set: TentSet::singleton(n, ProcessId(3)),
-            },
+            pb: Piggyback::new(42, Status::Tentative, TentSet::singleton(n, ProcessId(3))),
             payload: AppPayload { id: 7, len: 1024 },
         };
         let bytes = env.wire_bytes(n);
@@ -202,12 +194,12 @@ fn bench_log(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("encode", entries), &entries, |b, &entries| {
             let mut log = MessageLog::new();
             for i in 0..entries as u64 {
-                log.push(LogEntry {
-                    dir: if i % 2 == 0 { Direction::Sent } else { Direction::Received },
-                    peer: ProcessId((i % 7) as u32),
-                    msg_id: MsgId(i),
-                    payload: AppPayload { id: i, len: 128 },
-                });
+                log.push(LogEntry::payload(
+                    if i % 2 == 0 { Direction::Sent } else { Direction::Received },
+                    ProcessId((i % 7) as u32),
+                    MsgId(i),
+                    AppPayload { id: i, len: 128 },
+                ));
             }
             b.iter(|| std::hint::black_box(log.encode()));
         });

@@ -1,4 +1,5 @@
-//! Run the complete reconstructed evaluation (E1–E8, A1–A3) in one go.
+//! Run the complete reconstructed evaluation (E1–E8, E10, A1–A3) in one
+//! go (E9 has its own binary, `exp_scale`).
 //!
 //! With `--bench-json <path>`, every experiment grid is executed twice —
 //! `--jobs 1` and then the requested worker count — and the wall-clock
@@ -75,6 +76,7 @@ fn main() {
         ("e6", exp::e6_piggyback(ns, p)),
         ("e7", exp::e7_recovery(p, (p.workload_ms * 3) / 4)),
         ("e8", exp::e8_response_time(&gaps[..2], p)),
+        ("e10", exp::e10_log_matrix(p, (p.workload_ms * 3) / 4, args.strategy)),
         ("a2", exp::a2_flush_policy(p)),
     ];
 

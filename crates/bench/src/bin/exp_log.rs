@@ -1,0 +1,65 @@
+//! E10: message-logging strategy × fault-pattern matrix.
+//!
+//! Prints the E10 grid table (optionally restricted to one strategy via
+//! `--strategy`), then re-runs each cell directly and writes the committed
+//! `BENCH_log.json` report under `--bench-json`: durable log bytes at the
+//! recovery line, the modeled replay cost (local replays, peer fetches),
+//! and the correctness gaps (orphaned determinants, lost in-transit
+//! messages) per strategy and fault shape.
+
+use ocpt_bench::{log_report_json, ExpArgs, LogRow};
+use ocpt_core::LoggingKind;
+use ocpt_harness::experiments::{e10_fault_patterns, e10_log_matrix};
+use ocpt_harness::{log_recovery_report, run, Algo};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let crash_ms = if args.quick { 600 } else { 4_000 };
+    let base = args.params();
+    args.emit("e10", &e10_log_matrix(base, crash_ms, args.strategy));
+
+    let Some(path) = &args.bench_json else { return };
+    let patterns = e10_fault_patterns(&base, crash_ms);
+    let mut rows = Vec::new();
+    for kind in LoggingKind::ALL {
+        if args.strategy.is_some_and(|o| o != kind) {
+            continue;
+        }
+        for (fault, faults) in &patterns {
+            let mut cfg = base.config();
+            cfg.faults = faults.clone();
+            cfg.stop_on_crash = true;
+            let r = run(&Algo::ocpt_logging(kind), cfg);
+            assert!(
+                r.protocol_error.is_none(),
+                "{} × {fault}: {:?}",
+                kind.name(),
+                r.protocol_error
+            );
+            let rep = log_recovery_report(&r).unwrap_or_else(|e| {
+                eprintln!("error: {} × {fault}: {e}", kind.name());
+                std::process::exit(2);
+            });
+            rows.push(LogRow {
+                strategy: kind.name(),
+                fault: (*fault).to_string(),
+                line: rep.line,
+                log_bytes: rep.log_bytes,
+                replay_ms: rep.replay_time.as_secs_f64() * 1e3,
+                replayed_local: rep.replayed_local,
+                fetched: rep.fetched,
+                orphans: rep.orphans,
+                lost_in_transit: rep.lost_in_transit,
+                app_messages: r.app_messages,
+                sim_events: r.sim_events,
+            });
+        }
+    }
+    let report = log_report_json(&rows);
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote logging report to {path}");
+    eprint!("{report}");
+}

@@ -16,6 +16,7 @@
 
 pub mod sched_bench;
 
+use ocpt_core::LoggingKind;
 use ocpt_harness::experiments::ExpParams;
 use ocpt_harness::{GridOptions, GridOutcome, RunGrid, TraceSink};
 use ocpt_sim::SimDuration;
@@ -81,6 +82,10 @@ pub struct ExpArgs {
     /// Record every run's flight data (trace JSONL + metrics snapshot)
     /// into this directory.
     pub trace_out: Option<String>,
+    /// `exp_log`: restrict the E10 matrix to one logging strategy
+    /// (`selective` / `sender` / `receiver` / `causal`; long aliases like
+    /// `sender-based` also parse). Other binaries parse and ignore it.
+    pub strategy: Option<LoggingKind>,
 }
 
 impl ExpArgs {
@@ -96,6 +101,7 @@ impl ExpArgs {
             sched_json: None,
             par_json: None,
             trace_out: None,
+            strategy: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -139,6 +145,16 @@ impl ExpArgs {
                 "--trace-out" => {
                     args.trace_out =
                         Some(it.next().unwrap_or_else(|| usage("--trace-out needs a directory")));
+                }
+                "--strategy" => {
+                    let s = it.next().unwrap_or_else(|| {
+                        usage("--strategy needs selective|sender|receiver|causal")
+                    });
+                    args.strategy = Some(LoggingKind::parse(&s).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown strategy {s} (want selective|sender|receiver|causal)"
+                        ))
+                    }));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -429,6 +445,67 @@ pub fn scale_report_json(rows: &[ScaleRow], auto_topology: bool) -> String {
     out
 }
 
+/// One (strategy, fault pattern) cell of the E10 logging matrix, for
+/// `BENCH_log.json`.
+#[derive(Clone, Debug)]
+pub struct LogRow {
+    /// Logging strategy short name (`selective` / `sender` / `receiver` /
+    /// `causal`).
+    pub strategy: &'static str,
+    /// Fault pattern label (`single` / `correlated` / `during-finalize`).
+    pub fault: String,
+    /// Durable recovery line the system rolls back to.
+    pub line: u64,
+    /// Durable log bytes across all processes at the line.
+    pub log_bytes: u64,
+    /// Modeled replay wall-clock, milliseconds (max over processes).
+    pub replay_ms: f64,
+    /// Received events replayed from local payload bytes.
+    pub replayed_local: u64,
+    /// Determinants replayed after a payload fetch from a peer's log.
+    pub fetched: u64,
+    /// Determinants with no durable payload anywhere (replay gaps).
+    pub orphans: u64,
+    /// In-transit messages no sender log could regenerate.
+    pub lost_in_transit: u64,
+    /// Application messages the run sent (normalises log_bytes).
+    pub app_messages: u64,
+    /// Simulator events dispatched.
+    pub sim_events: u64,
+}
+
+/// Render the E10 logging matrix as JSON — the committed `BENCH_log.json`.
+pub fn log_report_json(rows: &[LogRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", HostMeta::detect().json_fragment()));
+    out.push_str("  \"strategies\": [\"selective\", \"sender\", \"receiver\", \"causal\"],\n");
+    out.push_str("  \"faults\": [\"single\", \"correlated\", \"during-finalize\"],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"fault\": \"{}\", \"line\": {}, \
+             \"log_bytes\": {}, \"log_bytes_per_msg\": {:.2}, \"replay_ms\": {:.3}, \
+             \"replayed_local\": {}, \"fetched\": {}, \"orphans\": {}, \
+             \"lost_in_transit\": {}, \"app_messages\": {}, \"sim_events\": {}}}{sep}\n",
+            r.strategy,
+            r.fault,
+            r.line,
+            r.log_bytes,
+            r.log_bytes as f64 / r.app_messages.max(1) as f64,
+            r.replay_ms,
+            r.replayed_local,
+            r.fetched,
+            r.orphans,
+            r.lost_in_transit,
+            r.app_messages,
+            r.sim_events,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -436,7 +513,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
          [--replicates <r>] [--trace-out <dir>] [--bench-json <path>] \
-         [--sched-json <path>] [--par-json <path>]"
+         [--sched-json <path>] [--par-json <path>] \
+         [--strategy <selective|sender|receiver|causal>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -544,6 +622,62 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn log_json_shape() {
+        let rows = vec![
+            LogRow {
+                strategy: "selective",
+                fault: "single".into(),
+                line: 3,
+                log_bytes: 4_096,
+                replay_ms: 0.42,
+                replayed_local: 12,
+                fetched: 0,
+                orphans: 0,
+                lost_in_transit: 0,
+                app_messages: 2_048,
+                sim_events: 90_000,
+            },
+            LogRow {
+                strategy: "causal",
+                fault: "during-finalize".into(),
+                line: 2,
+                log_bytes: 512,
+                replay_ms: 1.2,
+                replayed_local: 0,
+                fetched: 9,
+                orphans: 3,
+                lost_in_transit: 1,
+                app_messages: 2_048,
+                sim_events: 90_000,
+            },
+        ];
+        let j = log_report_json(&rows);
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(j.contains("\"strategies\": [\"selective\", \"sender\", \"receiver\", \"causal\"]"));
+        assert!(j.contains("\"strategy\": \"causal\""));
+        assert!(j.contains("\"fault\": \"during-finalize\""));
+        assert!(j.contains("\"log_bytes_per_msg\": 2.00"));
+        assert!(j.contains("\"orphans\": 3"));
+        assert!(j.contains("\"lost_in_transit\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn strategy_kinds_parse_like_the_flag() {
+        for (s, k) in [
+            ("selective", LoggingKind::Selective),
+            ("sender-based", LoggingKind::SenderBased),
+            ("receiver", LoggingKind::ReceiverBased),
+            ("causal-compressed", LoggingKind::CausalCompressed),
+        ] {
+            assert_eq!(LoggingKind::parse(s), Some(k));
+        }
+        assert_eq!(LoggingKind::parse("pessimistic"), None);
     }
 
     #[test]

@@ -43,9 +43,24 @@ impl VClock {
         self.v.is_empty()
     }
 
+    /// A clock from raw components (codec use; components are trusted).
+    pub fn from_components(v: Vec<u64>) -> Self {
+        VClock { v }
+    }
+
+    /// The raw components, indexed by process id.
+    pub fn components(&self) -> &[u64] {
+        &self.v
+    }
+
     /// Component for `pid`.
     pub fn get(&self, pid: ProcessId) -> u64 {
         self.v[pid.index()]
+    }
+
+    /// Overwrite the component for `pid` (codec use).
+    pub fn set(&mut self, pid: ProcessId, value: u64) {
+        self.v[pid.index()] = value;
     }
 
     /// Advance the local component (a local event at `pid`).

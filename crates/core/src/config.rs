@@ -3,6 +3,8 @@
 
 use ocpt_sim::SimDuration;
 
+use crate::strategy::LoggingKind;
+
 /// When the *tentative checkpoint* (not the log) is written to stable
 /// storage. The paper: "the tentative checkpoint can be flushed to stable
 /// storage any time after it was taken and before it was finalized" —
@@ -151,6 +153,9 @@ pub struct OcptConfig {
     pub finalize_write: WritePolicy,
     /// Declared size of a tentative checkpoint (process state) in bytes.
     pub state_bytes: u64,
+    /// Which message-logging strategy fills `logSet_{i,k}` — the paper's
+    /// selective policy by default; see [`crate::strategy`].
+    pub logging: LoggingKind,
 }
 
 impl Default for OcptConfig {
@@ -170,6 +175,7 @@ impl Default for OcptConfig {
             flush_policy: FlushPolicy::Lazy,
             finalize_write: WritePolicy::Phased { window: SimDuration::from_millis(400) },
             state_bytes: 4 * 1024 * 1024,
+            logging: LoggingKind::Selective,
         }
     }
 }

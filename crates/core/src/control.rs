@@ -577,11 +577,11 @@ mod tests {
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
         // Learn that P1 is tentative via an app message.
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(4, p(1)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(4, p(1)),
+        );
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
@@ -595,11 +595,11 @@ mod tests {
         let mut q = proc_with(2, 4, OcptConfig::naive_control());
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(4, p(1)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(4, p(1)),
+        );
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
@@ -626,7 +626,7 @@ mod tests {
         // P0 learns P1 and P2 are tentative.
         let mut ts = crate::types::TentSet::singleton(5, p(1));
         ts.insert(p(2));
-        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        let pb = crate::piggyback::Piggyback::new(1, Status::Tentative, ts);
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
@@ -642,7 +642,7 @@ mod tests {
         q.initiate_checkpoint(&mut out);
         let mut ts = crate::types::TentSet::singleton(5, p(1));
         ts.insert(p(2));
-        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        let pb = crate::piggyback::Piggyback::new(1, Status::Tentative, ts);
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
         out.clear();
@@ -746,7 +746,7 @@ mod tests {
         // Learn everyone took it → finalize.
         let mut ts = crate::types::TentSet::singleton(3, p(1));
         ts.insert(p(2));
-        let pb = crate::piggyback::Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        let pb = crate::piggyback::Piggyback::new(1, Status::Tentative, ts);
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
         assert_eq!(q.status(), Status::Normal);
@@ -780,11 +780,11 @@ mod tests {
         let mut q = proc(0, 2);
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(2, p(1)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(2, p(1)),
+        );
         out.clear();
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted Fig. 4/5 replay step must be accepted");
@@ -929,11 +929,11 @@ mod tests {
         let mut q = hier_proc(5);
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(9, p(4)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(9, p(4)),
+        );
         q.on_app_receive(p(4), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted hier replay step must be accepted");
         out.clear();
@@ -949,11 +949,11 @@ mod tests {
         let mut q = hier_proc(4);
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(9, p(1)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(9, p(1)),
+        );
         q.on_app_receive(p(1), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted hier replay step must be accepted");
         out.clear();
@@ -980,11 +980,11 @@ mod tests {
         let mut q = hier_proc(6);
         let mut out = Outbox::new();
         q.initiate_checkpoint(&mut out);
-        let pb = crate::piggyback::Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: crate::types::TentSet::singleton(9, p(3)),
-        };
+        let pb = crate::piggyback::Piggyback::new(
+            1,
+            Status::Tentative,
+            crate::types::TentSet::singleton(9, p(3)),
+        );
         q.on_app_receive(p(3), MsgId(1), AppPayload { id: 1, len: 0 }, &pb, &mut out)
             .expect("scripted hier replay step must be accepted");
         out.clear();

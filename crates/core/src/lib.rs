@@ -55,17 +55,19 @@ pub mod piggyback;
 pub mod protocol;
 pub mod recovery;
 pub mod snapshot;
+pub mod strategy;
 pub mod types;
 pub mod wire;
 
 pub use actions::{Action, Outbox};
 pub use config::{ControlTopology, FlushPolicy, OcptConfig, WritePolicy};
 pub use error::ProtocolError;
-pub use log::{Direction, LogEntry, MessageLog};
+pub use log::{Direction, EntryKind, LogEntry, MessageLog};
 pub use piggyback::Piggyback;
 pub use protocol::OcptProcess;
 pub use recovery::{plan_recovery, replay, RecoveryError, RecoveryPlan};
 pub use snapshot::AppSnapshot;
+pub use strategy::{LogDecision, LogWindow, LoggingKind, LoggingStrategy, ReplayPlan};
 pub use types::{Csn, Status, TentSet};
 pub use wire::{
     decode_envelope, encode_envelope, AppPayload, CtrlKind, CtrlMsg, Envelope, Framed, WireError,

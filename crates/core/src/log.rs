@@ -1,4 +1,4 @@
-//! The selective message log `logSet_{i,k}` (paper §3.1, §3.3).
+//! The message log `logSet_{i,k}` (paper §3.1, §3.3).
 //!
 //! After taking a tentative checkpoint `CT_{i,k}`, a process logs **every
 //! application message it sends or receives** until the checkpoint is
@@ -10,9 +10,27 @@
 //!
 //! "Selective" is the point: only the window between `CT` and finalization
 //! is logged, not the whole execution — experiment E5 quantifies the
-//! difference against an always-log ablation.
+//! difference against an always-log ablation. Since the strategy matrix
+//! landed (see [`crate::strategy`]) the same container also serves the
+//! other logging disciplines, which need three extensions the selective
+//! policy never uses:
+//!
+//! * an [`EntryKind`] per entry — full [`EntryKind::Payload`] vs. a
+//!   metadata-only [`EntryKind::Determinant`];
+//! * a *replay-window* mark: continuous strategies keep one log across
+//!   the Normal era and the tentative window, and
+//!   [`MessageLog::mark_replay_start`] records where `CT` fell inside it;
+//! * an optional frozen vector clock — the causal-compressed strategy
+//!   stamps each finalized log with the clock at `CFE_{i,k}`.
+//!
+//! The durable encoding is bivalent: a log that uses none of the
+//! extensions (every selective log) encodes in the original format,
+//! byte-identical to the pre-strategy code; any extension flips the count
+//! header's top bit and switches to the extended layout. The decoder
+//! accepts both and rejects a non-canonical choice.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ocpt_causality::VClock;
 use ocpt_sim::{MsgId, ProcessId};
 
 use crate::wire::AppPayload;
@@ -26,37 +44,85 @@ pub enum Direction {
     Received,
 }
 
+/// What one log entry holds: the full payload or only its metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntryKind {
+    /// Metadata plus the payload bytes — replayable from this log alone.
+    Payload,
+    /// Metadata only (peer, message id, payload identity and size); the
+    /// payload bytes are durable elsewhere (or nowhere — the orphan case
+    /// E10 counts).
+    Determinant,
+}
+
 /// One logged message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LogEntry {
     /// Sent or received.
     pub dir: Direction,
+    /// Full payload or determinant.
+    pub kind: EntryKind,
     /// The other endpoint.
     pub peer: ProcessId,
     /// Network-assigned message identity.
     pub msg_id: MsgId,
-    /// The payload (identity + declared size).
+    /// The payload (identity + declared size). A determinant keeps the
+    /// identity and size for accounting and in-sim replay, but its
+    /// [`LogEntry::flush_bytes`] exclude the payload bytes.
     pub payload: AppPayload,
 }
 
-/// Encoded size of one entry's metadata (dir + peer + msg_id + payload id/len).
+/// Encoded size of one entry's metadata (dir/kind + peer + msg_id +
+/// payload id/len).
 pub const ENTRY_META_BYTES: u64 = 1 + 4 + 8 + 8 + 4;
 
 impl LogEntry {
-    /// Bytes this entry contributes to a durable flush: metadata plus the
-    /// payload itself (received messages must be replayable bit-for-bit).
+    /// A full-payload entry (the selective policy's only kind).
+    pub fn payload(dir: Direction, peer: ProcessId, msg_id: MsgId, payload: AppPayload) -> Self {
+        LogEntry { dir, kind: EntryKind::Payload, peer, msg_id, payload }
+    }
+
+    /// A metadata-only determinant entry.
+    pub fn determinant(
+        dir: Direction,
+        peer: ProcessId,
+        msg_id: MsgId,
+        payload: AppPayload,
+    ) -> Self {
+        LogEntry { dir, kind: EntryKind::Determinant, peer, msg_id, payload }
+    }
+
+    /// Bytes this entry contributes to a durable flush: metadata, plus the
+    /// payload itself for [`EntryKind::Payload`] entries (received
+    /// messages must be replayable bit-for-bit from a payload log).
     pub fn flush_bytes(&self) -> u64 {
-        ENTRY_META_BYTES + self.payload.len as u64
+        match self.kind {
+            EntryKind::Payload => ENTRY_META_BYTES + self.payload.len as u64,
+            EntryKind::Determinant => ENTRY_META_BYTES,
+        }
     }
 }
 
-/// The in-memory message log of one unfinalized tentative checkpoint.
+/// The in-memory message log of one unfinalized tentative checkpoint (and,
+/// for continuous strategies, the Normal-era traffic before it).
 // [OCPT §3.3] logSet_i — the selective-log half of C_{i,k} = CT_{i,k} ∪
-// logSet_{i,k}; populated only between taking CT and finalizing it.
+// logSet_{i,k}; populated only between taking CT and finalizing it under
+// the paper's policy, continuously under sender-/receiver-based logging.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MessageLog {
     entries: Vec<LogEntry>,
+    /// Index of the first entry inside the replay window (at/after `CT`).
+    /// Always 0 for tentative-window strategies.
+    replay_from: usize,
+    /// The vector clock frozen at `CFE_{i,k}` (causal-compressed only).
+    clock: Option<VClock>,
 }
+
+/// Top bit of the count header: set when the extended durable layout
+/// (entry kinds / replay window / frozen clock) is in use.
+const EXT_COUNT_FLAG: u32 = 0x8000_0000;
+/// Extended-layout flag byte: a frozen clock follows the header.
+const EXT_HAS_CLOCK: u8 = 0b1;
 
 impl MessageLog {
     /// An empty log (`logSet_i = ∅`, reset at every tentative checkpoint).
@@ -84,16 +150,49 @@ impl MessageLog {
         &self.entries
     }
 
+    /// Mark the replay-window start at the current end of the log:
+    /// everything already logged happened before `CT` (its effects are in
+    /// the tentative snapshot) and must not be replayed on top of it.
+    pub fn mark_replay_start(&mut self) {
+        self.replay_from = self.entries.len();
+    }
+
+    /// Index of the first replay-window entry.
+    pub fn replay_from(&self) -> usize {
+        self.replay_from
+    }
+
+    /// The entries inside the replay window (at/after `CT`), in log order.
+    pub fn replay_entries(&self) -> &[LogEntry] {
+        &self.entries[self.replay_from..]
+    }
+
+    /// Freeze the vector clock at finalization (causal-compressed only).
+    pub fn set_clock(&mut self, clock: VClock) {
+        self.clock = Some(clock);
+    }
+
+    /// The frozen finalization-time clock, if this log carries one.
+    pub fn clock(&self) -> Option<&VClock> {
+        self.clock.as_ref()
+    }
+
     /// Remove the entry for `msg_id` if present (the paper's
     /// `logSet_i - {M}` when the finalization trigger must be excluded).
     /// Returns true if an entry was removed.
     pub fn exclude(&mut self, msg_id: MsgId) -> bool {
-        if let Some(pos) = self.entries.iter().rposition(|e| e.msg_id == msg_id) {
-            self.entries.remove(pos);
-            true
-        } else {
-            false
+        self.take(msg_id).is_some()
+    }
+
+    /// Remove and return the entry for `msg_id` if present — `exclude`
+    /// when the caller re-logs the trigger into the next epoch's log
+    /// (continuous strategies).
+    pub fn take(&mut self, msg_id: MsgId) -> Option<LogEntry> {
+        let pos = self.entries.iter().rposition(|e| e.msg_id == msg_id)?;
+        if pos < self.replay_from {
+            self.replay_from -= 1;
         }
+        Some(self.entries.remove(pos))
     }
 
     /// Total bytes a durable flush of this log occupies.
@@ -101,7 +200,7 @@ impl MessageLog {
         self.entries.iter().map(LogEntry::flush_bytes).sum()
     }
 
-    /// The received entries, in arrival order — the replay schedule.
+    /// The received entries, in arrival order.
     pub fn received(&self) -> impl Iterator<Item = &LogEntry> {
         self.entries.iter().filter(|e| e.dir == Direction::Received)
     }
@@ -112,53 +211,139 @@ impl MessageLog {
         self.entries.iter().filter(|e| e.dir == Direction::Sent)
     }
 
+    /// True iff this log uses none of the extended-layout features and so
+    /// encodes in the original (pre-strategy) durable format.
+    fn legacy_layout(&self) -> bool {
+        self.replay_from == 0
+            && self.clock.is_none()
+            && self.entries.iter().all(|e| e.kind == EntryKind::Payload)
+    }
+
+    /// Exact byte length of [`MessageLog::encode`]'s output — what the
+    /// finalize-write storage accounting charges for the log.
+    pub fn encoded_len(&self) -> u64 {
+        if self.legacy_layout() {
+            4 + self.flush_bytes()
+        } else {
+            let clock_bytes = match &self.clock {
+                Some(c) => 4 + 8 * c.len() as u64,
+                None => 0,
+            };
+            4 + 1 + 4 + clock_bytes + self.flush_bytes()
+        }
+    }
+
     /// Encode for durable storage. Payload filler bytes are materialised so
-    /// the encoding length equals [`MessageLog::flush_bytes`] plus a small
-    /// count header.
+    /// the encoding length equals [`MessageLog::encoded_len`] (which is the
+    /// original `4 + flush_bytes` for legacy-layout logs).
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(4 + self.flush_bytes() as usize);
-        b.put_u32(self.entries.len() as u32);
-        for e in &self.entries {
-            b.put_u8(match e.dir {
-                Direction::Sent => 0,
-                Direction::Received => 1,
+        let mut b = BytesMut::with_capacity(self.encoded_len() as usize);
+        debug_assert!((self.entries.len() as u64) < EXT_COUNT_FLAG as u64, "log count overflow");
+        if self.legacy_layout() {
+            b.put_u32(self.entries.len() as u32);
+        } else {
+            b.put_u32(self.entries.len() as u32 | EXT_COUNT_FLAG);
+            b.put_u8(match &self.clock {
+                Some(_) => EXT_HAS_CLOCK,
+                None => 0,
             });
+            b.put_u32(self.replay_from as u32);
+            if let Some(c) = &self.clock {
+                b.put_u32(c.len() as u32);
+                for &v in c.components() {
+                    b.put_u64(v);
+                }
+            }
+        }
+        for e in &self.entries {
+            // One byte carries direction and kind: bit 0 = direction,
+            // bit 1 = determinant. Legacy logs only emit 0/1, matching the
+            // original dir-only byte exactly.
+            let dir_bit = match e.dir {
+                Direction::Sent => 0u8,
+                Direction::Received => 1u8,
+            };
+            let kind_bit = match e.kind {
+                EntryKind::Payload => 0u8,
+                EntryKind::Determinant => 2u8,
+            };
+            b.put_u8(dir_bit | kind_bit);
             b.put_u32(e.peer.0);
             b.put_u64(e.msg_id.0);
             b.put_u64(e.payload.id);
             b.put_u32(e.payload.len);
-            b.extend(std::iter::repeat_n(0u8, e.payload.len as usize));
+            if e.kind == EntryKind::Payload {
+                b.extend(std::iter::repeat_n(0u8, e.payload.len as usize));
+            }
         }
         b.freeze()
     }
 
-    /// Decode a log previously produced by [`MessageLog::encode`].
+    /// Decode a log previously produced by [`MessageLog::encode`]. Both
+    /// layouts are accepted; an extended-flagged buffer that a canonical
+    /// encoder would have written as legacy is rejected, as is any
+    /// truncation, unknown tag or trailing junk.
     pub fn decode(mut buf: Bytes) -> Option<MessageLog> {
         if buf.len() < 4 {
             return None;
         }
-        let count = buf.get_u32() as usize;
+        let header = buf.get_u32();
+        let extended = header & EXT_COUNT_FLAG != 0;
+        let count = (header & !EXT_COUNT_FLAG) as usize;
         let mut log = MessageLog::new();
+        if extended {
+            if buf.len() < 5 {
+                return None;
+            }
+            let flags = buf.get_u8();
+            if flags & !EXT_HAS_CLOCK != 0 {
+                return None;
+            }
+            let replay_from = buf.get_u32() as usize;
+            if replay_from > count {
+                return None;
+            }
+            log.replay_from = replay_from;
+            if flags & EXT_HAS_CLOCK != 0 {
+                if buf.len() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                if buf.len() < 8 * n {
+                    return None;
+                }
+                log.clock = Some(VClock::from_components((0..n).map(|_| buf.get_u64()).collect()));
+            }
+        }
         for _ in 0..count {
             if buf.len() < ENTRY_META_BYTES as usize {
                 return None;
             }
-            let dir = match buf.get_u8() {
-                0 => Direction::Sent,
-                1 => Direction::Received,
+            let tag = buf.get_u8();
+            let (dir, kind) = match tag {
+                0 => (Direction::Sent, EntryKind::Payload),
+                1 => (Direction::Received, EntryKind::Payload),
+                2 if extended => (Direction::Sent, EntryKind::Determinant),
+                3 if extended => (Direction::Received, EntryKind::Determinant),
                 _ => return None,
             };
             let peer = ProcessId(buf.get_u32());
             let msg_id = MsgId(buf.get_u64());
             let id = buf.get_u64();
             let len = buf.get_u32();
-            if buf.len() < len as usize {
-                return None;
+            if kind == EntryKind::Payload {
+                if buf.len() < len as usize {
+                    return None;
+                }
+                buf.advance(len as usize);
             }
-            buf.advance(len as usize);
-            log.push(LogEntry { dir, peer, msg_id, payload: AppPayload { id, len } });
+            log.push(LogEntry { dir, kind, peer, msg_id, payload: AppPayload { id, len } });
         }
         if buf.has_remaining() {
+            return None;
+        }
+        if extended && log.legacy_layout() {
+            // A canonical encoder would have written this as legacy.
             return None;
         }
         Some(log)
@@ -170,12 +355,11 @@ mod tests {
     use super::*;
 
     fn entry(dir: Direction, peer: u32, msg: u64, len: u32) -> LogEntry {
-        LogEntry {
-            dir,
-            peer: ProcessId(peer),
-            msg_id: MsgId(msg),
-            payload: AppPayload { id: msg * 10, len },
-        }
+        LogEntry::payload(dir, ProcessId(peer), MsgId(msg), AppPayload { id: msg * 10, len })
+    }
+
+    fn det(dir: Direction, peer: u32, msg: u64, len: u32) -> LogEntry {
+        LogEntry::determinant(dir, ProcessId(peer), MsgId(msg), AppPayload { id: msg * 10, len })
     }
 
     #[test]
@@ -211,11 +395,48 @@ mod tests {
     }
 
     #[test]
+    fn exclude_before_window_shifts_replay_start() {
+        let mut l = MessageLog::new();
+        l.push(entry(Direction::Received, 1, 5, 1));
+        l.push(entry(Direction::Received, 2, 6, 1));
+        l.mark_replay_start();
+        l.push(entry(Direction::Received, 3, 7, 1));
+        assert_eq!(l.replay_entries().len(), 1);
+        // Removing a pre-window entry keeps the same window contents.
+        assert!(l.exclude(MsgId(5)));
+        assert_eq!(l.replay_from(), 1);
+        let ids: Vec<u64> = l.replay_entries().iter().map(|e| e.msg_id.0).collect();
+        assert_eq!(ids, vec![7]);
+        // Removing an in-window entry leaves the start alone.
+        assert!(l.exclude(MsgId(7)));
+        assert_eq!(l.replay_from(), 1);
+        assert!(l.replay_entries().is_empty());
+    }
+
+    #[test]
+    fn take_returns_the_entry() {
+        let mut l = MessageLog::new();
+        l.push(det(Direction::Received, 2, 9, 4));
+        let e = l.take(MsgId(9)).expect("entry was just pushed");
+        assert_eq!(e.kind, EntryKind::Determinant);
+        assert!(l.is_empty());
+        assert_eq!(l.take(MsgId(9)), None);
+    }
+
+    #[test]
     fn flush_bytes_accounts_payloads() {
         let mut l = MessageLog::new();
         l.push(entry(Direction::Sent, 1, 5, 100));
         l.push(entry(Direction::Received, 2, 6, 50));
         assert_eq!(l.flush_bytes(), 2 * ENTRY_META_BYTES + 150);
+    }
+
+    #[test]
+    fn determinants_flush_metadata_only() {
+        let mut l = MessageLog::new();
+        l.push(det(Direction::Received, 1, 5, 100));
+        l.push(entry(Direction::Received, 2, 6, 50));
+        assert_eq!(l.flush_bytes(), 2 * ENTRY_META_BYTES + 50);
     }
 
     #[test]
@@ -226,7 +447,59 @@ mod tests {
         l.push(entry(Direction::Received, 3, 7, 33));
         let enc = l.encode();
         assert_eq!(enc.len() as u64, 4 + l.flush_bytes());
+        assert_eq!(enc.len() as u64, l.encoded_len());
         let dec = MessageLog::decode(enc).expect("log round-trip must decode");
+        assert_eq!(dec, l);
+    }
+
+    #[test]
+    fn legacy_layout_is_byte_identical_to_original_format() {
+        // An all-payload, window-at-zero, clock-free log must encode in
+        // the exact pre-strategy byte layout: u32 count, then per entry a
+        // dir byte (0/1), peer, msg_id, payload id/len and len filler.
+        let mut l = MessageLog::new();
+        l.push(entry(Direction::Sent, 3, 5, 2));
+        let enc = l.encode();
+        let mut want = BytesMut::new();
+        want.put_u32(1);
+        want.put_u8(0); // Sent, Payload
+        want.put_u32(3);
+        want.put_u64(5);
+        want.put_u64(50);
+        want.put_u32(2);
+        want.put_u8(0);
+        want.put_u8(0);
+        assert_eq!(enc, want.freeze());
+    }
+
+    #[test]
+    fn extended_round_trip_with_window_kinds_and_clock() {
+        let mut l = MessageLog::new();
+        l.push(entry(Direction::Sent, 1, 5, 100));
+        l.push(det(Direction::Received, 2, 6, 64));
+        l.mark_replay_start();
+        l.push(det(Direction::Received, 3, 7, 32));
+        l.push(entry(Direction::Sent, 2, 8, 16));
+        let mut c = VClock::zero(4);
+        c.tick(ProcessId(0));
+        c.tick(ProcessId(2));
+        c.tick(ProcessId(2));
+        l.set_clock(c);
+        let enc = l.encode();
+        assert_eq!(enc.len() as u64, l.encoded_len());
+        let dec = MessageLog::decode(enc).expect("extended log round-trip must decode");
+        assert_eq!(dec, l);
+        assert_eq!(dec.replay_from(), 2);
+        assert_eq!(dec.clock().map(|c| c.get(ProcessId(2))), Some(2));
+    }
+
+    #[test]
+    fn extended_without_clock_round_trips() {
+        let mut l = MessageLog::new();
+        l.push(det(Direction::Sent, 1, 5, 100));
+        let enc = l.encode();
+        assert_eq!(enc.len() as u64, l.encoded_len());
+        let dec = MessageLog::decode(enc).expect("determinant log must decode");
         assert_eq!(dec, l);
     }
 
@@ -241,6 +514,35 @@ mod tests {
         let mut with_junk = BytesMut::from(&enc[..]);
         with_junk.put_u8(0xFF);
         assert!(MessageLog::decode(with_junk.freeze()).is_none());
+        // Determinant tags are extended-layout only.
+        let mut raw = BytesMut::from(&enc[..]);
+        raw[4] = 2;
+        assert!(MessageLog::decode(raw.freeze()).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_extended() {
+        // A legacy-eligible log written with the extended flag must not
+        // decode: canonical encoders never produce it.
+        let mut l = MessageLog::new();
+        l.push(entry(Direction::Sent, 1, 5, 0));
+        let legacy = l.encode();
+        let mut raw = BytesMut::new();
+        raw.put_u32(1 | EXT_COUNT_FLAG);
+        raw.put_u8(0);
+        raw.put_u32(0);
+        raw.extend_from_slice(&legacy[4..]);
+        assert!(MessageLog::decode(raw.freeze()).is_none());
+        // Bad flag bits and out-of-range replay_from also rejected.
+        let mut l = MessageLog::new();
+        l.push(det(Direction::Sent, 1, 5, 0));
+        let enc = l.encode();
+        let mut raw = BytesMut::from(&enc[..]);
+        raw[4] |= 0x80;
+        assert!(MessageLog::decode(raw.clone().freeze()).is_none());
+        let mut raw = BytesMut::from(&enc[..]);
+        raw[8] = 9; // replay_from > count
+        assert!(MessageLog::decode(raw.freeze()).is_none());
     }
 
     #[test]

@@ -3,10 +3,18 @@
 //! Each process attaches its current `csn`, `stat` and `tentSet` to every
 //! application message it sends. This is the *only* overhead the basic
 //! algorithm imposes on the computation — experiment E6 measures it.
+//!
+//! The causal-compressed logging strategy additionally piggybacks the
+//! sender's vector clock (sparse-encoded on the wire); every other
+//! strategy leaves [`Piggyback::clock`] as `None` and the wire bytes are
+//! exactly the paper's `(csn, stat, tentSet)` triple.
+
+use ocpt_causality::VClock;
 
 use crate::types::{Csn, Status, TentSet};
 
-/// Piggybacked checkpointing state: `(M.csn, M.stat, M.tentSet)`.
+/// Piggybacked checkpointing state: `(M.csn, M.stat, M.tentSet)`, plus the
+/// sender's vector clock under causal-compressed logging.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Piggyback {
     /// Sender's checkpoint sequence number at send time.
@@ -15,22 +23,38 @@ pub struct Piggyback {
     pub stat: Status,
     /// Sender's tentative process set at send time.
     pub tent_set: TentSet,
+    /// Sender's vector clock at send time (causal-compressed logging
+    /// only; `None` for every other strategy).
+    pub clock: Option<VClock>,
 }
 
 impl Piggyback {
+    /// The paper's piggyback: `(csn, stat, tentSet)`, no clock.
+    pub fn new(csn: Csn, stat: Status, tent_set: TentSet) -> Self {
+        Piggyback { csn, stat, tent_set, clock: None }
+    }
+
     /// Bytes this piggyback occupies on the wire:
-    /// 8 (csn) + 1 (stat) + the tentSet's *actual* adaptive encoding.
+    /// 8 (csn) + 1 (stat) + the tentSet's *actual* adaptive encoding,
+    /// plus the sparse clock encoding when a clock rides along.
     pub fn wire_bytes(&self) -> usize {
-        8 + 1 + self.tent_set.wire_bytes()
+        8 + 1 + self.tent_set.wire_bytes() + self.clock.as_ref().map_or(0, clock_wire_bytes)
     }
 
     /// The static dense-bitmap formula `8 + 1 + (1 + ⌈N/8⌉)` for a system
     /// of `n` processes — the worst-case bound the adaptive encoding is
     /// measured against (E6's "theory" column). Real messages report
-    /// [`Piggyback::wire_bytes`], which is never larger.
+    /// [`Piggyback::wire_bytes`], which is never larger (clock-free
+    /// strategies; the causal clock is accounted separately).
     pub fn dense_wire_bytes_for(n: usize) -> usize {
         8 + 1 + TentSet::dense_wire_bytes(n)
     }
+}
+
+/// Wire size of a sparse-encoded clock: u32 count + (u32 index, u64 value)
+/// per nonzero component.
+pub(crate) fn clock_wire_bytes(clock: &VClock) -> usize {
+    4 + 12 * clock.components().iter().filter(|&&v| v != 0).count()
 }
 
 #[cfg(test)]
@@ -41,11 +65,7 @@ mod tests {
     #[test]
     fn wire_bytes_never_exceed_dense_formula() {
         for n in [2usize, 8, 9, 64, 65, 256, 100_000] {
-            let pb = Piggyback {
-                csn: 7,
-                stat: Status::Tentative,
-                tent_set: TentSet::singleton(n, ProcessId(0)),
-            };
+            let pb = Piggyback::new(7, Status::Tentative, TentSet::singleton(n, ProcessId(0)));
             assert!(pb.wire_bytes() <= Piggyback::dense_wire_bytes_for(n));
         }
     }
@@ -54,11 +74,7 @@ mod tests {
     fn sparse_era_is_cheaper_than_dense_formula() {
         // One tentative process out of 100k: 9 fixed + 9 sparse bytes vs
         // the 12 510-byte dense formula.
-        let pb = Piggyback {
-            csn: 7,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(100_000, ProcessId(42)),
-        };
+        let pb = Piggyback::new(7, Status::Tentative, TentSet::singleton(100_000, ProcessId(42)));
         assert_eq!(pb.wire_bytes(), 8 + 1 + 9);
         assert!(pb.wire_bytes() * 8 < Piggyback::dense_wire_bytes_for(100_000));
     }
@@ -68,5 +84,19 @@ mod tests {
         assert!(Piggyback::dense_wire_bytes_for(256) > Piggyback::dense_wire_bytes_for(4));
         assert_eq!(Piggyback::dense_wire_bytes_for(4), 8 + 1 + 1 + 1);
         assert_eq!(Piggyback::dense_wire_bytes_for(256), 8 + 1 + 1 + 32);
+    }
+
+    #[test]
+    fn clock_adds_sparse_bytes_only() {
+        let bare = Piggyback::new(7, Status::Tentative, TentSet::singleton(64, ProcessId(0)));
+        let mut clock = VClock::zero(64);
+        clock.tick(ProcessId(3));
+        clock.tick(ProcessId(3));
+        clock.tick(ProcessId(40));
+        let with_clock = Piggyback { clock: Some(clock), ..bare.clone() };
+        // Two nonzero components: 4-byte count + 2 × (4 + 8).
+        assert_eq!(with_clock.wire_bytes(), bare.wire_bytes() + 4 + 2 * 12);
+        let zero = Piggyback { clock: Some(VClock::zero(64)), ..bare.clone() };
+        assert_eq!(zero.wire_bytes(), bare.wire_bytes() + 4);
     }
 }

@@ -19,6 +19,7 @@
 //! The type is sans-io: handlers mutate local state and append
 //! [`Action`]s; they never block, never read clocks, never touch sockets.
 
+use ocpt_causality::VClock;
 use ocpt_metrics::Counters;
 use ocpt_sim::{MsgId, ProcessId};
 
@@ -27,6 +28,7 @@ use crate::config::OcptConfig;
 use crate::error::ProtocolError;
 use crate::log::{Direction, LogEntry, MessageLog};
 use crate::piggyback::Piggyback;
+use crate::strategy::{LogDecision, LogWindow};
 use crate::types::{Csn, Status, TentSet};
 use crate::wire::AppPayload;
 
@@ -44,8 +46,12 @@ pub struct OcptProcess {
     status: Status,
     /// `tentSet_i`.
     tent_set: TentSet,
-    /// `logSet_i` — messages logged since the current tentative checkpoint.
+    /// `logSet_i` — messages logged since the current tentative checkpoint
+    /// (since the last finalization under continuous-window strategies).
     log: MessageLog,
+    /// Local vector clock, maintained and piggybacked only when the
+    /// configured logging strategy asks for it (causal-compressed).
+    clock: Option<VClock>,
     /// Whether the convergence timer is armed (mirrors the driver's timer).
     pub(crate) timer_armed: bool,
     /// `CK_REQ(csn)` already forwarded for this csn (Fig. 4 dedupe guard).
@@ -82,6 +88,7 @@ impl OcptProcess {
             status: Status::Normal,
             tent_set: TentSet::empty(n),
             log: MessageLog::new(),
+            clock: cfg.logging.strategy().uses_clock().then(|| VClock::zero(n)),
             timer_armed: false,
             ck_req_sent_for: None,
             ck_end_sent_for: None,
@@ -135,6 +142,12 @@ impl OcptProcess {
     /// The live (unfinalized) message log.
     pub fn log(&self) -> &MessageLog {
         &self.log
+    }
+
+    /// The local vector clock (`Some` only under causal-compressed
+    /// logging).
+    pub fn clock(&self) -> Option<&VClock> {
+        self.clock.as_ref()
     }
 
     /// Protocol event counters.
@@ -215,7 +228,14 @@ impl OcptProcess {
         self.csn += 1;
         self.status = Status::Tentative;
         self.tent_set = TentSet::singleton(self.n, self.id);
-        self.log = MessageLog::new();
+        match self.cfg.logging.strategy().window() {
+            // The paper: logSet_i := ∅ at every tentative checkpoint.
+            LogWindow::TentativeOnly => self.log = MessageLog::new(),
+            // Continuous strategies keep the Normal-era entries (their
+            // effects are inside CT) and mark where the replay window —
+            // the part replayed on top of CT — begins.
+            LogWindow::Continuous => self.log.mark_replay_start(),
+        }
         self.stats.inc("ckpt.tentative");
         out.push(Action::TakeTentative { csn: self.csn });
         if arm_timer && self.cfg.control_messages {
@@ -226,17 +246,20 @@ impl OcptProcess {
     }
 
     // ---- [OCPT §3.4.2] sending: piggyback (csn, stat, tentSet); log the
-    // sent message while Tentative ----
+    // sent message as the configured strategy directs (the paper: full
+    // payload while Tentative) ----
 
     /// Called for every outgoing application message. Returns the
-    /// piggyback to attach; logs the sent message while `Tentative`.
+    /// piggyback to attach; logs the sent message as the configured
+    /// [`crate::strategy::LoggingStrategy`] directs.
     pub fn on_app_send(&mut self, dst: ProcessId, msg_id: MsgId, payload: AppPayload) -> Piggyback {
-        if self.status == Status::Tentative {
-            self.log.push(LogEntry { dir: Direction::Sent, peer: dst, msg_id, payload });
-            self.stats.inc("log.sent");
-        }
+        self.log_event(Direction::Sent, dst, msg_id, payload);
         self.stats.inc("app.sent");
-        Piggyback { csn: self.csn, stat: self.status, tent_set: self.tent_set.clone() }
+        let clock = self.clock.as_mut().map(|c| {
+            c.tick(self.id);
+            c.clone()
+        });
+        Piggyback { csn: self.csn, stat: self.status, tent_set: self.tent_set.clone(), clock }
     }
 
     // ---- [OCPT §3.4.3] receiving: process the message first, then the
@@ -254,7 +277,22 @@ impl OcptProcess {
         out: &mut Outbox,
     ) -> Result<(), ProtocolError> {
         self.stats.inc("app.received");
-        let _ = src;
+        // Causal-compressed only: snapshot the clock *before* this receive
+        // touches it. If M triggers a finalization that excludes M (cases
+        // 3b/2c), the cut steps one event back — the sealed cut clock must
+        // not contain M's receive, mirroring the observer oracle's
+        // excluded-trigger convention.
+        let pre_clock = self.clock.clone();
+        if let Some(c) = &mut self.clock {
+            if let Some(sent) = &pb.clock {
+                c.merge(sent);
+            }
+            c.tick(self.id);
+        }
+        // Fig. 3 logs every message received while tentative (and the
+        // continuous strategies log in Normal status too); the trigger is
+        // subtracted below where the paper requires `logSet_i - {M}`.
+        self.log_event(Direction::Received, src, msg_id, payload);
         match (self.status, pb.stat) {
             // Case (1): both normal — nobody knows of a new initiation.
             (Status::Normal, Status::Normal) => {
@@ -297,18 +335,17 @@ impl OcptProcess {
 
             // Case (3): sender normal (has finalized), we are tentative.
             (Status::Tentative, Status::Normal) => {
-                // Fig. 3 logs every message received while tentative, then
-                // subtracts the trigger where required.
-                self.log_received(src, msg_id, payload);
                 if pb.csn < self.csn {
                     // (3a): stale — stays in the log, no other action.
                     Ok(())
                 } else if pb.csn == self.csn {
                     // (3b): the sender finalized C_{j,csn}, so every
                     // process has taken a tentative checkpoint with our
-                    // csn. Finalize, excluding M (`logSet_i - {M}`).
-                    self.log.exclude(msg_id);
-                    self.finalize_excluding(Some(msg_id), out);
+                    // csn. Finalize, excluding M (`logSet_i - {M}`); the
+                    // sealed cut clock predates M for the same reason.
+                    let trigger = self.log.take(msg_id);
+                    self.finalize_at_cut(Some(msg_id), pre_clock, out);
+                    self.relog_trigger(trigger);
                     Ok(())
                 } else {
                     // (3c): impossible.
@@ -323,7 +360,6 @@ impl OcptProcess {
 
             // Case (2): both tentative.
             (Status::Tentative, Status::Tentative) => {
-                self.log_received(src, msg_id, payload);
                 if pb.csn < self.csn {
                     // (2a): we already finalized checkpoint pb.csn.
                     Ok(())
@@ -334,10 +370,13 @@ impl OcptProcess {
                     Ok(())
                 } else if pb.csn == self.csn + 1 {
                     // (2c): sender finalized csn_i and already started the
-                    // next one. Finalize ours (excluding M), then join the
-                    // new initiation.
-                    self.log.exclude(msg_id);
-                    self.finalize_excluding(Some(msg_id), out);
+                    // next one. Finalize ours (excluding M; cut clock
+                    // predates M), then join the new initiation — M's
+                    // receive precedes the new CT, so a carried-over
+                    // trigger lands before the new replay window.
+                    let trigger = self.log.take(msg_id);
+                    self.finalize_at_cut(Some(msg_id), pre_clock, out);
+                    self.relog_trigger(trigger);
                     self.take_tentative(out, true);
                     self.tent_set.merge(&pb.tent_set);
                     self.maybe_finalize_full(out);
@@ -356,9 +395,42 @@ impl OcptProcess {
         }
     }
 
-    fn log_received(&mut self, src: ProcessId, msg_id: MsgId, payload: AppPayload) {
-        self.log.push(LogEntry { dir: Direction::Received, peer: src, msg_id, payload });
-        self.stats.inc("log.received");
+    /// Consult the configured strategy for one message event and log what
+    /// it asks for. The paper's policy: full payload, both directions,
+    /// only while `Tentative`.
+    fn log_event(&mut self, dir: Direction, peer: ProcessId, msg_id: MsgId, payload: AppPayload) {
+        let counter = match (self.cfg.logging.strategy().decide(dir, self.status), dir) {
+            (LogDecision::Skip, Direction::Sent) => return,
+            (LogDecision::Skip, Direction::Received) => return,
+            (LogDecision::Payload, Direction::Sent) => {
+                self.log.push(LogEntry::payload(dir, peer, msg_id, payload));
+                "log.sent"
+            }
+            (LogDecision::Payload, Direction::Received) => {
+                self.log.push(LogEntry::payload(dir, peer, msg_id, payload));
+                "log.received"
+            }
+            (LogDecision::Determinant, Direction::Sent) => {
+                self.log.push(LogEntry::determinant(dir, peer, msg_id, payload));
+                "log.sent_det"
+            }
+            (LogDecision::Determinant, Direction::Received) => {
+                self.log.push(LogEntry::determinant(dir, peer, msg_id, payload));
+                "log.received_det"
+            }
+        };
+        self.stats.inc(counter);
+    }
+
+    /// Re-log a finalization trigger that `take` removed: under a
+    /// continuous-window strategy the excluded message still belongs in
+    /// the *next* epoch's log (its receive is on the far side of the cut).
+    fn relog_trigger(&mut self, trigger: Option<LogEntry>) {
+        if self.cfg.logging.strategy().window() == LogWindow::Continuous {
+            if let Some(e) = trigger {
+                self.log.push(e);
+            }
+        }
     }
 
     /// §3.4.4: finalize if `tentSet_i = allPSet`.
@@ -381,9 +453,26 @@ impl OcptProcess {
     /// `excluded` names the trigger message removed from the log
     /// (`logSet_i - {M}`), if any.
     pub(crate) fn finalize_excluding(&mut self, excluded: Option<MsgId>, out: &mut Outbox) {
+        let cut = self.clock.clone();
+        self.finalize_at_cut(excluded, cut, out);
+    }
+
+    /// [`OcptProcess::finalize_excluding`] with an explicit cut clock:
+    /// cases (3b)/(2c) pass the pre-receive clock because the trigger `M`
+    /// is excluded from the cut, every other path seals the current one.
+    /// The sealed clock gets one extra own-component tick — the checkpoint
+    /// is itself a local event, the same convention the observer oracle
+    /// uses, so two checkpoints compare as ordered *iff* a message crosses
+    /// the cut (Theorem 2). `cut` is `None` unless causal-compressed
+    /// logging is configured.
+    fn finalize_at_cut(&mut self, excluded: Option<MsgId>, cut: Option<VClock>, out: &mut Outbox) {
         debug_assert_eq!(self.status, Status::Tentative, "finalize requires tentative status");
         self.status = Status::Normal;
         self.stats.inc("ckpt.finalized");
+        if let Some(mut c) = cut {
+            c.tick(self.id);
+            self.log.set_clock(c);
+        }
         self.stats.add("log.flushed_msgs", self.log.len() as u64);
         self.stats.add("log.flushed_bytes", self.log.flush_bytes());
         if self.timer_armed {
@@ -422,7 +511,7 @@ mod tests {
     }
 
     fn pb_of(p: &OcptProcess) -> Piggyback {
-        Piggyback { csn: p.csn(), stat: p.status(), tent_set: p.tent_set().clone() }
+        Piggyback::new(p.csn(), p.status(), p.tent_set().clone())
     }
 
     #[test]
@@ -551,11 +640,7 @@ mod tests {
         // Receiver already at csn 2 (normal); sender still tentative at 1.
         let mut receiver = proc(1, 3);
         receiver.csn = 2;
-        let pb = Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(3, ProcessId(0)),
-        };
+        let pb = Piggyback::new(1, Status::Tentative, TentSet::singleton(3, ProcessId(0)));
         let mut out = Outbox::new();
         receiver
             .on_app_receive(ProcessId(0), MsgId(9), payload(9), &pb, &mut out)
@@ -574,7 +659,7 @@ mod tests {
         // Peer P1 knows {P0, P1}.
         let mut ts = TentSet::singleton(n, ProcessId(1));
         ts.insert(ProcessId(0));
-        let pb = Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        let pb = Piggyback::new(1, Status::Tentative, ts);
         p.on_app_receive(ProcessId(1), MsgId(5), payload(5), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         // tentSet now full → finalize, and M (id 5) is INCLUDED in the log.
@@ -596,11 +681,7 @@ mod tests {
         let mut out = Outbox::new();
         p.initiate_checkpoint(&mut out);
         out.clear();
-        let pb = Piggyback {
-            csn: 1,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(n, ProcessId(1)),
-        };
+        let pb = Piggyback::new(1, Status::Tentative, TentSet::singleton(n, ProcessId(1)));
         p.on_app_receive(ProcessId(1), MsgId(5), payload(5), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.status(), Status::Tentative);
@@ -619,7 +700,7 @@ mod tests {
         p.on_app_send(ProcessId(2), MsgId(7), payload(7));
         out.clear();
         // P0 has finalized csn 1 (status normal, csn 1).
-        let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
+        let pb = Piggyback::new(1, Status::Normal, TentSet::empty(n));
         p.on_app_receive(ProcessId(0), MsgId(8), payload(8), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.status(), Status::Normal);
@@ -644,7 +725,7 @@ mod tests {
         p.initiate_checkpoint(&mut out); // csn 1
         p.csn = 2; // simulate being at a later checkpoint
         out.clear();
-        let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
+        let pb = Piggyback::new(1, Status::Normal, TentSet::empty(n));
         p.on_app_receive(ProcessId(0), MsgId(9), payload(9), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
@@ -661,11 +742,7 @@ mod tests {
         p.on_app_send(ProcessId(0), MsgId(3), payload(3));
         out.clear();
         // Sender P2 is tentative at csn 2 — it finalized 1 already.
-        let pb = Piggyback {
-            csn: 2,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(n, ProcessId(2)),
-        };
+        let pb = Piggyback::new(2, Status::Tentative, TentSet::singleton(n, ProcessId(2)));
         p.on_app_receive(ProcessId(2), MsgId(4), payload(4), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         // Finalized csn 1 excluding M4, then took tentative csn 2.
@@ -696,11 +773,7 @@ mod tests {
         p.initiate_checkpoint(&mut out);
         p.csn = 3; // ahead of the sender
         out.clear();
-        let pb = Piggyback {
-            csn: 2,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(n, ProcessId(0)),
-        };
+        let pb = Piggyback::new(2, Status::Tentative, TentSet::singleton(n, ProcessId(0)));
         p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         assert!(out.is_empty());
@@ -715,11 +788,7 @@ mod tests {
         let mut p = proc(1, n);
         let mut out = Outbox::new();
         p.initiate_checkpoint(&mut out);
-        let pb = Piggyback {
-            csn: 3,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(n, ProcessId(0)),
-        };
+        let pb = Piggyback::new(3, Status::Tentative, TentSet::singleton(n, ProcessId(0)));
         let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::AppCsnJump { subcase: "2d", .. }));
 
@@ -727,25 +796,21 @@ mod tests {
         let mut p = proc(1, n);
         let mut out = Outbox::new();
         p.initiate_checkpoint(&mut out);
-        let pb = Piggyback { csn: 2, stat: Status::Normal, tent_set: TentSet::empty(n) };
+        let pb = Piggyback::new(2, Status::Normal, TentSet::empty(n));
         let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::FinalizedAhead { .. }));
 
         // (4c): we normal, sender tentative two ahead.
         let mut p = proc(1, n);
         let mut out = Outbox::new();
-        let pb = Piggyback {
-            csn: 2,
-            stat: Status::Tentative,
-            tent_set: TentSet::singleton(n, ProcessId(0)),
-        };
+        let pb = Piggyback::new(2, Status::Tentative, TentSet::singleton(n, ProcessId(0)));
         let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::AppCsnJump { subcase: "4c", .. }));
 
         // Case (1) analogue: both normal, sender ahead.
         let mut p = proc(1, n);
         let mut out = Outbox::new();
-        let pb = Piggyback { csn: 1, stat: Status::Normal, tent_set: TentSet::empty(n) };
+        let pb = Piggyback::new(1, Status::Normal, TentSet::empty(n));
         let e = p.on_app_receive(ProcessId(0), MsgId(1), payload(1), &pb, &mut out).unwrap_err();
         assert!(matches!(e, ProtocolError::FinalizedAhead { .. }));
     }
@@ -759,7 +824,7 @@ mod tests {
         // P1 tentative at same csn with full knowledge.
         let mut ts = TentSet::singleton(2, ProcessId(1));
         ts.insert(ProcessId(0));
-        let pb = Piggyback { csn: 1, stat: Status::Tentative, tent_set: ts };
+        let pb = Piggyback::new(1, Status::Tentative, ts);
         p.on_app_receive(ProcessId(1), MsgId(2), payload(2), &pb, &mut out)
             .expect("paper §3.4.3 case analysis must accept this delivery");
         assert_eq!(p.stats().get("ckpt.finalized"), 1);

@@ -10,12 +10,20 @@
 //!
 //! Logged *sent* messages are reported as re-send candidates: a message in
 //! transit across the recovery line (sent inside, received outside) would
-//! otherwise be lost; the sender-side log regenerates it.
+//! otherwise be lost; the sender-side log regenerates it. Only entries
+//! that kept their payload ([`crate::EntryKind::Payload`]) qualify — a
+//! determinant-only sender log (receiver-based strategy) cannot regenerate
+//! anything, which is exactly the in-transit loss E10 measures.
+//!
+//! What to replay, what to re-send and what must be fetched from peers is
+//! decided by [`ReplayPlan`] (see [`crate::strategy`]); this module wires
+//! the plan to the durable blobs.
 
 use bytes::Bytes;
 
 use crate::log::{Direction, LogEntry, MessageLog};
 use crate::snapshot::AppSnapshot;
+use crate::strategy::ReplayPlan;
 use crate::types::Csn;
 
 /// Why recovery could not be planned from the given blobs.
@@ -48,15 +56,22 @@ pub struct RecoveryPlan {
     pub restored: AppSnapshot,
     /// Received messages that were replayed (arrival order).
     pub replayed: Vec<LogEntry>,
-    /// Sent messages available for regeneration of in-transit losses.
+    /// Sent messages available for regeneration of in-transit losses
+    /// (payload-carrying entries only).
     pub resendable: Vec<LogEntry>,
+    /// Received determinants whose payload bytes live in the sender's
+    /// durable log: replayable in order, but a real deployment pays one
+    /// fetch round-trip each (E10's replay-time model charges them).
+    pub fetched: Vec<LogEntry>,
 }
 
 /// Replay a message log over a restored tentative snapshot, reproducing the
 /// state at the finalization event. Events are applied in log order, which
-/// is the order they originally happened (piecewise determinism).
+/// is the order they originally happened (piecewise determinism). Only the
+/// replay window is applied: a continuous-window log's earlier entries
+/// predate `CT` and their effects are already inside the snapshot.
 pub fn replay(mut snapshot: AppSnapshot, log: &MessageLog) -> AppSnapshot {
-    for e in log.entries() {
+    for e in log.replay_entries() {
         match e.dir {
             Direction::Sent => snapshot.apply_send(e.payload),
             Direction::Received => snapshot.apply_recv(e.payload),
@@ -74,11 +89,13 @@ pub fn plan_recovery(
     let snapshot = AppSnapshot::decode(state_blob).ok_or(RecoveryError::BadState)?;
     let log = MessageLog::decode(log_blob).ok_or(RecoveryError::BadLog)?;
     let restored = replay(snapshot, &log);
+    let plan = ReplayPlan::for_log(&log);
     Ok(RecoveryPlan {
         csn,
         restored,
-        replayed: log.received().copied().collect(),
-        resendable: log.sent().copied().collect(),
+        replayed: plan.replay,
+        resendable: plan.resend,
+        fetched: plan.fetch,
     })
 }
 
@@ -102,19 +119,9 @@ mod tests {
         let mut log = MessageLog::new();
         // Events after CT, all logged.
         live.apply_send(pl(2));
-        log.push(LogEntry {
-            dir: Direction::Sent,
-            peer: ProcessId(1),
-            msg_id: MsgId(2),
-            payload: pl(2),
-        });
+        log.push(LogEntry::payload(Direction::Sent, ProcessId(1), MsgId(2), pl(2)));
         live.apply_recv(pl(3));
-        log.push(LogEntry {
-            dir: Direction::Received,
-            peer: ProcessId(2),
-            msg_id: MsgId(3),
-            payload: pl(3),
-        });
+        log.push(LogEntry::payload(Direction::Received, ProcessId(2), MsgId(3), pl(3)));
         // Restored = CT + replay(log) must equal live state at CFE.
         let restored = replay(tentative, &log);
         assert_eq!(restored, live);
@@ -125,18 +132,9 @@ mod tests {
         let base = AppSnapshot::initial(3, 1024);
         let mut log_a = MessageLog::new();
         let mut log_b = MessageLog::new();
-        log_a.push(LogEntry {
-            dir: Direction::Received,
-            peer: ProcessId(1),
-            msg_id: MsgId(1),
-            payload: pl(1),
-        });
-        log_b.push(LogEntry {
-            dir: Direction::Received,
-            peer: ProcessId(1),
-            msg_id: MsgId(1),
-            payload: pl(9), // different payload
-        });
+        log_a.push(LogEntry::payload(Direction::Received, ProcessId(1), MsgId(1), pl(1)));
+        // Same event, different payload.
+        log_b.push(LogEntry::payload(Direction::Received, ProcessId(1), MsgId(1), pl(9)));
         assert_ne!(replay(base, &log_a), replay(base, &log_b));
     }
 
@@ -145,18 +143,8 @@ mod tests {
         let mut snap = AppSnapshot::initial(0, 64);
         snap.apply_internal(1);
         let mut log = MessageLog::new();
-        log.push(LogEntry {
-            dir: Direction::Sent,
-            peer: ProcessId(1),
-            msg_id: MsgId(10),
-            payload: pl(10),
-        });
-        log.push(LogEntry {
-            dir: Direction::Received,
-            peer: ProcessId(1),
-            msg_id: MsgId(11),
-            payload: pl(11),
-        });
+        log.push(LogEntry::payload(Direction::Sent, ProcessId(1), MsgId(10), pl(10)));
+        log.push(LogEntry::payload(Direction::Received, ProcessId(1), MsgId(11), pl(11)));
         let plan = plan_recovery(4, snap.encode(), log.encode())
             .expect("recovery plan must build from valid blobs");
         assert_eq!(plan.csn, 4);

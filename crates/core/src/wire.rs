@@ -8,6 +8,7 @@
 //! a payload is `(id, len)` and `len` filler bytes on the wire.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ocpt_causality::VClock;
 use ocpt_sim::ProcessId;
 
 use crate::piggyback::Piggyback;
@@ -108,6 +109,9 @@ pub enum WireError {
     BadTag(u8),
     /// Malformed tentative set bitmap.
     BadTentSet,
+    /// Malformed sparse vector-clock encoding (index out of range, zero
+    /// value, or non-increasing index order).
+    BadClock,
 }
 
 impl std::fmt::Display for WireError {
@@ -117,6 +121,7 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             WireError::BadTag(t) => write!(f, "bad tag {t}"),
             WireError::BadTentSet => write!(f, "malformed tentSet bitmap"),
+            WireError::BadClock => write!(f, "malformed piggybacked vector clock"),
         }
     }
 }
@@ -133,11 +138,26 @@ pub fn encode_envelope(env: &Envelope, n: usize) -> Bytes {
             b.put_u8(0);
             b.put_u32(n as u32);
             b.put_u64(pb.csn);
-            b.put_u8(match pb.stat {
-                Status::Normal => 0,
-                Status::Tentative => 1,
+            // Stat byte doubles as the clock-presence flag: 0/1 are the
+            // original clock-free values, 2/3 announce a sparse clock
+            // between the tentSet and the payload.
+            b.put_u8(match (pb.stat, &pb.clock) {
+                (Status::Normal, None) => 0,
+                (Status::Tentative, None) => 1,
+                (Status::Normal, Some(_)) => 2,
+                (Status::Tentative, Some(_)) => 3,
             });
             b.extend_from_slice(&pb.tent_set.to_bytes());
+            if let Some(clock) = &pb.clock {
+                let nonzero = clock.components().iter().filter(|&&v| v != 0).count();
+                b.put_u32(nonzero as u32);
+                for (idx, &v) in clock.components().iter().enumerate() {
+                    if v != 0 {
+                        b.put_u32(idx as u32);
+                        b.put_u64(v);
+                    }
+                }
+            }
             b.put_u64(payload.id);
             b.put_u32(payload.len);
             b.extend(std::iter::repeat_n(0u8, payload.len as usize));
@@ -174,18 +194,24 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
                 return Err(WireError::Truncated);
             }
             let csn: Csn = buf.get_u64();
-            let stat = match buf.get_u8() {
-                0 => Status::Normal,
-                1 => Status::Tentative,
+            let (stat, has_clock) = match buf.get_u8() {
+                0 => (Status::Normal, false),
+                1 => (Status::Tentative, false),
+                2 => (Status::Normal, true),
+                3 => (Status::Tentative, true),
                 t => return Err(WireError::BadTag(t)),
             };
             // The tentSet encoding is self-describing (adaptive repr): the
             // decoder reports how many bytes it consumed.
             let (tent_set, ts_len) = TentSet::from_wire(n, &buf).ok_or(WireError::BadTentSet)?;
-            if buf.len() < ts_len + APP_FIXED_BYTES {
+            if buf.len() < ts_len {
                 return Err(WireError::Truncated);
             }
             buf.advance(ts_len);
+            let clock = if has_clock { Some(decode_sparse_clock(&mut buf, n)?) } else { None };
+            if buf.len() < APP_FIXED_BYTES {
+                return Err(WireError::Truncated);
+            }
             let id = buf.get_u64();
             let len = buf.get_u32();
             if buf.len() < len as usize {
@@ -193,7 +219,7 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
             }
             Ok((
                 Envelope::App {
-                    pb: Piggyback { csn, stat, tent_set },
+                    pb: Piggyback { csn, stat, tent_set, clock },
                     payload: AppPayload { id, len },
                 },
                 n,
@@ -217,6 +243,35 @@ pub fn decode_envelope(mut buf: Bytes) -> Result<(Envelope, usize), WireError> {
     }
 }
 
+/// Decode the sparse clock encoding: u32 count, then `(u32 index, u64
+/// value)` per nonzero component, indices strictly increasing. The
+/// canonical form is enforced — zero values, out-of-range or repeated
+/// indices are rejected so every clock has exactly one wire image.
+fn decode_sparse_clock(buf: &mut Bytes, n: usize) -> Result<VClock, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let count = buf.get_u32() as usize;
+    if count > n {
+        return Err(WireError::BadClock);
+    }
+    if buf.len() < count * 12 {
+        return Err(WireError::Truncated);
+    }
+    let mut clock = VClock::zero(n);
+    let mut prev: Option<u32> = None;
+    for _ in 0..count {
+        let idx = buf.get_u32();
+        let value = buf.get_u64();
+        if idx as usize >= n || value == 0 || prev.is_some_and(|p| idx <= p) {
+            return Err(WireError::BadClock);
+        }
+        clock.set(ProcessId(idx), value);
+        prev = Some(idx);
+    }
+    Ok(clock)
+}
+
 /// Convenience: the sending process of an envelope isn't part of the
 /// envelope itself; transports carry `(src, dst, Envelope)`. This struct is
 /// the framed triple used by the threaded runtime.
@@ -238,7 +293,7 @@ mod tests {
         let mut ts = TentSet::singleton(n, ProcessId(1));
         ts.insert(ProcessId(0));
         Envelope::App {
-            pb: Piggyback { csn: 9, stat: Status::Tentative, tent_set: ts },
+            pb: Piggyback::new(9, Status::Tentative, ts),
             payload: AppPayload { id: 1234, len: 100 },
         }
     }
@@ -277,7 +332,7 @@ mod tests {
         let e256 = {
             let ts = TentSet::singleton(256, ProcessId(1));
             Envelope::App {
-                pb: Piggyback { csn: 9, stat: Status::Tentative, tent_set: ts },
+                pb: Piggyback::new(9, Status::Tentative, ts),
                 payload: AppPayload { id: 1234, len: 100 },
             }
         };
@@ -304,10 +359,65 @@ mod tests {
         assert!(matches!(decode_envelope(raw.freeze()), Err(WireError::BadTag(7))));
     }
 
+    fn sample_clocked(n: usize) -> Envelope {
+        let mut clock = VClock::zero(n);
+        clock.set(ProcessId(0), 3);
+        clock.set(ProcessId(2), 41);
+        let Envelope::App { pb, payload } = sample_app(n) else { unreachable!() };
+        Envelope::App { pb: Piggyback { clock: Some(clock), ..pb }, payload }
+    }
+
+    #[test]
+    fn clocked_app_round_trip() {
+        let env = sample_clocked(5);
+        let enc = encode_envelope(&env, 5);
+        assert_eq!(enc.len() as u64, env.wire_bytes(5));
+        let (dec, n) = decode_envelope(enc).expect("clocked round-trip must decode");
+        assert_eq!(dec, env);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn clock_costs_nothing_when_absent() {
+        // The stat byte doubles as the clock flag, so clock-free envelopes
+        // are byte-for-byte what they were before clocks existed.
+        let plain = sample_app(5);
+        let clocked = sample_clocked(5);
+        assert_eq!(clocked.wire_bytes(5), plain.wire_bytes(5) + 4 + 2 * 12);
+    }
+
+    #[test]
+    fn malformed_clocks_rejected() {
+        let enc = encode_envelope(&sample_clocked(5), 5);
+        // Locate the sparse clock: header(6) + csn(8) + stat(1) + tentSet.
+        let Envelope::App { pb, .. } = sample_app(5) else { unreachable!() };
+        let off = 6 + 8 + 1 + pb.tent_set.to_bytes().len();
+        let corrupt = |f: &dyn Fn(&mut BytesMut)| {
+            let mut raw = BytesMut::from(&enc[..]);
+            f(&mut raw);
+            decode_envelope(raw.freeze())
+        };
+        // Zero-valued component breaks canonical form.
+        let r = corrupt(&|raw| raw[off + 4..off + 12 + 4].fill(0));
+        assert_eq!(r, Err(WireError::BadClock));
+        // Out-of-range index (idx ≥ n).
+        let r = corrupt(&|raw| raw[off + 4..off + 8].copy_from_slice(&9u32.to_be_bytes()));
+        assert_eq!(r, Err(WireError::BadClock));
+        // Non-increasing indices (second idx set equal to the first).
+        let r = corrupt(&|raw| raw[off + 16..off + 20].copy_from_slice(&0u32.to_be_bytes()));
+        assert_eq!(r, Err(WireError::BadClock));
+        // Component count beyond the universe size.
+        let r = corrupt(&|raw| raw[off..off + 4].copy_from_slice(&6u32.to_be_bytes()));
+        assert_eq!(r, Err(WireError::BadClock));
+        // Truncation inside the clock body.
+        let cut = enc.slice(0..off + 10);
+        assert_eq!(decode_envelope(cut), Err(WireError::Truncated));
+    }
+
     #[test]
     fn zero_len_payload() {
         let env = Envelope::App {
-            pb: Piggyback { csn: 0, stat: Status::Normal, tent_set: TentSet::empty(2) },
+            pb: Piggyback::new(0, Status::Normal, TentSet::empty(2)),
             payload: AppPayload { id: 0, len: 0 },
         };
         let (dec, _) =

@@ -113,11 +113,11 @@ proptest! {
             }
         }
         let env = Envelope::App {
-            pb: Piggyback {
+            pb: Piggyback::new(
                 csn,
-                stat: if tentative { Status::Tentative } else { Status::Normal },
-                tent_set: ts,
-            },
+                if tentative { Status::Tentative } else { Status::Normal },
+                ts,
+            ),
             payload: AppPayload { id: payload_id, len: payload_len },
         };
         let enc = encode_envelope(&env, n);
@@ -138,12 +138,7 @@ proptest! {
     ) {
         let mut log = MessageLog::new();
         for (sent, peer, msg, pid, len) in entries {
-            log.push(LogEntry {
-                dir: if sent { Direction::Sent } else { Direction::Received },
-                peer: ProcessId(peer),
-                msg_id: MsgId(msg),
-                payload: AppPayload { id: pid, len },
-            });
+            log.push(LogEntry::payload(if sent { Direction::Sent } else { Direction::Received }, ProcessId(peer), MsgId(msg), AppPayload { id: pid, len }));
         }
         let dec = MessageLog::decode(log.encode()).expect("round trip");
         prop_assert_eq!(dec, log);

@@ -5,7 +5,7 @@
 //! dispatch in the hot loop.
 
 use ocpt_baselines::{ChandyLamport, Cic, KooToueg, OcptAdapter, Staggered, Uncoordinated};
-use ocpt_core::{OcptConfig, WritePolicy};
+use ocpt_core::{LoggingKind, OcptConfig, WritePolicy};
 use ocpt_sim::ProcessId;
 
 use crate::runner::{RunConfig, RunResult, Runner};
@@ -44,11 +44,23 @@ impl Algo {
         Algo::Ocpt(OcptConfig::basic_only())
     }
 
+    /// The paper's algorithm with an alternative message-logging strategy
+    /// (E10's axis; `LoggingKind::Selective` is `Algo::ocpt()` itself).
+    pub fn ocpt_logging(kind: LoggingKind) -> Self {
+        Algo::Ocpt(OcptConfig { logging: kind, ..OcptConfig::default() })
+    }
+
     /// Display name (matches `RunResult::algo` for the plain variants).
     pub fn name(&self) -> &'static str {
         match self {
             Algo::Ocpt(c) if !c.control_messages => "ocpt-basic",
             Algo::Ocpt(c) if !c.optimize_ck_bgn => "ocpt-naive",
+            Algo::Ocpt(c) if c.logging != LoggingKind::Selective => match c.logging {
+                LoggingKind::Selective => unreachable!(),
+                LoggingKind::SenderBased => "ocpt-sender",
+                LoggingKind::ReceiverBased => "ocpt-receiver",
+                LoggingKind::CausalCompressed => "ocpt-causal",
+            },
             Algo::Ocpt(_) => "ocpt",
             Algo::ChandyLamport => "chandy-lamport",
             Algo::KooToueg => "koo-toueg",
@@ -104,6 +116,8 @@ pub fn run(algo: &Algo, cfg: RunConfig) -> RunResult {
                 result.algo = "ocpt-basic";
             } else if !ocfg.optimize_ck_bgn {
                 result.algo = "ocpt-naive";
+            } else if ocfg.logging != LoggingKind::Selective {
+                result.algo = Algo::Ocpt(ocfg).name();
             }
             result
         }

@@ -17,8 +17,8 @@
 //!   the driver captured at the finalization cut.
 
 use ocpt_causality::GlobalObserver;
-use ocpt_core::plan_recovery;
-use ocpt_sim::ProcessId;
+use ocpt_core::{plan_recovery, EntryKind, MessageLog, ReplayPlan};
+use ocpt_sim::{ProcessId, SimDuration};
 
 use crate::runner::RunResult;
 
@@ -151,6 +151,120 @@ pub fn verify_restored_states(result: &RunResult, k: u64) -> Result<usize, Strin
         verified += 1;
     }
     Ok(verified)
+}
+
+/// Modeled cost of a log-driven recovery from the durable line — the
+/// numbers E10 tabulates per logging strategy.
+///
+/// Replay time uses a simple analytic model (recovery runs in parallel, so
+/// the slowest process bounds it): reading the durable log at
+/// [`REPLAY_READ_BPS`], [`REPLAY_EVENT_OVERHEAD`] of CPU per replayed
+/// event, and one [`FETCH_RTT`] round-trip per determinant whose payload
+/// must come from a peer's durable log. Orphaned determinants (no peer
+/// holds the payload) and lost in-transit messages are counted, not
+/// charged — they are correctness gaps, not time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecoveryReport {
+    /// The durable recovery line the report is about.
+    pub line: u64,
+    /// Durable log bytes across all processes at the line (exact
+    /// [`MessageLog::encode`] framing).
+    pub log_bytes: u64,
+    /// Received events replayable from local payload bytes.
+    pub replayed_local: u64,
+    /// Received determinants whose payload exists in some peer's durable
+    /// log (replayable after one fetch round-trip each).
+    pub fetched: u64,
+    /// Received determinants with **no** durable payload anywhere — the
+    /// replay gap a determinant-only window leaves when the matching send
+    /// predates the sender's log window.
+    pub orphans: u64,
+    /// Observer-judged in-transit messages whose sender log cannot
+    /// regenerate them (no payload entry) — lost on recovery.
+    pub lost_in_transit: u64,
+    /// Modeled wall-clock replay time (max over processes).
+    pub replay_time: SimDuration,
+}
+
+/// CPU cost to re-apply one logged event during replay.
+pub const REPLAY_EVENT_OVERHEAD: SimDuration = SimDuration::from_micros(5);
+/// One round-trip to fetch a determinant's payload from a peer.
+pub const FETCH_RTT: SimDuration = SimDuration::from_micros(200);
+/// Sequential read bandwidth for the durable log, bytes/second.
+pub const REPLAY_READ_BPS: f64 = 1.0e9;
+
+/// Analyze recovery from `result`'s durable line under whatever logging
+/// strategy produced the logs. Requires the observer (for the in-transit
+/// judgement); returns an all-zero report when the line is 0.
+pub fn log_recovery_report(result: &RunResult) -> Result<LogRecoveryReport, String> {
+    let line = result.recovery_line;
+    let mut report = LogRecoveryReport {
+        line,
+        log_bytes: 0,
+        replayed_local: 0,
+        fetched: 0,
+        orphans: 0,
+        lost_in_transit: 0,
+        replay_time: SimDuration::ZERO,
+    };
+    if line == 0 {
+        return Ok(report);
+    }
+    let obs = result.observer.as_ref().ok_or("log recovery analysis needs the observer")?;
+    let cut = obs.judge(line).ok_or("recovery line not judged")?;
+
+    // Decode every process's durable log at the line, and index which
+    // sends have durable payload bytes anywhere at csn ≤ line — the fetch
+    // targets for determinant replay and the re-send sources for
+    // in-transit messages.
+    let mut logs = Vec::with_capacity(result.n);
+    let mut durable_sent_payloads = std::collections::BTreeSet::new();
+    for pid in ProcessId::all(result.n) {
+        for csn in 1..=line {
+            let Some(ckpt) = result.store.get(pid, csn) else { continue };
+            if ckpt.log.is_empty() {
+                continue;
+            }
+            let log = MessageLog::decode(ckpt.log.clone()).ok_or("corrupt durable log")?;
+            for e in log.sent().filter(|e| e.kind == EntryKind::Payload) {
+                durable_sent_payloads.insert(e.msg_id.0);
+            }
+            if csn == line {
+                report.log_bytes += log.encoded_len();
+                logs.push(log);
+                continue;
+            }
+        }
+        if logs.len() < pid.index() + 1 {
+            logs.push(MessageLog::new());
+        }
+    }
+
+    for log in &logs {
+        let plan = ReplayPlan::for_log(log);
+        let mut fetches = 0u64;
+        for e in &plan.fetch {
+            if durable_sent_payloads.contains(&e.msg_id.0) {
+                fetches += 1;
+            } else {
+                report.orphans += 1;
+            }
+        }
+        let local = plan.replay.len() as u64 - plan.fetch.len() as u64;
+        report.replayed_local += local;
+        report.fetched += fetches;
+        let secs = log.encoded_len() as f64 / REPLAY_READ_BPS
+            + plan.replay.len() as f64 * REPLAY_EVENT_OVERHEAD.as_secs_f64()
+            + fetches as f64 * FETCH_RTT.as_secs_f64();
+        report.replay_time = report.replay_time.max(SimDuration::from_secs_f64(secs));
+    }
+
+    for t in &cut.in_transit {
+        if !durable_sent_payloads.contains(&t.msg.0) {
+            report.lost_in_transit += 1;
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

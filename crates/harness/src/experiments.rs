@@ -14,11 +14,14 @@
 //! whatever `--jobs`/`--replicates` the caller picks, and the output is
 //! bit-identical however many workers run it (see `grid`).
 
+use ocpt_core::LoggingKind;
 use ocpt_metrics::Table;
-use ocpt_sim::{FaultPlan, ProcessId, SimDuration, SimTime};
+use ocpt_sim::{Fault, FaultPlan, ProcessId, SimDuration, SimTime};
 
 use crate::algo::Algo;
-use crate::analysis::{coordinated_rollback, domino_rollback, verify_restored_states};
+use crate::analysis::{
+    coordinated_rollback, domino_rollback, log_recovery_report, verify_restored_states,
+};
 use crate::grid::{ColFmt, GridOptions, RunGrid};
 use crate::runner::RunConfig;
 use crate::workload::WorkloadSpec;
@@ -418,6 +421,94 @@ pub fn a2_flush_policy(base: ExpParams) -> RunGrid {
     g
 }
 
+/// The three E10 fault patterns, shared by the grid builder and the
+/// `exp_log` binary's direct per-cell runs (so `BENCH_log.json` measures
+/// exactly the schedules the printed table shows): a **single** mid-run
+/// crash of `P_{n/2}`, a **correlated** crash of three neighbours at the
+/// same instant, and a crash **during-finalize** — just past the next
+/// checkpoint-interval boundary, while the round's phased finalize writes
+/// are still in flight and the durable line lags.
+pub fn e10_fault_patterns(base: &ExpParams, crash_ms: u64) -> Vec<(&'static str, FaultPlan)> {
+    let n = base.n;
+    let down = SimDuration::from_millis(10);
+    let victim = |k: usize| ProcessId(((n / 2 + k) % n) as u32);
+    let single = FaultPlan::single(victim(0), SimTime::from_millis(crash_ms), down);
+    // Three processes die at the same instant — a rack failure. The line
+    // and the analysis are unchanged mechanics; what moves is how much of
+    // the durable log the strategies can still use.
+    let correlated = (0..3).fold(FaultPlan::none(), |p, k| {
+        p.with(Fault { pid: victim(k), at: SimTime::from_millis(crash_ms), down_for: Some(down) })
+    });
+    let iv_ms = base.ckpt_interval.as_nanos() / 1_000_000;
+    let boundary_ms = (crash_ms / iv_ms + 1) * iv_ms + iv_ms / 20;
+    let during_finalize = FaultPlan::single(victim(0), SimTime::from_millis(boundary_ms), down);
+    vec![("single", single), ("correlated", correlated), ("during-finalize", during_finalize)]
+}
+
+/// **E10 — logging-strategy × fault-pattern matrix.** The four
+/// [`ocpt_core::LoggingKind`]s under three fault shapes: a single mid-run
+/// crash, a correlated three-node crash (same instant), and a crash landed
+/// just inside the finalize write window (when the new round's writes are
+/// still in flight, so the durable line lags a full round). Per cell: the
+/// durable log footprint at the recovery line and the modeled replay cost
+/// — locally replayed events, peer fetches, orphaned determinants and
+/// in-transit losses (see [`crate::analysis::log_recovery_report`]).
+///
+/// The expected shape: *selective* pays a small windowed log with zero
+/// gaps; *sender* buys in-transit immunity with a continuous log;
+/// *receiver* logs the most bytes yet is the only one that loses
+/// in-transit messages; *causal* shrinks the window to determinants and
+/// pays for it in fetch round-trips and (when a send predates the window)
+/// orphans.
+///
+/// `only` restricts the grid to a single strategy (the `--strategy` flag
+/// of `exp_log`); `None` runs the full matrix.
+pub fn e10_log_matrix(base: ExpParams, crash_ms: u64, only: Option<LoggingKind>) -> RunGrid {
+    let mut g = RunGrid::new(
+        "E10: logging strategy × fault pattern (durable log bytes vs replay cost)",
+        &["strategy", "fault"],
+        &[
+            ("line", Int),
+            ("log_kb", F2),
+            ("replay_ms", F3),
+            ("replayed", Int),
+            ("fetched", Int),
+            ("orphans", Int),
+            ("lost_in_transit", Int),
+        ],
+    );
+    let patterns = e10_fault_patterns(&base, crash_ms);
+    for kind in LoggingKind::ALL {
+        if only.is_some_and(|o| o != kind) {
+            continue;
+        }
+        for (fault_name, faults) in &patterns {
+            let mut cfg = base.config();
+            cfg.faults = faults.clone();
+            cfg.stop_on_crash = true;
+            g.cell(
+                &[kind.name().into(), (*fault_name).into()],
+                Algo::ocpt_logging(kind),
+                cfg,
+                |r| {
+                    let rep = log_recovery_report(r)
+                        .unwrap_or_else(|e| panic!("log recovery analysis failed: {e}"));
+                    vec![
+                        rep.line as f64,
+                        rep.log_bytes as f64 / 1024.0,
+                        rep.replay_time.as_secs_f64() * 1e3,
+                        rep.replayed_local as f64,
+                        rep.fetched as f64,
+                        rep.orphans as f64,
+                        rep.lost_in_transit as f64,
+                    ]
+                },
+            );
+        }
+    }
+    g
+}
+
 /// One cell of the **E9 scale sweep**: system size `n` with traffic,
 /// horizon and state size scaled so a run stays within a few hundred
 /// thousand simulator events at any N — the sweep measures *per-process
@@ -551,6 +642,26 @@ mod tests {
         let t = run_serial(&e5_logging(&[SimDuration::from_millis(4)], quick()));
         assert_eq!(t.len(), 1);
         assert!(t.to_csv().contains("selective_share"));
+    }
+
+    #[test]
+    fn e10_covers_the_full_matrix() {
+        let t = run_serial(&e10_log_matrix(quick(), 600, None));
+        assert_eq!(t.len(), 4 * 3);
+        let csv = t.to_csv();
+        for s in ["selective", "sender", "receiver", "causal"] {
+            assert!(csv.contains(s), "missing strategy {s}");
+        }
+        for f in ["single", "correlated", "during-finalize"] {
+            assert!(csv.contains(f), "missing fault pattern {f}");
+        }
+    }
+
+    #[test]
+    fn e10_strategy_filter_restricts_rows() {
+        let t = run_serial(&e10_log_matrix(quick(), 600, Some(LoggingKind::SenderBased)));
+        assert_eq!(t.len(), 3);
+        assert!(!t.to_csv().contains("receiver"));
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod runner;
 pub mod workload;
 
 pub use algo::{run, run_checked, Algo};
-pub use analysis::{coordinated_rollback, domino_rollback, verify_restored_states, RollbackReport};
+pub use analysis::{
+    coordinated_rollback, domino_rollback, log_recovery_report, verify_restored_states,
+    LogRecoveryReport, RollbackReport,
+};
 pub use grid::{ColFmt, GridOptions, GridOutcome, RunGrid, TraceSink};
 pub use runner::{RunConfig, RunResult, Runner, StorageReport};
 pub use workload::{Pattern, PayloadSpec, Timing, WorkloadSpec, WorkloadState};

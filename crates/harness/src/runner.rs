@@ -765,8 +765,27 @@ impl<P: CheckpointProtocol> Runner<P> {
                     };
                     for e in log.sent() {
                         let crosses_line = report.in_transit.iter().any(|t| t.msg.0 == e.msg_id.0);
-                        if crosses_line {
+                        if !crosses_line {
+                            continue;
+                        }
+                        // Only payload-carrying entries can regenerate the
+                        // message. A determinant-only sender log (the
+                        // receiver-based strategy) knows the send happened
+                        // but has no bytes to re-inject — that in-transit
+                        // message is lost, which is exactly what E10's
+                        // `lost_in_transit` column counts.
+                        if e.kind == ocpt_core::EntryKind::Payload {
                             v.push((pid, e.peer, e.payload));
+                        } else {
+                            self.counters.inc("recovery.resend_unavailable");
+                            self.trace.record_coded(
+                                now,
+                                pid,
+                                TraceKind::AppSend,
+                                "recovery.resend_unavailable",
+                                None,
+                                format!("M{}", e.payload.id),
+                            );
                         }
                     }
                 }

@@ -22,7 +22,7 @@ use crate::report::Finding;
 /// The committed baseline file name, relative to the workspace root.
 pub const BASELINE_FILE: &str = "simlint.baseline";
 
-/// The version emitted by [`format`].
+/// The version emitted by [`format()`].
 pub const CURRENT_VERSION: u32 = 2;
 
 /// One accepted workspace finding.

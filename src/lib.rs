@@ -53,8 +53,8 @@ pub use ocpt_telemetry as telemetry;
 pub mod prelude {
     pub use ocpt_baselines::{CheckpointProtocol, ProtoAction};
     pub use ocpt_core::{
-        Action, AppPayload, ControlTopology, Csn, Envelope, FlushPolicy, MessageLog, OcptConfig,
-        OcptProcess, Piggyback, Status, TentSet, WritePolicy,
+        Action, AppPayload, ControlTopology, Csn, Envelope, FlushPolicy, LoggingKind, MessageLog,
+        OcptConfig, OcptProcess, Piggyback, Status, TentSet, WritePolicy,
     };
     pub use ocpt_harness::{
         run, run_checked, Algo, ColFmt, GridOptions, GridOutcome, RunConfig, RunGrid, RunResult,
