@@ -16,6 +16,12 @@
 //! asserted across the three, wall-clock scaling written to the path
 //! (the committed `BENCH_par.json` — interpret `speedup` against
 //! `host.cores`; a single-core host honestly reports ~1.0).
+//!
+//! With `--health-json <path>`, the per-strategy health matrix runs last
+//! (every logging strategy under the fault-free baseline and the three
+//! E10 fault shapes) and its report — round-latency percentiles, log
+//! growth, gap counters — is written to the path (the committed
+//! `BENCH_health.json`).
 
 use ocpt_bench::{
     bench_report_json, par_gate_grid, par_report_json, sched_bench, sched_report_json, BenchEntry,
@@ -115,4 +121,5 @@ fn main() {
             eprint!("{report}");
         }
     }
+    args.maybe_emit_health();
 }

@@ -6,4 +6,5 @@ fn main() {
     let args = ExpArgs::parse();
     let ns: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };
     args.emit("e1", &e1_contention(ns, args.params()));
+    args.maybe_emit_health();
 }

@@ -19,4 +19,5 @@ fn main() {
         ]
     };
     args.emit("e3", &e3_control_messages(&gaps, args.params()));
+    args.maybe_emit_health();
 }

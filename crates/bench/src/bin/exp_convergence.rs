@@ -27,4 +27,5 @@ fn main() {
         )
     };
     args.emit("e4", &e4_convergence(&gaps, &timeouts, args.params()));
+    args.maybe_emit_health();
 }

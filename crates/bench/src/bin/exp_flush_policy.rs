@@ -5,4 +5,5 @@ use ocpt_harness::experiments::a2_flush_policy;
 fn main() {
     let args = ExpArgs::parse();
     args.emit("a2", &a2_flush_policy(args.params()));
+    args.maybe_emit_health();
 }

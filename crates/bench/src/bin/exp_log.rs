@@ -17,6 +17,7 @@ fn main() {
     let crash_ms = if args.quick { 600 } else { 4_000 };
     let base = args.params();
     args.emit("e10", &e10_log_matrix(base, crash_ms, args.strategy));
+    args.maybe_emit_health();
 
     let Some(path) = &args.bench_json else { return };
     let patterns = e10_fault_patterns(&base, crash_ms);

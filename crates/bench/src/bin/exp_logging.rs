@@ -16,4 +16,5 @@ fn main() {
         ]
     };
     args.emit("e5", &e5_logging(&gaps, args.params()));
+    args.maybe_emit_health();
 }

@@ -16,4 +16,5 @@ fn main() {
         ]
     };
     args.emit("e2", &e2_overhead(&ivs, args.params()));
+    args.maybe_emit_health();
 }

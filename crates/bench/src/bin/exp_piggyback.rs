@@ -6,4 +6,5 @@ fn main() {
     let args = ExpArgs::parse();
     let ns: &[usize] = if args.quick { &[4, 16] } else { &[4, 8, 16, 32, 64, 128, 256] };
     args.emit("e6", &e6_piggyback(ns, args.params()));
+    args.maybe_emit_health();
 }

@@ -7,4 +7,5 @@ fn main() {
     let p = args.params();
     let crash_ms = (p.workload_ms * 3) / 4;
     args.emit("e7", &e7_recovery(p, crash_ms));
+    args.maybe_emit_health();
 }

@@ -12,4 +12,5 @@ fn main() {
         vec![SimDuration::from_millis(1), SimDuration::from_millis(5), SimDuration::from_millis(20)]
     };
     args.emit("e8", &e8_response_time(&gaps, args.params()));
+    args.maybe_emit_health();
 }

@@ -16,6 +16,7 @@ fn main() {
     let args = ExpArgs::parse();
     let ns: &[usize] = if args.quick { &[64, 600] } else { &[100, 1_000, 10_000, 100_000] };
     args.emit("e9", &exp_scale(ns, args.seed));
+    args.maybe_emit_health();
 
     let Some(path) = &args.bench_json else { return };
     let topo = OcptConfig::default().control_topology;

@@ -17,8 +17,9 @@
 pub mod sched_bench;
 
 use ocpt_core::LoggingKind;
-use ocpt_harness::experiments::ExpParams;
-use ocpt_harness::{GridOptions, GridOutcome, RunGrid, TraceSink};
+use ocpt_harness::experiments::{e10_fault_patterns, ExpParams};
+use ocpt_harness::{log_recovery_report, run, Algo, GridOptions, GridOutcome, RunGrid, TraceSink};
+use ocpt_metrics::Quantiles;
 use ocpt_sim::SimDuration;
 
 /// Host metadata stamped into every committed bench report, so claims
@@ -86,6 +87,13 @@ pub struct ExpArgs {
     /// (`selective` / `sender` / `receiver` / `causal`; long aliases like
     /// `sender-based` also parse). Other binaries parse and ignore it.
     pub strategy: Option<LoggingKind>,
+    /// Write the per-strategy health report (`BENCH_health.json`) here:
+    /// round-latency percentiles, durable-log growth and gap counters for
+    /// every logging strategy under the fault-free baseline and the three
+    /// E10 fault shapes. Every `exp_*` binary honors it (via
+    /// [`ExpArgs::maybe_emit_health`]), so any experiment invocation can stamp the
+    /// protocol's health alongside its own table.
+    pub health_json: Option<String>,
 }
 
 impl ExpArgs {
@@ -102,6 +110,7 @@ impl ExpArgs {
             par_json: None,
             trace_out: None,
             strategy: None,
+            health_json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -155,6 +164,10 @@ impl ExpArgs {
                             "unknown strategy {s} (want selective|sender|receiver|causal)"
                         ))
                     }));
+                }
+                "--health-json" => {
+                    args.health_json =
+                        Some(it.next().unwrap_or_else(|| usage("--health-json needs a path")));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -506,6 +519,154 @@ pub fn log_report_json(rows: &[LogRow]) -> String {
     out
 }
 
+/// One (strategy, fault pattern) cell of the health matrix, for the
+/// committed `BENCH_health.json`: what the `ocpt-health` trace report
+/// tracks per run, measured here per logging strategy — round-latency
+/// percentiles over complete rounds, durable-log growth at the recovery
+/// line and the correctness gaps (orphans, in-transit losses).
+#[derive(Clone, Debug)]
+pub struct HealthRow {
+    /// Logging strategy short name (`selective` / `sender` / `receiver` /
+    /// `causal`).
+    pub strategy: &'static str,
+    /// Fault pattern label (`none` baseline plus the three E10 shapes).
+    pub fault: String,
+    /// Rounds completed by every process.
+    pub rounds_complete: u64,
+    /// Round latency p50 over complete rounds, milliseconds.
+    pub p50_ms: f64,
+    /// Round latency p90 over complete rounds, milliseconds.
+    pub p90_ms: f64,
+    /// Round latency p99 over complete rounds, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest complete round, milliseconds.
+    pub max_ms: f64,
+    /// Durable recovery line the run ends with.
+    pub line: u64,
+    /// Durable log bytes across all processes at the line (the JSON
+    /// normalises this per application message: the log growth rate).
+    pub log_bytes: u64,
+    /// Determinants with no durable payload anywhere at the line.
+    pub orphans: u64,
+    /// In-transit messages no sender log could regenerate.
+    pub lost_in_transit: u64,
+    /// Application messages the run sent.
+    pub app_messages: u64,
+    /// Simulator events dispatched.
+    pub sim_events: u64,
+}
+
+/// Run the health matrix: every [`LoggingKind`] (or just `only`) under the
+/// fault-free baseline plus the three [`e10_fault_patterns`] shapes, one
+/// direct run per cell. Round-latency percentiles come from
+/// [`ocpt_harness::runner::RoundStat`]s of globally complete rounds
+/// (exact nearest-rank quantiles); log growth and gap counters from
+/// [`log_recovery_report`] at the run's durable line.
+pub fn health_rows(base: &ExpParams, crash_ms: u64, only: Option<LoggingKind>) -> Vec<HealthRow> {
+    let patterns = e10_fault_patterns(base, crash_ms);
+    let mut rows = Vec::new();
+    for kind in LoggingKind::ALL {
+        if only.is_some_and(|o| o != kind) {
+            continue;
+        }
+        for cell in 0..=patterns.len() {
+            let mut cfg = base.config();
+            let fault = if cell == 0 {
+                "none".to_string()
+            } else {
+                let (name, plan) = &patterns[cell - 1];
+                cfg.faults = plan.clone();
+                cfg.stop_on_crash = true;
+                (*name).to_string()
+            };
+            let r = run(&Algo::ocpt_logging(kind), cfg);
+            assert!(
+                r.protocol_error.is_none(),
+                "{} × {fault}: {:?}",
+                kind.name(),
+                r.protocol_error
+            );
+            let rep = log_recovery_report(&r).unwrap_or_else(|e| {
+                eprintln!("error: health {} × {fault}: {e}", kind.name());
+                std::process::exit(2);
+            });
+            let mut q = Quantiles::new();
+            for s in r.round_stats.iter().filter(|s| s.completes == r.n) {
+                q.record(s.latency_ns() as f64 / 1e6);
+            }
+            rows.push(HealthRow {
+                strategy: kind.name(),
+                fault,
+                rounds_complete: r.complete_rounds,
+                p50_ms: q.try_quantile(0.50).unwrap_or(0.0),
+                p90_ms: q.try_quantile(0.90).unwrap_or(0.0),
+                p99_ms: q.try_quantile(0.99).unwrap_or(0.0),
+                max_ms: q.try_quantile(1.0).unwrap_or(0.0),
+                line: rep.line,
+                log_bytes: rep.log_bytes,
+                orphans: rep.orphans,
+                lost_in_transit: rep.lost_in_transit,
+                app_messages: r.app_messages,
+                sim_events: r.sim_events,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the health matrix as JSON — the committed `BENCH_health.json`.
+pub fn health_report_json(rows: &[HealthRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  {},\n", HostMeta::detect().json_fragment()));
+    out.push_str("  \"strategies\": [\"selective\", \"sender\", \"receiver\", \"causal\"],\n");
+    out.push_str("  \"faults\": [\"none\", \"single\", \"correlated\", \"during-finalize\"],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"fault\": \"{}\", \"rounds_complete\": {}, \
+             \"round_latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \
+             \"max\": {:.3}}}, \"line\": {}, \"log_bytes\": {}, \"log_bytes_per_msg\": {:.2}, \
+             \"orphans\": {}, \"lost_in_transit\": {}, \"app_messages\": {}, \
+             \"sim_events\": {}}}{sep}\n",
+            r.strategy,
+            r.fault,
+            r.rounds_complete,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            r.max_ms,
+            r.line,
+            r.log_bytes,
+            r.log_bytes as f64 / r.app_messages.max(1) as f64,
+            r.orphans,
+            r.lost_in_transit,
+            r.app_messages,
+            r.sim_events,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+impl ExpArgs {
+    /// Under `--health-json <path>`, run the health matrix at this scale
+    /// and write the report there (no-op otherwise). Every `exp_*` binary
+    /// calls this after printing its own table.
+    pub fn maybe_emit_health(&self) {
+        let Some(path) = &self.health_json else { return };
+        let crash_ms = if self.quick { 600 } else { 4_000 };
+        let rows = health_rows(&self.params(), crash_ms, self.strategy);
+        let report = health_report_json(&rows);
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote health report to {path}");
+        eprint!("{report}");
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -513,7 +674,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_* [--quick] [--csv] [--seed <u64>] [--jobs <n|0=auto>] \
          [--replicates <r>] [--trace-out <dir>] [--bench-json <path>] \
-         [--sched-json <path>] [--par-json <path>] \
+         [--sched-json <path>] [--par-json <path>] [--health-json <path>] \
          [--strategy <selective|sender|receiver|causal>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -665,6 +826,74 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn health_json_shape() {
+        let rows = vec![
+            HealthRow {
+                strategy: "selective",
+                fault: "none".into(),
+                rounds_complete: 9,
+                p50_ms: 12.5,
+                p90_ms: 14.0,
+                p99_ms: 15.25,
+                max_ms: 15.25,
+                line: 9,
+                log_bytes: 4_096,
+                orphans: 0,
+                lost_in_transit: 0,
+                app_messages: 2_048,
+                sim_events: 90_000,
+            },
+            HealthRow {
+                strategy: "causal",
+                fault: "during-finalize".into(),
+                rounds_complete: 2,
+                p50_ms: 13.0,
+                p90_ms: 13.0,
+                p99_ms: 13.0,
+                max_ms: 13.0,
+                line: 2,
+                log_bytes: 512,
+                orphans: 3,
+                lost_in_transit: 1,
+                app_messages: 1_024,
+                sim_events: 40_000,
+            },
+        ];
+        let j = health_report_json(&rows);
+        assert!(j.contains("\"host\": {\"cores\": "));
+        assert!(
+            j.contains("\"faults\": [\"none\", \"single\", \"correlated\", \"during-finalize\"]")
+        );
+        assert!(j.contains("\"round_latency_ms\": {\"p50\": 12.500, \"p90\": 14.000"));
+        assert!(j.contains("\"log_bytes_per_msg\": 2.00"));
+        assert!(j.contains("\"orphans\": 3"));
+        assert!(j.contains("\"lost_in_transit\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn health_rows_cover_baseline_and_faults() {
+        let base = ExpParams {
+            n: 3,
+            seed: 7,
+            workload_ms: 500,
+            msg_gap: SimDuration::from_millis(5),
+            ckpt_interval: SimDuration::from_millis(150),
+            state_bytes: 64 * 1024,
+        };
+        let rows = health_rows(&base, 300, Some(LoggingKind::Selective));
+        let faults: Vec<&str> = rows.iter().map(|r| r.fault.as_str()).collect();
+        assert_eq!(faults, ["none", "single", "correlated", "during-finalize"]);
+        assert!(rows.iter().all(|r| r.strategy == "selective"));
+        // The fault-free baseline completes rounds and measures latency.
+        assert!(rows[0].rounds_complete > 0);
+        assert!(rows[0].p50_ms > 0.0 && rows[0].p50_ms <= rows[0].max_ms);
+        assert!(rows[0].log_bytes > 0);
     }
 
     #[test]

@@ -26,7 +26,10 @@ use ocpt_sim::{FaultPlan, ProcessId, SimDuration, SimTime, Topology};
 use args::{ArgError, Args};
 
 /// Boolean flags understood by the CLI.
-pub const BOOL_FLAGS: &[&str] = &["trace", "quick", "live", "csv", "diagram"];
+pub const BOOL_FLAGS: &[&str] = &["trace", "quick", "live", "csv", "diagram", "json"];
+
+/// The `ocpt trace` subcommands, for usage and error text.
+const TRACE_SUBCOMMANDS: &str = "summary | diff | grep | timeline | critical-path | flame | health";
 
 /// Entry point used by `main` (and by tests): dispatch a parsed command,
 /// returning the rendered output.
@@ -61,7 +64,11 @@ pub fn usage() -> String {
        ocpt trace   summary FILE\n\
        ocpt trace   diff A B [--context N]\n\
        ocpt trace   grep FILE [--pid P] [--kind K] [--code PREFIX]\n\
-                    [--from-ms T] [--to-ms T]\n\
+                    [--after T] [--before T] [--from-ms T] [--to-ms T]\n\
+       ocpt trace   timeline FILE [--buckets N] [--json]\n\
+       ocpt trace   critical-path FILE\n\
+       ocpt trace   flame FILE\n\
+       ocpt trace   health FILE [--json]\n\
        ocpt algos\n"
         .to_string()
 }
@@ -222,6 +229,14 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
                     Some(_) => Ok(Some((args.num::<f64>(name, 0.0)? * 1e6) as u64)),
                 }
             };
+            // `--after`/`--before` are the sim-time window (milliseconds,
+            // inclusive/exclusive like the filter); `--from-ms`/`--to-ms`
+            // are their original spellings. When both are given the
+            // window is the intersection (later start, earlier end).
+            let merge = |a: Option<u64>, b: Option<u64>, newer: fn(u64, u64) -> u64| match (a, b) {
+                (Some(x), Some(y)) => Some(newer(x, y)),
+                (x, y) => x.or(y),
+            };
             let filter = ocpt_telemetry::GrepFilter {
                 pid: match args.get("pid") {
                     None => None,
@@ -229,8 +244,8 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
                 },
                 kind: args.get("kind").map(str::to_string),
                 code_prefix: args.get("code").map(str::to_string),
-                from_nanos: ms_flag("from-ms")?,
-                to_nanos: ms_flag("to-ms")?,
+                from_nanos: merge(ms_flag("after")?, ms_flag("from-ms")?, u64::max),
+                to_nanos: merge(ms_flag("before")?, ms_flag("to-ms")?, u64::min),
             };
             let hits = ocpt_telemetry::grep(&f, &filter);
             let mut out = String::new();
@@ -241,10 +256,32 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
             let _ = writeln!(out, "{} of {} events matched", hits.len(), f.recs.len());
             Ok(out)
         }
-        Some(other) => {
-            Err(ArgError(format!("unknown trace subcommand {other:?} (summary | diff | grep)")))
+        Some("timeline") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            let buckets: usize = args.num("buckets", ocpt_telemetry::DEFAULT_BUCKETS)?;
+            if buckets == 0 {
+                return Err(ArgError("--buckets must be at least 1".into()));
+            }
+            let t = ocpt_telemetry::timeline(&f, buckets);
+            Ok(if args.flag("json") { t.to_json() } else { t.render() })
         }
-        None => Err(ArgError("ocpt trace needs a subcommand: summary | diff | grep".into())),
+        Some("critical-path") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            Ok(ocpt_telemetry::critical_path(&f).render())
+        }
+        Some("flame") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            Ok(ocpt_telemetry::critical_path(&f).to_folded())
+        }
+        Some("health") => {
+            let f = load_trace(&operand(1, "FILE")?)?;
+            let h = ocpt_telemetry::health(&f);
+            Ok(if args.flag("json") { h.to_json() } else { h.render() })
+        }
+        Some(other) => {
+            Err(ArgError(format!("unknown trace subcommand {other:?} ({TRACE_SUBCOMMANDS})")))
+        }
+        None => Err(ArgError(format!("ocpt trace needs a subcommand: {TRACE_SUBCOMMANDS}"))),
     }
 }
 
@@ -555,6 +592,68 @@ mod tests {
             .unwrap();
         assert!(g.contains("events matched"), "{g}");
         assert!(g.lines().all(|l| l.contains("P0") || l.ends_with("events matched")), "{g}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_observatory_subcommands() {
+        let dir = std::env::temp_dir().join(format!("ocpt_cli_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.jsonl");
+        run_cli(&[
+            "run",
+            "--n",
+            "3",
+            "--seed",
+            "42",
+            "--duration-ms",
+            "400",
+            "--interval-ms",
+            "150",
+            "--state-kb",
+            "64",
+            "--trace-json",
+            a.to_str().unwrap(),
+        ])
+        .unwrap();
+        let p = a.to_str().unwrap();
+
+        let t = run_cli(&["trace", "timeline", p, "--buckets", "24"]).unwrap();
+        assert!(t.contains("timeline: algo=ocpt n=3 seed=42"), "{t}");
+        assert!(t.contains("in_flight_app"), "{t}");
+        let tj = run_cli(&["trace", "timeline", p, "--json"]).unwrap();
+        assert!(tj.starts_with("{\"schema\":\"ocpt-timeline\",\"version\":1,"), "{tj}");
+
+        let c = run_cli(&["trace", "critical-path", p]).unwrap();
+        assert!(c.contains("critical path: algo=ocpt"), "{c}");
+        assert!(c.contains("longest round:"), "{c}");
+
+        let fl = run_cli(&["trace", "flame", p]).unwrap();
+        assert!(fl.lines().count() >= 1, "{fl}");
+        assert!(fl.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(f, v)| { f.starts_with("round#") && v.parse::<u64>().is_ok() })));
+
+        let h = run_cli(&["trace", "health", p]).unwrap();
+        assert!(h.contains("health: algo=ocpt n=3 seed=42"), "{h}");
+        assert!(h.contains("round latency"), "{h}");
+        let hj = run_cli(&["trace", "health", p, "--json"]).unwrap();
+        assert!(hj.starts_with("{\"schema\":\"ocpt-health\",\"version\":1,"), "{hj}");
+
+        // --after/--before window flags; identical to --from-ms/--to-ms.
+        let w1 = run_cli(&["trace", "grep", p, "--after", "100", "--before", "200"]).unwrap();
+        let w2 = run_cli(&["trace", "grep", p, "--from-ms", "100", "--to-ms", "200"]).unwrap();
+        assert_eq!(w1, w2);
+        assert!(w1.contains("events matched"), "{w1}");
+
+        // Regenerated help and error text list every subcommand.
+        let u = usage();
+        for sub in ["timeline", "critical-path", "flame", "health"] {
+            assert!(u.contains(sub), "usage missing {sub}");
+        }
+        let e = run_cli(&["trace", "bogus"]).unwrap_err().to_string();
+        assert!(e.contains("timeline") && e.contains("health"), "{e}");
+        assert!(run_cli(&["trace", "timeline", p, "--buckets", "0"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -164,6 +164,31 @@ pub struct StorageReport {
     pub total_requests: u64,
 }
 
+/// Per-round completion statistics, one entry per checkpoint round the
+/// run observed (surviving recovery rollback: rounds discarded by a
+/// rollback past them are dropped with the rest of their bookkeeping).
+/// The observatory's health reports build their round-latency
+/// percentiles from these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundStat {
+    /// Checkpoint round (CSN).
+    pub seq: u64,
+    /// Virtual time of the first tentative snapshot of the round.
+    pub first_snapshot_ns: u64,
+    /// Virtual time of the last per-process completion seen.
+    pub last_complete_ns: u64,
+    /// Processes that completed the round (== n when globally complete).
+    pub completes: usize,
+}
+
+impl RoundStat {
+    /// First snapshot → last completion, nanoseconds (0 when the clocks
+    /// are inconsistent, which a correct run never produces).
+    pub fn latency_ns(&self) -> u64 {
+        self.last_complete_ns.saturating_sub(self.first_snapshot_ns)
+    }
+}
+
 /// Everything a run produces.
 #[derive(Debug)]
 pub struct RunResult {
@@ -196,6 +221,10 @@ pub struct RunResult {
     /// Checkpoint completion latency (first snapshot of round → last
     /// completion of round), seconds, over complete rounds.
     pub ckpt_latency: Summary,
+    /// Per-round completion statistics, ascending by `seq` (the raw
+    /// material `ckpt_latency` summarizes, kept per round for the
+    /// observatory's percentile reports).
+    pub round_stats: Vec<RoundStat>,
     /// Rounds completed by every process.
     pub complete_rounds: u64,
     /// Greatest sequence number durable on all processes.
@@ -1146,6 +1175,18 @@ impl<P: CheckpointProtocol> Runner<P> {
         }
         let mut ckpt_latency = Summary::new();
         let mut complete_rounds = 0;
+        let mut round_stats = Vec::with_capacity(self.first_snapshot_at.len());
+        for (&seq, first) in &self.first_snapshot_at {
+            round_stats.push(RoundStat {
+                seq,
+                first_snapshot_ns: first.as_nanos(),
+                last_complete_ns: self
+                    .last_complete_at
+                    .get(&seq)
+                    .map_or(first.as_nanos(), |t| t.as_nanos()),
+                completes: self.complete_count.get(&seq).copied().unwrap_or(0),
+            });
+        }
         for (seq, &cnt) in &self.complete_count {
             if cnt == n {
                 complete_rounds += 1;
@@ -1181,6 +1222,7 @@ impl<P: CheckpointProtocol> Runner<P> {
             blocked_time: self.blocked_time,
             forced_delay: self.forced_delay,
             ckpt_latency,
+            round_stats,
             complete_rounds,
             recovery_line: self.store.recovery_line(),
             staging_peak: self.staging_peak,

@@ -81,22 +81,40 @@ impl Histogram {
         }
     }
 
-    /// Approximate `q`-quantile: the upper bound of the bucket containing
-    /// the q-th ranked observation (≤ 2× the true value).
-    pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q));
-        if self.count == 0 {
-            return 0;
+    /// Approximate `q`-quantile, or `None` when the histogram is empty or
+    /// `q` is outside `[0, 1]` (including NaN). The bounds are exact and
+    /// saturating: `q = 0` returns `min()` and `q = 1` returns `max()`;
+    /// interior quantiles return the containing bucket's upper bound
+    /// (≤ 2× the true value), clamped into `[min, max]` so an answer
+    /// never lies outside the observed range.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
         }
         let rank = ((self.count as f64 - 1.0) * q).round() as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen > rank {
-                return if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+                let bound = if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+                return Some(bound.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Approximate `q`-quantile (see [`Histogram::try_quantile`]); 0 when
+    /// empty. Panics when `q` is outside `[0, 1]` — callers that cannot
+    /// guarantee the range should use `try_quantile`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Merge another histogram into this one.
@@ -170,5 +188,47 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 5);
         assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn try_quantile_empty_and_out_of_range_are_none() {
+        let h = Histogram::new();
+        assert_eq!(h.try_quantile(0.5), None);
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.try_quantile(-0.1), None);
+        assert_eq!(h.try_quantile(1.1), None);
+        assert_eq!(h.try_quantile(f64::NAN), None);
+        assert_eq!(h.try_quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn try_quantile_bounds_are_exact_and_saturating() {
+        let mut h = Histogram::new();
+        for x in [3u64, 5, 900] {
+            h.record(x);
+        }
+        // p0/p100 are the exact observed extremes, not bucket bounds.
+        assert_eq!(h.try_quantile(0.0), Some(3));
+        assert_eq!(h.try_quantile(1.0), Some(900));
+        // Interior answers saturate into [min, max]: the bucket bound for
+        // 3 would be 2 (below the observed minimum) without the clamp.
+        for q in [0.01, 0.5, 0.99] {
+            let v = h.try_quantile(q).unwrap();
+            assert!((3..=900).contains(&v), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = (a.count(), a.min(), a.max(), a.sum());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.sum()), before);
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!((e.count(), e.min(), e.max()), (1, 42, 42));
+        assert_eq!(e.try_quantile(0.5), Some(42));
     }
 }

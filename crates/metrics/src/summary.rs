@@ -118,18 +118,26 @@ impl Quantiles {
         self.samples.len()
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when empty.
-    pub fn quantile(&mut self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.samples.is_empty() {
-            return 0.0;
+    /// The `q`-quantile by nearest-rank, or `None` when the sample set is
+    /// empty or `q` falls outside `[0, 1]` (including NaN).
+    pub fn try_quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
         }
         if !self.sorted {
             self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
         let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        self.samples[idx]
+        Some(self.samples[idx])
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 when empty. Panics
+    /// on an out-of-range `q` — use [`Quantiles::try_quantile`] when the
+    /// range is not statically guaranteed.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        self.try_quantile(q).unwrap_or(0.0)
     }
 
     /// Median.
@@ -208,6 +216,19 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn try_quantile_edges() {
+        let mut q = Quantiles::new();
+        assert_eq!(q.try_quantile(0.5), None, "empty sample set");
+        q.record(3.0);
+        q.record(9.0);
+        assert_eq!(q.try_quantile(-0.01), None);
+        assert_eq!(q.try_quantile(1.01), None);
+        assert_eq!(q.try_quantile(f64::NAN), None);
+        assert_eq!(q.try_quantile(0.0), Some(3.0));
+        assert_eq!(q.try_quantile(1.0), Some(9.0));
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //!   crash/recovery outages, each with a parent link.
 //! * [`analyze`] — `summary` / `diff` / `grep` over parsed traces; the
 //!   `ocpt trace` subcommand is a thin wrapper around these.
+//! * [`mod@timeline`] — the observatory's sim-time series: any v1 trace
+//!   folded into fixed-bucket gauges (in-flight messages, open
+//!   checkpoints, wave depth, …) with a sparkline rendering and a
+//!   versioned `ocpt-timeline` JSON document.
+//! * [`critpath`] — per-round critical paths over the span layer:
+//!   trigger → wave → storage → finalize phase budgets, plus a
+//!   folded-stack "flame" text for inferno / speedscope.
+//! * [`mod@health`] — the `ocpt-health` v1 report: round-latency
+//!   percentiles, control fan-out, and dangling-state (gap) counters,
+//!   as JSON and as a human page.
 //! * [`json`] — the zero-dependency JSON writer/parser the schema is
 //!   built on (kept tiny and auditable; the build has no crates.io
 //!   access by design).
@@ -47,12 +57,18 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod critpath;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod record;
 pub mod span;
+pub mod timeline;
 
 pub use analyze::{diff, grep, render_rec, summary, DiffReport, GrepFilter};
+pub use critpath::{critical_path, CritReport, RoundPath};
 pub use export::{parse_jsonl, to_jsonl, SCHEMA_NAME, SCHEMA_VERSION};
+pub use health::{health, Health, LatencyStats, HEALTH_SCHEMA, HEALTH_VERSION};
 pub use record::{Rec, TraceFile, TraceMeta};
 pub use span::{derive_spans, Span, SpanKind};
+pub use timeline::{timeline, SeriesRow, Timeline, DEFAULT_BUCKETS};

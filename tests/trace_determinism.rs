@@ -120,6 +120,46 @@ fn recorded_traces_are_schema_valid_and_spanful() {
     }
 }
 
+/// The observatory rides on the same contract: timeline, critical-path,
+/// flame and health outputs — human and JSON — are pure functions of the
+/// recorded trace, so they must be byte-identical whichever `--jobs`
+/// count or scheduler kernel produced it.
+#[test]
+fn observatory_outputs_identical_across_jobs_and_schedulers() {
+    fn observe(arts: &BTreeMap<String, String>) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for (name, bytes) in arts.iter().filter(|(n, _)| n.ends_with(".trace.jsonl")) {
+            let f = telemetry::parse_jsonl(bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let t = telemetry::timeline(&f, telemetry::DEFAULT_BUCKETS);
+            let c = telemetry::critical_path(&f);
+            let h = telemetry::health(&f);
+            out.insert(format!("{name}.timeline"), t.render());
+            out.insert(format!("{name}.timeline.json"), t.to_json());
+            out.insert(format!("{name}.critpath"), c.render());
+            out.insert(format!("{name}.flame"), c.to_folded());
+            out.insert(format!("{name}.health"), h.render());
+            out.insert(format!("{name}.health.json"), h.to_json());
+        }
+        out
+    }
+    let baseline = observe(&record(&tmp("obs_base"), 1, SchedulerKind::Wheel));
+    assert!(!baseline.is_empty());
+    for v in baseline.values() {
+        assert!(!v.is_empty());
+    }
+    for (name, bytes) in baseline.iter().filter(|(n, _)| n.ends_with(".health.json")) {
+        assert!(bytes.starts_with("{\"schema\":\"ocpt-health\",\"version\":1,"), "{name}");
+    }
+    for (tag, jobs, sched) in [
+        ("obs_jobs4", 4, SchedulerKind::Wheel),
+        ("obs_heap1", 1, SchedulerKind::ReferenceHeap),
+        ("obs_heap4", 4, SchedulerKind::ReferenceHeap),
+    ] {
+        let other = observe(&record(&tmp(tag), jobs, sched));
+        assert_eq!(baseline, other, "{tag}: observatory outputs diverged");
+    }
+}
+
 #[test]
 fn metrics_v2_round_trips_through_the_parser() {
     // The schema bump's contract: everything `metrics_json` writes —
